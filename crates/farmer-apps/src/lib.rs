@@ -1,0 +1,28 @@
+//! # farmer-apps — FARMER applications beyond prefetching
+//!
+//! The paper sketches three further uses of mined correlations and names
+//! one analysis as future work; this crate implements them:
+//!
+//! * [`security`] — §4.3: "once a user configures rule-based accesses for
+//!   a file or directory, this rule may be applied to other files that
+//!   have strong file correlations with this file or directory
+//!   automatically". Rule propagation over the correlation graph with
+//!   per-hop degree decay, plus an enforcement simulator.
+//! * [`replication`] — §4.3: "grouping files with strong inter-file
+//!   correlations in the same logical replica group. Each backup and
+//!   recovery task on a replica group can be an atomic operation so that
+//!   we can guarantee the strong consistency of files in the same replica
+//!   group." Replica-group planning plus an atomic backup/recovery engine
+//!   with failure injection.
+//! * [`regression`] — §7: "multiple regression can be used to learn more
+//!   about association between file correlations and attributes."
+//!   Ordinary-least-squares regression of successor strength on
+//!   attribute-match indicators, with a small dense linear solver.
+
+pub mod regression;
+pub mod replication;
+pub mod security;
+
+pub use regression::{AttributeRegression, RegressionReport};
+pub use replication::{ReplicaManager, ReplicaPlan};
+pub use security::{AccessDecision, AccessRule, RuleAction, SecurityPolicy};

@@ -1,0 +1,297 @@
+//! FARMER-enabled security (§4.3): correlation-aware rule propagation.
+//!
+//! A rule configured on one file is automatically extended to files that
+//! are strongly correlated with it. Propagation follows the correlation
+//! graph transitively with multiplicative degree decay, so a rule's reach
+//! is bounded both by the validity threshold and by a hop limit —
+//! "intelligent secure storage" without per-file administration.
+
+use farmer_core::Farmer;
+use farmer_trace::hash::FxHashMap;
+use farmer_trace::{FileId, TraceEvent, UserId};
+
+/// What a rule does when it matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Deny the subject access to the file.
+    Deny,
+    /// Require audit logging for the access.
+    Audit,
+}
+
+/// A user-configured access rule on one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRule {
+    /// The file the administrator attached the rule to.
+    pub file: FileId,
+    /// Subject the rule constrains (None = every user).
+    pub subject: Option<UserId>,
+    /// Action on match.
+    pub action: RuleAction,
+}
+
+/// Outcome of checking one access against the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// No rule applies.
+    Allow,
+    /// A rule (origin file, effective strength in 0–1) denies the access.
+    Deny {
+        /// File the triggering rule was originally attached to.
+        origin: FileId,
+        /// Propagated strength (1.0 at the origin itself).
+        strength_millis: u32,
+    },
+    /// A rule requires auditing this access.
+    Audit {
+        /// File the triggering rule was originally attached to.
+        origin: FileId,
+    },
+}
+
+/// Propagation tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct PropagationConfig {
+    /// Minimum correlation degree for an edge to carry a rule.
+    pub min_degree: f64,
+    /// Maximum hops from the origin file.
+    pub max_hops: usize,
+    /// Minimum accumulated strength for a propagated rule to stay active.
+    pub min_strength: f64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig { min_degree: 0.4, max_hops: 2, min_strength: 0.25 }
+    }
+}
+
+/// A compiled policy: per-file effective rules after propagation.
+#[derive(Debug)]
+pub struct SecurityPolicy {
+    /// file -> (origin rule index, accumulated strength).
+    effective: FxHashMap<u32, Vec<(usize, f64)>>,
+    rules: Vec<AccessRule>,
+    cfg: PropagationConfig,
+}
+
+impl SecurityPolicy {
+    /// Compile rules against a mined model: each rule spreads from its
+    /// origin along correlator-list edges, multiplying degrees per hop.
+    pub fn compile(farmer: &Farmer, rules: Vec<AccessRule>, cfg: PropagationConfig) -> Self {
+        let mut effective: FxHashMap<u32, Vec<(usize, f64)>> = FxHashMap::default();
+        for (idx, rule) in rules.iter().enumerate() {
+            // BFS with multiplicative strength decay.
+            let mut frontier = vec![(rule.file, 1.0f64)];
+            let mut best: FxHashMap<u32, f64> = FxHashMap::default();
+            best.insert(rule.file.raw(), 1.0);
+            for _hop in 0..cfg.max_hops {
+                let mut next = Vec::new();
+                for (file, strength) in frontier {
+                    for c in farmer.correlators_with_threshold(file, cfg.min_degree).iter() {
+                        let s = strength * c.degree;
+                        if s < cfg.min_strength {
+                            continue;
+                        }
+
+                        let entry = best.entry(c.file.raw()).or_insert(0.0);
+                        if s > *entry {
+                            *entry = s;
+                            next.push((c.file, s));
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for (file, strength) in best {
+                effective.entry(file).or_default().push((idx, strength));
+            }
+        }
+        // Strongest rule first per file.
+        for v in effective.values_mut() {
+            v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        }
+        SecurityPolicy { effective, rules, cfg }
+    }
+
+    /// Number of files the policy touches after propagation.
+    pub fn covered_files(&self) -> usize {
+        self.effective.len()
+    }
+
+    /// The propagation configuration the policy was compiled with.
+    pub fn config(&self) -> PropagationConfig {
+        self.cfg
+    }
+
+    /// Check one access event against the policy.
+    pub fn check(&self, event: &TraceEvent) -> AccessDecision {
+        let Some(rules) = self.effective.get(&event.file.raw()) else {
+            return AccessDecision::Allow;
+        };
+        for &(idx, strength) in rules {
+            let rule = &self.rules[idx];
+            let subject_matches = rule.subject.is_none() || rule.subject == Some(event.uid);
+            if !subject_matches {
+                continue;
+            }
+            match rule.action {
+                RuleAction::Deny => {
+                    return AccessDecision::Deny {
+                        origin: rule.file,
+                        strength_millis: (strength * 1000.0) as u32,
+                    }
+                }
+                RuleAction::Audit => return AccessDecision::Audit { origin: rule.file },
+            }
+        }
+        AccessDecision::Allow
+    }
+
+    /// Enforce the policy over a whole event stream; returns
+    /// (denied, audited, allowed) counts.
+    pub fn enforce<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+    ) -> (u64, u64, u64) {
+        let mut denied = 0;
+        let mut audited = 0;
+        let mut allowed = 0;
+        for e in events {
+            match self.check(e) {
+                AccessDecision::Deny { .. } => denied += 1,
+                AccessDecision::Audit { .. } => audited += 1,
+                AccessDecision::Allow => allowed += 1,
+            }
+        }
+        (denied, audited, allowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_core::{FarmerConfig, Request};
+    use farmer_trace::{DevId, HostId, ProcId};
+
+    fn req(file: u32) -> Request {
+        Request {
+            file: FileId::new(file),
+            uid: UserId::new(1),
+            pid: ProcId::new(1),
+            host: HostId::new(1),
+            dev: DevId::new(0),
+        }
+    }
+
+    /// Mine a model where 0 -> 1 -> 2 are strongly correlated and 9 is
+    /// not. Each file is touched by its own process so the pairwise
+    /// similarity (and hence the correlation degree) stays below 1 and
+    /// propagation decay is observable.
+    fn mined() -> Farmer {
+        let mut f = Farmer::new(FarmerConfig::default());
+        for _ in 0..20 {
+            for file in [0u32, 1, 2] {
+                let mut r = req(file);
+                r.pid = ProcId::new(100 + file);
+                f.observe(r, None);
+            }
+            // Unrelated foreign activity.
+            f.observe(
+                Request {
+                    file: FileId::new(9),
+                    uid: UserId::new(7),
+                    pid: ProcId::new(7),
+                    host: HostId::new(7),
+                    dev: DevId::new(3),
+                },
+                None,
+            );
+        }
+        f
+    }
+
+    fn deny_rule(file: u32) -> AccessRule {
+        AccessRule { file: FileId::new(file), subject: None, action: RuleAction::Deny }
+    }
+
+    fn ev(file: u32, uid: u32) -> TraceEvent {
+        TraceEvent::synthetic(0, FileId::new(file), UserId::new(uid), ProcId::new(1), HostId::new(1))
+    }
+
+    #[test]
+    fn rule_applies_at_origin() {
+        let farmer = mined();
+        let policy =
+            SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
+        assert!(matches!(policy.check(&ev(0, 1)), AccessDecision::Deny { .. }));
+    }
+
+    #[test]
+    fn rule_propagates_to_correlated_files() {
+        let farmer = mined();
+        let policy =
+            SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
+        assert!(policy.covered_files() >= 2, "covered {}", policy.covered_files());
+        match policy.check(&ev(1, 1)) {
+            AccessDecision::Deny { origin, strength_millis } => {
+                assert_eq!(origin, FileId::new(0));
+                assert!(strength_millis < 1000, "propagated strength must decay");
+            }
+            other => panic!("expected propagated deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncorrelated_files_unaffected() {
+        let farmer = mined();
+        let policy =
+            SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
+        assert_eq!(policy.check(&ev(9, 1)), AccessDecision::Allow);
+    }
+
+    #[test]
+    fn subject_scoping() {
+        let farmer = mined();
+        let rule = AccessRule {
+            file: FileId::new(0),
+            subject: Some(UserId::new(5)),
+            action: RuleAction::Deny,
+        };
+        let policy = SecurityPolicy::compile(&farmer, vec![rule], PropagationConfig::default());
+        assert!(matches!(policy.check(&ev(0, 5)), AccessDecision::Deny { .. }));
+        assert_eq!(policy.check(&ev(0, 1)), AccessDecision::Allow);
+    }
+
+    #[test]
+    fn audit_rules_audit() {
+        let farmer = mined();
+        let rule =
+            AccessRule { file: FileId::new(0), subject: None, action: RuleAction::Audit };
+        let policy = SecurityPolicy::compile(&farmer, vec![rule], PropagationConfig::default());
+        assert!(matches!(policy.check(&ev(0, 1)), AccessDecision::Audit { .. }));
+    }
+
+    #[test]
+    fn hop_limit_bounds_reach() {
+        let farmer = mined();
+        let tight = PropagationConfig { max_hops: 0, ..Default::default() };
+        let policy = SecurityPolicy::compile(&farmer, vec![deny_rule(0)], tight);
+        assert_eq!(policy.covered_files(), 1, "0 hops = origin only");
+    }
+
+    #[test]
+    fn enforce_counts_stream() {
+        let farmer = mined();
+        let policy =
+            SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
+        let events = [ev(0, 1), ev(9, 1), ev(1, 1)];
+        let (denied, audited, allowed) = policy.enforce(events.iter());
+        assert_eq!(denied, 2);
+        assert_eq!(audited, 0);
+        assert_eq!(allowed, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! End-to-end experiment benchmarks: each paper table/figure measured as a
+//! criterion benchmark at a reduced trace scale, so `cargo bench` exercises
+//! every experiment code path and reports how long each takes.
+//!
+//! For the paper-vs-measured numbers themselves, run the dedicated
+//! binaries (`cargo run --release -p farmer-bench --bin repro`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use farmer_bench::experiments as ex;
+
+const SCALE: f64 = 0.05;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1_successor_probability", |b| {
+        b.iter(|| black_box(ex::fig1(SCALE).len()))
+    });
+    g.bench_function("table2_dpa_ipa", |b| b.iter(|| black_box(ex::table2().len())));
+    g.bench_function("fig7_hit_ratio_comparison", |b| {
+        b.iter(|| black_box(ex::fig7(SCALE).len()))
+    });
+    g.bench_function("table3_prefetch_accuracy", |b| {
+        b.iter(|| black_box(ex::table3(SCALE)))
+    });
+    g.bench_function("fig8_response_time", |b| b.iter(|| black_box(ex::fig8(SCALE).len())));
+    g.bench_function("table4_space_overhead", |b| {
+        b.iter(|| black_box(ex::table4(SCALE).len()))
+    });
+    g.bench_function("layout_experiment", |b| {
+        b.iter(|| black_box(ex::layout_experiment(SCALE)))
+    });
+    g.finish();
+}
+
+criterion_group!(figure_benches, bench_figures);
+criterion_main!(figure_benches);

@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for the hot kernels.
+//!
+//! These complement the figure binaries (which regenerate the paper's
+//! tables): they measure the per-operation costs that determine whether
+//! FARMER's online mining is deployable on a metadata server's fast path —
+//! the paper's efficiency argument (§3.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use farmer_core::{similarity, AttrCombo, Farmer, FarmerConfig, PathMode, Request};
+use farmer_prefetch::{FpaPredictor, MetadataCache, NexusPredictor, Predictor};
+use farmer_store::BTree;
+use farmer_trace::{DevId, FileId, HostId, PathInterner, ProcId, UserId, WorkloadSpec};
+
+fn req(file: u32, uid: u32, pid: u32, host: u32) -> Request {
+    Request {
+        file: FileId::new(file),
+        uid: UserId::new(uid),
+        pid: ProcId::new(pid),
+        host: HostId::new(host),
+        dev: DevId::new(0),
+    }
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut interner = PathInterner::new();
+    let pa = interner.parse("/home/user1/project/src/deep/main.c");
+    let pb = interner.parse("/home/user1/project/src/deep/util.c");
+    let a = req(0, 1, 2, 3);
+    let b = req(1, 1, 4, 3);
+    let combo = AttrCombo::hp_default();
+
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("ipa", |bench| {
+        bench.iter(|| {
+            black_box(similarity(
+                black_box(&a),
+                Some(&pa),
+                black_box(&b),
+                Some(&pb),
+                combo,
+                PathMode::Ipa,
+            ))
+        })
+    });
+    g.bench_function("dpa", |bench| {
+        bench.iter(|| {
+            black_box(similarity(
+                black_box(&a),
+                Some(&pa),
+                black_box(&b),
+                Some(&pb),
+                combo,
+                PathMode::Dpa,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_miner_observe(c: &mut Criterion) {
+    let trace = WorkloadSpec::hp().scaled(0.2).generate();
+    let mut g = c.benchmark_group("miner");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("observe_trace_hp", |bench| {
+        bench.iter(|| {
+            let mut farmer = Farmer::new(FarmerConfig::default());
+            for e in &trace.events {
+                farmer.observe_event(&trace, e);
+            }
+            black_box(farmer.graph().num_edges())
+        })
+    });
+    g.finish();
+}
+
+fn bench_correlator_query(c: &mut Criterion) {
+    let trace = WorkloadSpec::hp().scaled(0.2).generate();
+    let farmer = Farmer::mine_trace(&trace, FarmerConfig::default());
+    let hot = trace.events[trace.len() / 2].file;
+    c.bench_function("correlators_query", |bench| {
+        bench.iter(|| black_box(farmer.correlators(black_box(hot)).len()))
+    });
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = WorkloadSpec::hp().scaled(0.1).generate();
+    let mut g = c.benchmark_group("predictor_per_event");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("fpa", |bench| {
+        bench.iter(|| {
+            let mut p = FpaPredictor::for_trace(&trace);
+            let mut n = 0usize;
+            for e in &trace.events {
+                n += p.on_access(&trace, e).len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("nexus", |bench| {
+        bench.iter(|| {
+            let mut p = NexusPredictor::paper_default();
+            let mut n = 0usize;
+            for e in &trace.events {
+                n += p.on_access(&trace, e).len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("access_hit", |bench| {
+        let mut cache = MetadataCache::new(1024);
+        for i in 0..1024 {
+            cache.insert_demand(FileId::new(i));
+        }
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 7) % 1024;
+            black_box(cache.access(FileId::new(i)))
+        })
+    });
+    g.bench_function("insert_evict", |bench| {
+        let mut cache = MetadataCache::new(256);
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = i.wrapping_add(1);
+            cache.insert_demand(FileId::new(i));
+        })
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("get_100k", |bench| {
+        let mut t = BTree::new();
+        for k in 0..100_000u64 {
+            t.insert(k, &k.to_le_bytes());
+        }
+        let mut k = 0u64;
+        bench.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(t.get(k).is_some())
+        })
+    });
+    g.bench_function("insert_churn", |bench| {
+        let mut t = BTree::new();
+        let mut k = 0u64;
+        bench.iter(|| {
+            k = k.wrapping_add(0x9e3779b97f4a7c15);
+            t.insert(k % 1_000_000, b"record-bytes-here");
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    g.sample_size(10);
+    let spec = WorkloadSpec::hp().scaled(0.1);
+    g.throughput(Throughput::Elements(spec.num_events as u64));
+    g.bench_function("hp_15k_events", |bench| {
+        bench.iter(|| black_box(spec.generate().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_miner_observe,
+    bench_correlator_query,
+    bench_predictors,
+    bench_cache,
+    bench_btree,
+    bench_trace_generation
+);
+criterion_main!(benches);

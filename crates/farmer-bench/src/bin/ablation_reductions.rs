@@ -1,0 +1,50 @@
+//! Ablations around the paper's §7 reduction claims and design choices:
+//!
+//! * p = 0 reduces FPA to Nexus-like pure sequence mining — measured as
+//!   top-successor agreement between the two implementations,
+//! * DPA vs IPA hit-ratio impact (the paper's §3.2.1 argument for IPA),
+//! * look-ahead window sensitivity,
+//! * the §4.2 grouped-layout seek savings.
+
+use farmer_bench::experiments::{
+    ablation_dpa_vs_ipa, ablation_window, layout_experiment, reduction_p0_matches_nexus,
+};
+use farmer_bench::format::{pct, TextTable};
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablations (scale {scale})\n");
+
+    let agreement = reduction_p0_matches_nexus(scale);
+    println!(
+        "reduction: FPA(p=0, no threshold) top-successor agreement with Nexus: {}\n\
+         (paper §7: \"If the weight value is 0, FARMER is reduced to Nexus\")\n",
+        pct(agreement)
+    );
+
+    let (dpa, ipa) = ablation_dpa_vs_ipa(scale);
+    println!(
+        "path algorithm: DPA hit {} vs IPA hit {} on HP \
+         (paper selects IPA; §3.2.1)\n",
+        pct(dpa),
+        pct(ipa)
+    );
+
+    let mut t = TextTable::new(&["window", "hit ratio"]);
+    for (w, h) in ablation_window(scale, &[1, 2, 3, 5, 8, 12]) {
+        t.row(vec![w.to_string(), pct(h)]);
+    }
+    println!("look-ahead window sensitivity (HP):\n{}", t.render());
+
+    let (scattered, grouped) = layout_experiment(scale);
+    println!(
+        "layout (§4.2): scattered {} seeks / {:.1}s busy  ->  grouped {} seeks / {:.1}s busy \
+         ({:.0}% seeks saved)",
+        scattered.seeks,
+        scattered.busy_us as f64 / 1e6,
+        grouped.seeks,
+        grouped.busy_us as f64 / 1e6,
+        100.0 * (1.0 - grouped.seeks as f64 / scattered.seeks as f64)
+    );
+}

@@ -1,0 +1,53 @@
+//! Multi-MDS scaling (§4.1): response time and load balance as servers
+//! are added, comparing hash and volume partitioning, with and without
+//! FARMER prefetching.
+//!
+//! The paper names two attacks on the metadata bottleneck — multiple
+//! servers for load balancing and prefetching for cache hit ratio; this
+//! experiment shows they compose.
+
+use farmer_bench::format::{ms, pct, TextTable};
+use farmer_bench::scale_from_args;
+use farmer_mds::{replay_cluster, ClusterConfig, Partition, ReplayConfig};
+use farmer_prefetch::baselines::LruOnly;
+use farmer_prefetch::FpaPredictor;
+use farmer_trace::{TraceFamily, WorkloadSpec};
+
+fn main() {
+    let scale = scale_from_args();
+    let trace = WorkloadSpec::hp().scaled(scale).generate();
+    println!("multi-MDS scaling on {} (scale {scale})\n", trace.label);
+
+    let mut replay = ReplayConfig::for_family(TraceFamily::Hp);
+    replay.time_scale *= 0.8; // heavier (but stable) load makes scaling visible
+
+    let mut t = TextTable::new(&[
+        "servers", "partition", "predictor", "avg resp", "hit", "imbalance",
+    ]);
+    for &servers in &[1usize, 2, 4, 8] {
+        for partition in [Partition::Hash, Partition::Dev] {
+            let cfg = ClusterConfig { num_servers: servers, replay, partition };
+            let lru = replay_cluster(&trace, || Box::new(LruOnly), cfg);
+            let fpa =
+                replay_cluster(&trace, || Box::new(FpaPredictor::for_trace(&trace)), cfg);
+            for (name, r) in [("LRU", &lru), ("FARMER", &fpa)] {
+                t.row(vec![
+                    servers.to_string(),
+                    format!("{partition:?}"),
+                    name.to_string(),
+                    ms(r.avg_response_ms()),
+                    pct(r.hit_ratio()),
+                    format!("{:.2}", r.imbalance()),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: response falls as servers are added. Note the\n\
+         partitioning interaction: hash sharding fragments access sequences,\n\
+         so FARMER's edge shrinks with shard count, while Dev (volume)\n\
+         partitioning keeps correlated files on one server and preserves the\n\
+         full prefetching win at the cost of load imbalance."
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 1 — inter-file access probability per semantic-attribute filter.
+//!
+//! Reproduces §2.2's statistical evidence: partitioning the access stream
+//! by any semantic attribute raises successor predictability above the raw
+//! interleaved stream ("when none of the attributes is considered, the
+//! access probability is the lowest in all the traces").
+
+use farmer_bench::experiments::fig1;
+use farmer_bench::format::{pct, TextTable};
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 1: inter-file access probability by attribute filter (scale {scale})\n");
+    for (family, rows) in fig1(scale) {
+        let mut t = TextTable::new(&["filter", "probability", "transitions"]);
+        for r in &rows {
+            t.row(vec![
+                r.filter.label().to_string(),
+                pct(r.probability),
+                r.transitions.to_string(),
+            ]);
+        }
+        println!("{} trace:", family.name());
+        println!("{}", t.render());
+    }
+    println!("paper shape: the `none` filter is the lowest bar in every trace.");
+}

@@ -1,0 +1,34 @@
+//! Figure 3 — cache hit ratio vs `max_strength` for p ∈ {0, 0.3, 0.7, 1}.
+//!
+//! Reproduces §5.2.1: the weight p = 0.7 achieves the best hit ratio,
+//! i.e. combining semantics (70 %) with access frequency (30 %) beats
+//! either signal alone.
+
+use farmer_bench::experiments::{fig3, fig3_best_p, FIG3_THRESHOLDS};
+use farmer_bench::format::{pct, TextTable};
+use farmer_bench::scale_from_args;
+use farmer_trace::TraceFamily;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 3: hit ratio vs max_strength for four weights (scale {scale})\n");
+    let series = fig3(scale);
+    for family in TraceFamily::ALL {
+        let mut header: Vec<String> = vec!["p \\ max_strength".into()];
+        header.extend(FIG3_THRESHOLDS.iter().map(|t| format!("{t:.1}")));
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(&hdr);
+        for s in series.iter().filter(|s| s.family == family) {
+            let mut row = vec![format!("p={}", s.p)];
+            row.extend(s.points.iter().map(|&(_, h)| pct(h)));
+            t.row(row);
+        }
+        println!("{} trace:", family.name());
+        println!("{}", t.render());
+        println!(
+            "best weight for {}: p={} (paper: p=0.7)\n",
+            family.name(),
+            fig3_best_p(&series, family)
+        );
+    }
+}

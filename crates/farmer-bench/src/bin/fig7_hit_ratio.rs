@@ -1,0 +1,34 @@
+//! Figure 7 — cache-hit-ratio comparison: FPA vs Nexus vs LRU, all traces.
+//!
+//! Reproduces §5.3: FPA has the highest hit ratio on every trace, with the
+//! largest improvement over Nexus on HP (full path information).
+
+use farmer_bench::experiments::fig7;
+use farmer_bench::format::{pct, TextTable};
+use farmer_bench::paper::FIG7_IMPROVEMENT_PTS;
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 7: cache hit ratio comparison (scale {scale})\n");
+    let rows = fig7(scale);
+    let mut t = TextTable::new(&["trace", "LRU", "Nexus", "FPA", "FPA-Nexus (pts)", "paper (pts)"]);
+    for r in &rows {
+        let delta = 100.0 * (r.fpa - r.nexus);
+        let paper = FIG7_IMPROVEMENT_PTS
+            .iter()
+            .find(|(n, _)| *n == r.family.name())
+            .map(|(_, v)| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            r.family.name().to_string(),
+            pct(r.lru),
+            pct(r.nexus),
+            pct(r.fpa),
+            format!("{delta:+.1}"),
+            paper,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: FPA highest everywhere; HP improvement the largest.");
+}

@@ -1,0 +1,40 @@
+//! Figure 8 — average metadata response time (LLNL, RES, HP traces).
+//!
+//! Paper: "FPA can improve the average response time in metadata server
+//! over Nexus by up to 24% and over LRU by up to 35%."
+
+use farmer_bench::experiments::fig8;
+use farmer_bench::format::{ms, TextTable};
+use farmer_bench::paper::{FIG8_VS_LRU_MAX, FIG8_VS_NEXUS_MAX};
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 8: average response time comparison (scale {scale})\n");
+    let rows = fig8(scale);
+    let mut t = TextTable::new(&["trace", "LRU", "Nexus", "FPA", "vs Nexus", "vs LRU"]);
+    let mut best_nexus: f64 = 0.0;
+    let mut best_lru: f64 = 0.0;
+    for r in &rows {
+        let vs_nexus = 1.0 - r.fpa_ms / r.nexus_ms;
+        let vs_lru = 1.0 - r.fpa_ms / r.lru_ms;
+        best_nexus = best_nexus.max(vs_nexus);
+        best_lru = best_lru.max(vs_lru);
+        t.row(vec![
+            r.family.name().to_string(),
+            ms(r.lru_ms),
+            ms(r.nexus_ms),
+            ms(r.fpa_ms),
+            format!("{:+.1}%", -100.0 * vs_nexus),
+            format!("{:+.1}%", -100.0 * vs_lru),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "max improvement: {:.0}% over Nexus (paper: up to {:.0}%), {:.0}% over LRU (paper: up to {:.0}%)",
+        100.0 * best_nexus,
+        100.0 * FIG8_VS_NEXUS_MAX,
+        100.0 * best_lru,
+        100.0 * FIG8_VS_LRU_MAX
+    );
+}

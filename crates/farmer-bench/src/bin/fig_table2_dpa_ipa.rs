@@ -1,0 +1,24 @@
+//! Table 2 — the DPA vs IPA worked example (paths of Table 1).
+//!
+//! This is an exact-recomputation experiment: the measured values must
+//! match the paper's fractions to machine precision.
+
+use farmer_bench::experiments::table2;
+use farmer_bench::format::TextTable;
+use farmer_bench::paper::TABLE2;
+
+fn main() {
+    println!("Table 2: Divided vs Integrated Path Algorithm (worked example)\n");
+    let mut t = TextTable::new(&["pair", "DPA", "DPA paper", "IPA", "IPA paper"]);
+    for (row, (_, dpa_ref, ipa_ref)) in table2().iter().zip(TABLE2) {
+        t.row(vec![
+            row.pair.to_string(),
+            format!("{:.4}", row.dpa),
+            format!("{dpa_ref:.4}"),
+            format!("{:.4}", row.ipa),
+            format!("{ipa_ref:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected: measured columns equal paper columns exactly.");
+}

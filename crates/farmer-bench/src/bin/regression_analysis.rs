@@ -1,0 +1,48 @@
+//! Attribute regression (§7 future work): "multiple regression can be used
+//! to learn more about association between file correlations and
+//! attributes."
+//!
+//! Fits OLS of successor strength on attribute-match indicators for every
+//! trace family and reports the per-attribute coefficients — a statistical
+//! complement to the Table 5 combination sweep.
+
+use farmer_apps::regression::{fit_trace, FEATURE_LABELS};
+use farmer_bench::experiments::{farmer_config_for, trace_for};
+use farmer_bench::format::TextTable;
+use farmer_bench::scale_from_args;
+use farmer_core::Farmer;
+use farmer_trace::TraceFamily;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("attribute regression per trace family (scale {scale})\n");
+
+    let mut header: Vec<String> = vec!["trace".into()];
+    header.extend(FEATURE_LABELS.iter().map(|s| s.to_string()));
+    header.push("R^2".into());
+    header.push("samples".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&hdr);
+
+    for family in TraceFamily::ALL {
+        let trace = trace_for(family, scale);
+        let farmer = Farmer::mine_trace(&trace, farmer_config_for(&trace));
+        let fit = fit_trace(&trace, &farmer);
+        let mut row = vec![family.name().to_string()];
+        row.extend(fit.coefficients.iter().map(|c| format!("{c:+.3}")));
+        row.push(format!("{:.3}", fit.r_squared));
+        row.push(fit.samples.to_string());
+        t.row(row);
+        println!(
+            "  {:<5} strongest attribute: {}",
+            family.name(),
+            fit.strongest_attribute()
+        );
+    }
+    println!("\n{}", t.render());
+    println!(
+        "reading: positive coefficients mean the attribute's match predicts\n\
+         genuine co-access — the regression-based version of Table 5's finding\n\
+         that attribute choice materially changes mining quality."
+    );
+}

@@ -1,0 +1,145 @@
+//! Run every experiment in sequence — the one-command reproduction.
+//!
+//! ```text
+//! cargo run --release -p farmer-bench --bin repro            # full scale
+//! cargo run --release -p farmer-bench --bin repro -- 0.2     # smoke run
+//! ```
+//!
+//! Output mirrors EXPERIMENTS.md: for each paper table/figure, the
+//! measured values with the paper's reference numbers where applicable.
+
+use std::time::Instant;
+
+use farmer_bench::experiments as ex;
+use farmer_bench::format::{mb, ms, pct, TextTable};
+use farmer_bench::paper;
+use farmer_bench::scale_from_args;
+use farmer_trace::TraceFamily;
+
+fn section(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let t0 = Instant::now();
+    println!("FARMER reproduction suite (scale {scale})");
+
+    section("Figure 1: inter-file access probability by attribute filter");
+    for (family, rows) in ex::fig1(scale) {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{}={}", r.filter.label(), pct(r.probability)))
+            .collect();
+        println!("  {:<5} {}", family.name(), cells.join("  "));
+    }
+    println!("  paper shape: `none` lowest in every trace");
+
+    section("Table 2: DPA vs IPA worked example (exact)");
+    for (row, (_, dpa_ref, ipa_ref)) in ex::table2().iter().zip(paper::TABLE2) {
+        println!(
+            "  {:<9} DPA {:.4} (paper {:.4})   IPA {:.4} (paper {:.4})",
+            row.pair, row.dpa, dpa_ref, row.ipa, ipa_ref
+        );
+    }
+
+    section("Figure 3: hit ratio vs max_strength for p in {0, 0.3, 0.7, 1}");
+    let series = ex::fig3(scale);
+    for family in TraceFamily::ALL {
+        let best = ex::fig3_best_p(&series, family);
+        for s in series.iter().filter(|s| s.family == family) {
+            let pts: Vec<String> = s.points.iter().map(|&(_, h)| pct(h)).collect();
+            println!("  {:<5} p={:<3} {}", family.name(), s.p, pts.join(" "));
+        }
+        println!("  {:<5} best p = {best} (paper: {})", family.name(), paper::FIG3_BEST_P);
+    }
+
+    section("Table 5: hit ratio per attribute combination");
+    for family in [TraceFamily::Hp, TraceFamily::Ins, TraceFamily::Res] {
+        let rows = ex::table5(family, scale);
+        let mut t = TextTable::new(&["combination", "hit ratio"]);
+        for r in &rows {
+            t.row(vec![r.combo.clone(), pct(r.hit_ratio)]);
+        }
+        println!("{} trace:\n{}", family.name(), t.render());
+    }
+
+    section("Figure 6: avg response vs max_strength (HP)");
+    for (thr, resp) in ex::fig6(scale) {
+        println!("  max_strength {thr:.1}  ->  {}", ms(resp));
+    }
+    println!("  paper shape: flat below {}, rising above", paper::FIG6_KNEE);
+
+    section("Figure 7: cache hit ratio comparison");
+    for r in ex::fig7(scale) {
+        println!(
+            "  {:<5} LRU {}  Nexus {}  FPA {}  (FPA-Nexus {:+.1} pts; accuracies N {} / F {})",
+            r.family.name(),
+            pct(r.lru),
+            pct(r.nexus),
+            pct(r.fpa),
+            100.0 * (r.fpa - r.nexus),
+            pct(r.nexus_accuracy),
+            pct(r.fpa_accuracy),
+        );
+    }
+
+    section("Table 3: prefetching accuracy (HP)");
+    let (fpa_acc, nexus_acc) = ex::table3(scale);
+    println!(
+        "  FARMER {} (paper {})   Nexus {} (paper {})",
+        pct(fpa_acc),
+        pct(paper::TABLE3_FARMER_ACCURACY),
+        pct(nexus_acc),
+        pct(paper::TABLE3_NEXUS_ACCURACY)
+    );
+
+    section("Figure 8: average response time (LLNL, RES, HP)");
+    for r in ex::fig8(scale) {
+        println!(
+            "  {:<5} LRU {}  Nexus {}  FPA {}  (vs Nexus {:.0}%, vs LRU {:.0}%)",
+            r.family.name(),
+            ms(r.lru_ms),
+            ms(r.nexus_ms),
+            ms(r.fpa_ms),
+            100.0 * (1.0 - r.fpa_ms / r.nexus_ms),
+            100.0 * (1.0 - r.fpa_ms / r.lru_ms),
+        );
+    }
+    println!(
+        "  paper: up to {:.0}% over Nexus, {:.0}% over LRU",
+        100.0 * paper::FIG8_VS_NEXUS_MAX,
+        100.0 * paper::FIG8_VS_LRU_MAX
+    );
+
+    section("Table 4: space overhead");
+    for (family, bytes) in ex::table4(scale) {
+        let p = paper::TABLE4_SPACE_MB
+            .iter()
+            .find(|(n, _)| *n == family.name())
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        println!(
+            "  {:<5} measured {} (paper, full-size trace: {p:.1}MB)",
+            family.name(),
+            mb(bytes)
+        );
+    }
+
+    section("Ablations");
+    println!(
+        "  FPA(p=0) vs Nexus top-successor agreement: {}",
+        pct(ex::reduction_p0_matches_nexus(scale))
+    );
+    let (dpa, ipa) = ex::ablation_dpa_vs_ipa(scale);
+    println!("  DPA hit {} vs IPA hit {} (paper selects IPA)", pct(dpa), pct(ipa));
+    let (scattered, grouped) = ex::layout_experiment(scale);
+    println!(
+        "  layout: {} -> {} seeks ({:.0}% saved)",
+        scattered.seeks,
+        grouped.seeks,
+        100.0 * (1.0 - grouped.seeks as f64 / scattered.seeks as f64)
+    );
+
+    println!("\ncompleted in {:.1}s", t0.elapsed().as_secs_f64());
+}

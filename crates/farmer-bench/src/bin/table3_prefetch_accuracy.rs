@@ -1,0 +1,25 @@
+//! Table 3 — prefetching accuracy on the HP trace (FARMER vs Nexus).
+//!
+//! Paper: FARMER 64.04 % vs Nexus 43.04 % — "about 65% of all predictions
+//! provided by FPA are correct. In contrast, Nexus' predictions are only
+//! about 43% correct."
+
+use farmer_bench::experiments::table3;
+use farmer_bench::format::{pct, TextTable};
+use farmer_bench::paper::{TABLE3_FARMER_ACCURACY, TABLE3_NEXUS_ACCURACY};
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 3: prefetching accuracy, HP trace (scale {scale})\n");
+    let (fpa, nexus) = table3(scale);
+    let mut t = TextTable::new(&["predictor", "measured", "paper"]);
+    t.row(vec!["FARMER".into(), pct(fpa), pct(TABLE3_FARMER_ACCURACY)]);
+    t.row(vec!["Nexus".into(), pct(nexus), pct(TABLE3_NEXUS_ACCURACY)]);
+    println!("{}", t.render());
+    println!(
+        "measured ratio {:.2}x (paper {:.2}x); shape: FARMER clearly above Nexus.",
+        fpa / nexus,
+        TABLE3_FARMER_ACCURACY / TABLE3_NEXUS_ACCURACY
+    );
+}

@@ -1,0 +1,28 @@
+//! Table 4 — FARMER's space overhead per trace (max_strength = 0.4).
+//!
+//! The paper reports absolute MB for its full-size traces (LLNL 98.4,
+//! INS 1.4, RES 2.5, HP 9.8); the synthetic traces are scaled down, so the
+//! comparison is about *ordering* (LLNL largest, INS smallest) and the
+//! bounded-by-filtering property.
+
+use farmer_bench::experiments::table4;
+use farmer_bench::format::{mb, TextTable};
+use farmer_bench::paper::TABLE4_SPACE_MB;
+use farmer_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 4: FARMER space overhead after mining (scale {scale})\n");
+    let rows = table4(scale);
+    let mut t = TextTable::new(&["trace", "measured", "paper (full-size trace)"]);
+    for (family, bytes) in &rows {
+        let paper = TABLE4_SPACE_MB
+            .iter()
+            .find(|(n, _)| *n == family.name())
+            .map(|(_, v)| format!("{v:.1}MB"))
+            .unwrap_or_default();
+        t.row(vec![family.name().to_string(), mb(*bytes), paper]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: LLNL's footprint dominates; INS's is the smallest.");
+}

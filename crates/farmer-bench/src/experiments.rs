@@ -1,0 +1,451 @@
+//! Experiment implementations, one function per paper table/figure.
+//!
+//! Each function takes a `scale` factor applied to the preset trace sizes
+//! (1.0 = the defaults DESIGN.md documents) and returns plain data; the
+//! `src/bin/*` wrappers render tables. Keeping the logic here lets the
+//! integration tests assert the paper's qualitative shapes directly.
+
+use farmer_core::{AttrCombo, Farmer, FarmerConfig, PathMode};
+use farmer_mds::{replay, ReplayConfig};
+use farmer_prefetch::baselines::LruOnly;
+use farmer_prefetch::{simulate, FpaPredictor, NexusPredictor, SimConfig};
+use farmer_trace::stats::{figure1_rows, SuccessorStats};
+use farmer_trace::{Trace, TraceFamily, WorkloadSpec};
+
+/// Generate the preset trace for a family at the given scale.
+pub fn trace_for(family: TraceFamily, scale: f64) -> Trace {
+    WorkloadSpec::for_family(family).scaled(scale).generate()
+}
+
+/// The paper-default FARMER config for a trace (attribute base follows
+/// path availability).
+pub fn farmer_config_for(trace: &Trace) -> FarmerConfig {
+    if trace.family.has_paths() {
+        FarmerConfig::default()
+    } else {
+        FarmerConfig::pathless()
+    }
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// Figure 1: inter-file successor probability per attribute filter.
+pub fn fig1(scale: f64) -> Vec<(TraceFamily, Vec<SuccessorStats>)> {
+    TraceFamily::ALL
+        .into_iter()
+        .map(|fam| {
+            let trace = trace_for(fam, scale);
+            (fam, figure1_rows(&trace))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Table 2
+
+/// One Table 2 row: measured DPA and IPA similarity for a labelled pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Pair label ("sim(A,B)", …).
+    pub pair: &'static str,
+    /// Divided Path Algorithm similarity.
+    pub dpa: f64,
+    /// Integrated Path Algorithm similarity.
+    pub ipa: f64,
+}
+
+/// Table 2: recompute the paper's worked DPA/IPA example.
+pub fn table2() -> Vec<Table2Row> {
+    use farmer_core::{similarity, Request};
+    use farmer_trace::{DevId, FileId, HostId, PathInterner, ProcId, UserId};
+
+    let mut interner = PathInterner::new();
+    let paths = [
+        interner.parse("/home/user1/paper/a"),
+        interner.parse("/home/user1/paper/b"),
+        interner.parse("/home/user2/c"),
+    ];
+    let req = |file: u32, uid: u32, pid: u32, host: u32| Request {
+        file: FileId::new(file),
+        uid: UserId::new(uid),
+        pid: ProcId::new(pid),
+        host: HostId::new(host),
+        dev: DevId::new(0),
+    };
+    let reqs = [req(0, 1, 1, 1), req(1, 1, 2, 1), req(2, 2, 3, 2)];
+    let combo = AttrCombo::hp_default();
+    let pairs = [("sim(A,B)", 0, 1), ("sim(A,C)", 0, 2), ("sim(B,C)", 1, 2)];
+    pairs
+        .into_iter()
+        .map(|(label, x, y)| Table2Row {
+            pair: label,
+            dpa: similarity(&reqs[x], Some(&paths[x]), &reqs[y], Some(&paths[y]), combo, PathMode::Dpa),
+            ipa: similarity(&reqs[x], Some(&paths[x]), &reqs[y], Some(&paths[y]), combo, PathMode::Ipa),
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Figure 3
+
+/// One Figure 3 series: hit ratio vs `max_strength` for a fixed weight p.
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    /// Trace family.
+    pub family: TraceFamily,
+    /// Weight p of this series.
+    pub p: f64,
+    /// `(max_strength, hit_ratio)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The p values Figure 3 plots.
+pub const FIG3_P_VALUES: [f64; 4] = [0.0, 0.3, 0.7, 1.0];
+/// The `max_strength` sweep Figure 3 plots.
+pub const FIG3_THRESHOLDS: [f64; 7] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+/// Figure 3: hit ratio as a function of `max_strength` for four weights,
+/// per trace family.
+pub fn fig3(scale: f64) -> Vec<Fig3Series> {
+    let mut out = Vec::new();
+    for fam in TraceFamily::ALL {
+        let trace = trace_for(fam, scale);
+        let sim_cfg = SimConfig::for_family(fam);
+        for p in FIG3_P_VALUES {
+            let mut points = Vec::with_capacity(FIG3_THRESHOLDS.len());
+            for thr in FIG3_THRESHOLDS {
+                let cfg = farmer_config_for(&trace).with_p(p).with_max_strength(thr);
+                let mut fpa = FpaPredictor::new(cfg);
+                let report = simulate(&trace, &mut fpa, sim_cfg);
+                points.push((thr, report.hit_ratio()));
+            }
+            out.push(Fig3Series { family: fam, p, points });
+        }
+    }
+    out
+}
+
+/// The winning weight at the paper's operating threshold (max_strength =
+/// 0.4, the validity default the rest of the evaluation uses). The paper's
+/// §5.2.1 reads Figure 3 the same way: p = 0.7 peaks at the threshold the
+/// system actually runs with.
+pub fn fig3_best_p(series: &[Fig3Series], family: TraceFamily) -> f64 {
+    series
+        .iter()
+        .filter(|s| s.family == family)
+        .max_by(|a, b| {
+            let at_default = |s: &Fig3Series| {
+                s.points
+                    .iter()
+                    .find(|(t, _)| (*t - 0.4).abs() < 1e-9)
+                    .map(|&(_, h)| h)
+                    .unwrap_or(0.0)
+            };
+            at_default(a).total_cmp(&at_default(b))
+        })
+        .map(|s| s.p)
+        .expect("family present")
+}
+
+// ----------------------------------------------------------------- Table 5
+
+/// One Table 5 row: an attribute combination and its hit ratio.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Combination label (paper row format).
+    pub combo: String,
+    /// Measured cache hit ratio.
+    pub hit_ratio: f64,
+}
+
+/// Table 5: hit ratio per attribute combination for one trace family.
+/// HP sweeps {User, Process, Host, File path}; INS/RES sweep
+/// {User, Process, Host, File ID}.
+pub fn table5(family: TraceFamily, scale: f64) -> Vec<Table5Row> {
+    let trace = trace_for(family, scale);
+    let sim_cfg = SimConfig::for_family(family);
+    let base = if family.has_paths() {
+        AttrCombo::HP_BASE
+    } else {
+        AttrCombo::INS_BASE
+    };
+    AttrCombo::sweep(&base)
+        .into_iter()
+        .map(|combo| {
+            let cfg = farmer_config_for(&trace).with_combo(combo);
+            let mut fpa = FpaPredictor::new(cfg);
+            let report = simulate(&trace, &mut fpa, sim_cfg);
+            Table5Row { combo: combo.to_string(), hit_ratio: report.hit_ratio() }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Figure 6
+
+/// Figure 6: average response time (ms) vs `max_strength` on the HP trace.
+pub fn fig6(scale: f64) -> Vec<(f64, f64)> {
+    let trace = trace_for(TraceFamily::Hp, scale);
+    let replay_cfg = ReplayConfig::for_family(TraceFamily::Hp);
+    (0..=10)
+        .map(|i| {
+            let thr = i as f64 / 10.0;
+            let cfg = farmer_config_for(&trace).with_max_strength(thr);
+            let report = replay(&trace, Box::new(FpaPredictor::new(cfg)), replay_cfg);
+            (thr, report.avg_response_ms())
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Figure 7
+
+/// One Figure 7 row: hit ratios of the three contenders on one trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Trace family.
+    pub family: TraceFamily,
+    /// Plain LRU (no prefetch).
+    pub lru: f64,
+    /// Nexus.
+    pub nexus: f64,
+    /// FPA.
+    pub fpa: f64,
+    /// Nexus prefetch accuracy.
+    pub nexus_accuracy: f64,
+    /// FPA prefetch accuracy.
+    pub fpa_accuracy: f64,
+}
+
+/// Figure 7: cache-hit-ratio comparison (FPA vs Nexus vs LRU), all traces.
+pub fn fig7(scale: f64) -> Vec<Fig7Row> {
+    TraceFamily::ALL
+        .into_iter()
+        .map(|fam| {
+            let trace = trace_for(fam, scale);
+            let cfg = SimConfig::for_family(fam);
+            let lru = simulate(&trace, &mut LruOnly, cfg);
+            let nexus = simulate(&trace, &mut NexusPredictor::paper_default(), cfg);
+            let mut fpa_pred = FpaPredictor::for_trace(&trace);
+            let fpa = simulate(&trace, &mut fpa_pred, cfg);
+            Fig7Row {
+                family: fam,
+                lru: lru.hit_ratio(),
+                nexus: nexus.hit_ratio(),
+                fpa: fpa.hit_ratio(),
+                nexus_accuracy: nexus.prefetch_accuracy(),
+                fpa_accuracy: fpa.prefetch_accuracy(),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Table 3
+
+/// Table 3: prefetching accuracy on the HP trace (FARMER vs Nexus).
+pub fn table3(scale: f64) -> (f64, f64) {
+    let trace = trace_for(TraceFamily::Hp, scale);
+    let cfg = SimConfig::for_family(TraceFamily::Hp);
+    let nexus = simulate(&trace, &mut NexusPredictor::paper_default(), cfg);
+    let fpa = simulate(&trace, &mut FpaPredictor::for_trace(&trace), cfg);
+    (fpa.prefetch_accuracy(), nexus.prefetch_accuracy())
+}
+
+// ----------------------------------------------------------------- Figure 8
+
+/// One Figure 8 row: average response times (ms) on one trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Row {
+    /// Trace family.
+    pub family: TraceFamily,
+    /// Plain LRU response.
+    pub lru_ms: f64,
+    /// Nexus response.
+    pub nexus_ms: f64,
+    /// FPA response.
+    pub fpa_ms: f64,
+}
+
+/// The traces Figure 8 reports (LLNL, RES, HP).
+pub const FIG8_FAMILIES: [TraceFamily; 3] =
+    [TraceFamily::Llnl, TraceFamily::Res, TraceFamily::Hp];
+
+/// Figure 8: average metadata response time, FPA vs Nexus vs LRU.
+pub fn fig8(scale: f64) -> Vec<Fig8Row> {
+    FIG8_FAMILIES
+        .into_iter()
+        .map(|fam| {
+            let trace = trace_for(fam, scale);
+            let cfg = ReplayConfig::for_family(fam);
+            let lru = replay(&trace, Box::new(LruOnly), cfg);
+            let nexus = replay(&trace, Box::new(NexusPredictor::paper_default()), cfg);
+            let fpa = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
+            Fig8Row {
+                family: fam,
+                lru_ms: lru.avg_response_ms(),
+                nexus_ms: nexus.avg_response_ms(),
+                fpa_ms: fpa.avg_response_ms(),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Table 4
+
+/// Table 4: FARMER model memory after mining each trace (bytes).
+pub fn table4(scale: f64) -> Vec<(TraceFamily, usize)> {
+    TraceFamily::ALL
+        .into_iter()
+        .map(|fam| {
+            let trace = trace_for(fam, scale);
+            let cfg = farmer_config_for(&trace); // max_strength = 0.4 default
+            let farmer = Farmer::mine_trace(&trace, cfg);
+            (fam, farmer.memory_bytes())
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Ablations
+
+/// §7 reduction check: with p = 0 and no threshold, FPA's successor
+/// *ordering* matches Nexus's for a sampled set of files. Returns the
+/// fraction of sampled files whose top successor agrees.
+pub fn reduction_p0_matches_nexus(scale: f64) -> f64 {
+    let trace = trace_for(TraceFamily::Hp, scale);
+    // Mine both models over the identical stream.
+    let mut cfg = farmer_config_for(&trace);
+    cfg.p = 0.0;
+    cfg.max_strength = 0.0;
+    cfg.combo = AttrCombo::EMPTY;
+    cfg.prune_interval = 0;
+    cfg.max_successors = 16;
+    let farmer = Farmer::mine_trace(&trace, cfg);
+    let mut nexus = NexusPredictor::paper_default();
+    for e in &trace.events {
+        let _ = farmer_prefetch::Predictor::on_access(&mut nexus, &trace, e);
+    }
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for fid in 0..trace.num_files().min(4000) {
+        let file = farmer_trace::FileId::new(fid as u32);
+        let f_top = farmer.correlators_with_threshold(file, 0.0).head().map(|c| c.file);
+        let n_top = nexus.successors(file).first().map(|&(f, _)| f);
+        if let (Some(a), Some(b)) = (f_top, n_top) {
+            total += 1;
+            if a == b {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+/// DPA-vs-IPA ablation: hit ratios of the two path algorithms on HP.
+pub fn ablation_dpa_vs_ipa(scale: f64) -> (f64, f64) {
+    let trace = trace_for(TraceFamily::Hp, scale);
+    let cfg = SimConfig::for_family(TraceFamily::Hp);
+    let dpa = simulate(
+        &trace,
+        &mut FpaPredictor::new(farmer_config_for(&trace).with_path_mode(PathMode::Dpa)),
+        cfg,
+    );
+    let ipa = simulate(
+        &trace,
+        &mut FpaPredictor::new(farmer_config_for(&trace).with_path_mode(PathMode::Ipa)),
+        cfg,
+    );
+    (dpa.hit_ratio(), ipa.hit_ratio())
+}
+
+/// Window-size ablation on HP: `(window, hit_ratio)` rows.
+pub fn ablation_window(scale: f64, windows: &[usize]) -> Vec<(usize, f64)> {
+    let trace = trace_for(TraceFamily::Hp, scale);
+    let sim_cfg = SimConfig::for_family(TraceFamily::Hp);
+    windows
+        .iter()
+        .map(|&w| {
+            let mut cfg = farmer_config_for(&trace);
+            cfg.window = w;
+            let report = simulate(&trace, &mut FpaPredictor::new(cfg), sim_cfg);
+            (w, report.hit_ratio())
+        })
+        .collect()
+}
+
+/// §4.2 layout experiment: seeks and total I/O time for scattered vs
+/// FARMER-grouped layouts on HP. Returns (scattered, grouped) stats.
+pub fn layout_experiment(scale: f64) -> (farmer_mds::osd::OsdStats, farmer_mds::osd::OsdStats) {
+    use farmer_mds::layout::{plan_layout, replay_reads, LayoutConfig};
+    use farmer_mds::osd::OsdConfig;
+    let trace = trace_for(TraceFamily::Hp, scale);
+    let farmer = Farmer::mine_trace(&trace, farmer_config_for(&trace));
+    let layout = plan_layout(&farmer, &trace, LayoutConfig::default());
+    let scattered = replay_reads(&trace, None, OsdConfig::default());
+    let grouped = replay_reads(&trace, Some(&layout), OsdConfig::default());
+    (scattered, grouped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: f64 = 0.1; // fast test scale
+
+    #[test]
+    fn table2_matches_paper_exactly() {
+        let rows = table2();
+        for (row, (label, dpa, ipa)) in rows.iter().zip(crate::paper::TABLE2) {
+            assert_eq!(row.pair, label);
+            assert!((row.dpa - dpa).abs() < 1e-12, "{label} dpa {}", row.dpa);
+            assert!((row.ipa - ipa).abs() < 1e-12, "{label} ipa {}", row.ipa);
+        }
+    }
+
+    #[test]
+    fn fig1_none_filter_lowest_everywhere() {
+        for (fam, rows) in fig1(S) {
+            let none = rows
+                .iter()
+                .find(|r| r.filter == farmer_trace::stats::StreamFilter::None)
+                .unwrap()
+                .probability;
+            let best = rows.iter().map(|r| r.probability).fold(0.0, f64::max);
+            assert!(best >= none, "{fam:?}: none must be lowest");
+        }
+    }
+
+    #[test]
+    fn fig7_fpa_wins_everywhere() {
+        for row in fig7(0.2) {
+            assert!(row.fpa > row.nexus, "{:?}", row.family);
+            assert!(row.nexus > row.lru - 0.02, "{:?}", row.family);
+        }
+    }
+
+    #[test]
+    fn table3_direction() {
+        let (fpa, nexus) = table3(0.2);
+        assert!(fpa > nexus, "FPA {fpa} vs Nexus {nexus}");
+    }
+
+    #[test]
+    fn table4_ordering_follows_trace_scale() {
+        let rows = table4(S);
+        let get = |f: TraceFamily| rows.iter().find(|(x, _)| *x == f).unwrap().1;
+        assert!(get(TraceFamily::Llnl) > get(TraceFamily::Ins));
+        assert!(get(TraceFamily::Hp) > get(TraceFamily::Ins));
+    }
+
+    #[test]
+    fn reduction_p0_mostly_agrees_with_nexus() {
+        let agreement = reduction_p0_matches_nexus(S);
+        assert!(agreement > 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn layout_groups_save_seeks() {
+        let (scattered, grouped) = layout_experiment(S);
+        assert!(grouped.seeks < scattered.seeks);
+    }
+}

@@ -1,0 +1,112 @@
+//! Aligned text tables for harness output.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with two-space gutters, left-aligned first column and
+    /// right-aligned numeric columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a ratio as a percentage with two decimals ("64.04%").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Format milliseconds with three decimals.
+pub fn ms(x: f64) -> String {
+    format!("{x:.3}ms")
+}
+
+/// Format bytes as MB with one decimal.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.1}MB", bytes as f64 / 1_048_576.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[3].starts_with("longer-name"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.6404), "64.04%");
+        assert_eq!(ms(1.2345), "1.234ms"); // f64 formatting truncates via rounding
+        assert_eq!(mb(10 * 1_048_576), "10.0MB");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = TextTable::new(&["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+}

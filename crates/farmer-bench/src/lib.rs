@@ -1,0 +1,38 @@
+//! # farmer-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), all built on
+//! the experiment functions in [`experiments`]. Every binary accepts an
+//! optional positional argument: a **scale factor** applied to the trace
+//! event counts (default 1.0; e.g. `0.2` for a fast smoke run), and prints
+//! an aligned text table with the paper's reference values alongside where
+//! the paper reports them ([`paper`]).
+//!
+//! ```text
+//! cargo run --release -p farmer-bench --bin fig7_hit_ratio
+//! cargo run --release -p farmer-bench --bin repro            # everything
+//! ```
+//!
+//! Criterion micro-benchmarks for the kernels (similarity, miner update,
+//! cache ops, B+-tree ops, trace generation) live in `benches/`.
+
+pub mod experiments;
+pub mod format;
+pub mod paper;
+
+/// Parse the scale factor from `argv[1]` (default 1.0).
+pub fn scale_from_args() -> f64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_default_is_one() {
+        // argv[1] in the test harness is not a number.
+        assert_eq!(super::scale_from_args(), 1.0);
+    }
+}

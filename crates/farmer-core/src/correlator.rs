@@ -1,0 +1,146 @@
+//! Stage 4 — Sorting: per-file Correlator Lists.
+//!
+//! "Each file with one or more successors is associated with a sorted
+//! Correlator List in decreasing order of the inter-file correlation degree
+//! from head to tail." (paper §3.1, Stage 4). The list is the interface the
+//! prefetcher consumes: its head holds the strongest correlations, and only
+//! entries whose degree reaches `max_strength` appear at all.
+
+use farmer_trace::FileId;
+
+/// One entry of a Correlator List: a successor and its correlation degree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlator {
+    /// The correlated successor file.
+    pub file: FileId,
+    /// Correlation degree `R(owner, file)` at evaluation time.
+    pub degree: f64,
+}
+
+/// A sorted, thresholded correlator list for one file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorrelatorList {
+    /// The file owning this list.
+    pub owner: FileId,
+    entries: Vec<Correlator>,
+}
+
+impl CorrelatorList {
+    /// Build a list from unsorted candidates: filters by `max_strength`,
+    /// sorts by decreasing degree (ties broken by file id for determinism).
+    pub fn build(
+        owner: FileId,
+        candidates: impl IntoIterator<Item = Correlator>,
+        max_strength: f64,
+    ) -> CorrelatorList {
+        let mut entries: Vec<Correlator> = candidates
+            .into_iter()
+            .filter(|c| crate::miner::is_valid(c.degree, max_strength))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.degree
+                .total_cmp(&a.degree)
+                .then_with(|| a.file.raw().cmp(&b.file.raw()))
+        });
+        CorrelatorList { owner, entries }
+    }
+
+    /// Entries, strongest first.
+    pub fn entries(&self) -> &[Correlator] {
+        &self.entries
+    }
+
+    /// The strongest correlator, if any.
+    pub fn head(&self) -> Option<Correlator> {
+        self.entries.first().copied()
+    }
+
+    /// The `k` strongest correlators.
+    pub fn top(&self, k: usize) -> &[Correlator] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Number of valid correlators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no correlator passed the validity threshold.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries, strongest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Correlator> {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for CorrelatorList {
+    type Item = Correlator;
+    type IntoIter = std::vec::IntoIter<Correlator>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(file: u32, degree: f64) -> Correlator {
+        Correlator { file: FileId::new(file), degree }
+    }
+
+    #[test]
+    fn build_sorts_descending() {
+        let l = CorrelatorList::build(
+            FileId::new(0),
+            vec![c(1, 0.5), c(2, 0.9), c(3, 0.7)],
+            0.0,
+        );
+        let degrees: Vec<f64> = l.iter().map(|e| e.degree).collect();
+        assert_eq!(degrees, vec![0.9, 0.7, 0.5]);
+        assert_eq!(l.head().unwrap().file, FileId::new(2));
+    }
+
+    #[test]
+    fn build_filters_below_threshold() {
+        let l = CorrelatorList::build(
+            FileId::new(0),
+            vec![c(1, 0.39), c(2, 0.4), c(3, 0.41)],
+            0.4,
+        );
+        assert_eq!(l.len(), 2);
+        assert!(l.iter().all(|e| e.degree >= 0.4));
+    }
+
+    #[test]
+    fn ties_break_by_file_id() {
+        let l = CorrelatorList::build(FileId::new(0), vec![c(9, 0.5), c(3, 0.5)], 0.0);
+        let files: Vec<u32> = l.iter().map(|e| e.file.raw()).collect();
+        assert_eq!(files, vec![3, 9]);
+    }
+
+    #[test]
+    fn top_clamps_to_len() {
+        let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.5)], 0.0);
+        assert_eq!(l.top(10).len(), 1);
+        assert_eq!(l.top(0).len(), 0);
+    }
+
+    #[test]
+    fn empty_when_all_filtered() {
+        let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.1)], 0.4);
+        assert!(l.is_empty());
+        assert!(l.head().is_none());
+    }
+
+    #[test]
+    fn into_iter_yields_sorted() {
+        let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.2), c(2, 0.8)], 0.0);
+        let v: Vec<Correlator> = l.into_iter().collect();
+        assert_eq!(v[0].file, FileId::new(2));
+    }
+}

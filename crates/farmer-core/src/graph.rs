@@ -1,0 +1,381 @@
+//! Stage 2 — Constructing: the weighted, directed correlation graph.
+//!
+//! "A node represents an accessed file and a directed edge that starts from
+//! a predecessor node and ends at a successor node represents an access
+//! order. The weight on each edge equals the value of correlation degree
+//! between the predecessor and the successor." (paper §3.1, Stage 2)
+//!
+//! Each node tracks its total access count `N(A)`; each edge accumulates
+//! the LDA successor mass `N(A,B)` and the running mean of the semantic
+//! similarity observed at each co-occurrence. The correlation degree is
+//! derived from those accumulators by the miner (see [`crate::miner`]).
+//!
+//! Memory discipline (paper §3.3): FARMER "does not need to maintain any
+//! correlative information for weak correlations". Two mechanisms enforce
+//! this: a hard per-node successor cap (lowest-degree edge evicted) and an
+//! explicit [`CorrelationGraph::prune_below`] for dropping edges whose
+//! degree has decayed under a floor.
+
+use farmer_trace::FileId;
+
+use crate::config::FarmerConfig;
+use crate::miner;
+
+/// One successor edge's accumulators.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    /// LDA-weighted successor mass `N(A,B)`.
+    mass: f64,
+    /// Sum of semantic similarities over co-occurrences.
+    sim_sum: f64,
+    /// Number of co-occurrences (for the similarity mean).
+    sim_n: u32,
+    /// Degree as of the last touch; used for eviction ordering. The exact
+    /// degree is recomputed at query time because `N(A)` keeps growing.
+    cached_degree: f64,
+}
+
+/// One file's node: total accesses plus its successor edges.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// Total access count `N(A)`.
+    total: f64,
+    edges: Vec<Edge>,
+}
+
+/// Read-only view of an edge, exposed for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeView {
+    /// Successor file.
+    pub to: FileId,
+    /// Accumulated LDA mass `N(A,B)`.
+    pub mass: f64,
+    /// Mean semantic similarity across co-occurrences.
+    pub sim_avg: f64,
+    /// Correlation degree `R` computed with the *current* `N(A)`.
+    pub degree: f64,
+}
+
+/// The correlation graph. Nodes are indexed densely by [`FileId`].
+#[derive(Debug, Default)]
+pub struct CorrelationGraph {
+    nodes: Vec<Node>,
+    num_edges: usize,
+}
+
+impl CorrelationGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn node_mut(&mut self, file: FileId) -> &mut Node {
+        let idx = file.index();
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, Node::default);
+        }
+        &mut self.nodes[idx]
+    }
+
+    /// Record one access to `file`, incrementing `N(file)`.
+    pub fn record_access(&mut self, file: FileId) {
+        self.node_mut(file).total += 1.0;
+    }
+
+    /// Total access count `N(file)`.
+    pub fn total_accesses(&self, file: FileId) -> f64 {
+        self.nodes.get(file.index()).map_or(0.0, |n| n.total)
+    }
+
+    /// Update (or create) the edge `from → to` after observing `to` at LDA
+    /// weight `weight` with semantic similarity `sim`. Enforces the
+    /// per-node successor cap from `cfg`.
+    pub fn update_edge(
+        &mut self,
+        from: FileId,
+        to: FileId,
+        weight: f64,
+        sim: f64,
+        cfg: &FarmerConfig,
+    ) {
+        let p = cfg.p;
+        let max_successors = cfg.max_successors.max(1);
+        let node = self.node_mut(from);
+        let total = node.total.max(1.0);
+
+        if let Some(e) = node.edges.iter_mut().find(|e| e.to == to.raw()) {
+            e.mass += weight;
+            e.sim_sum += sim;
+            e.sim_n += 1;
+            e.cached_degree =
+                miner::correlation_degree(e.sim_sum / e.sim_n as f64, miner::access_frequency(e.mass, total), p);
+            return;
+        }
+
+        let degree =
+            miner::correlation_degree(sim, miner::access_frequency(weight, total), p);
+        let edge = Edge {
+            to: to.raw(),
+            mass: weight,
+            sim_sum: sim,
+            sim_n: 1,
+            cached_degree: degree,
+        };
+        if node.edges.len() < max_successors {
+            node.edges.push(edge);
+            self.num_edges += 1;
+            return;
+        }
+        // Cap reached: replace the weakest edge if the newcomer is stronger.
+        let (weakest_idx, weakest_degree) = node
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.cached_degree))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("cap >= 1");
+        if degree > weakest_degree {
+            node.edges[weakest_idx] = edge;
+        }
+    }
+
+    /// Iterate over the successors of `file` with degrees computed against
+    /// the current `N(file)`.
+    pub fn edges(&self, file: FileId, cfg: &FarmerConfig) -> impl Iterator<Item = EdgeView> + '_ {
+        let p = cfg.p;
+        let (total, edges) = match self.nodes.get(file.index()) {
+            Some(n) => (n.total.max(1.0), n.edges.as_slice()),
+            None => (1.0, &[] as &[Edge]),
+        };
+        edges.iter().map(move |e| EdgeView {
+            to: FileId::new(e.to),
+            mass: e.mass,
+            sim_avg: if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 },
+            degree: miner::correlation_degree(
+                if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 },
+                miner::access_frequency(e.mass, total),
+                p,
+            ),
+        })
+    }
+
+    /// Drop every edge whose current degree is below `floor`. Returns the
+    /// number of edges removed.
+    pub fn prune_below(&mut self, floor: f64, cfg: &FarmerConfig) -> usize {
+        let p = cfg.p;
+        let mut removed = 0;
+        for node in &mut self.nodes {
+            let total = node.total.max(1.0);
+            let before = node.edges.len();
+            node.edges.retain(|e| {
+                let sim = if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 };
+                let deg =
+                    miner::correlation_degree(sim, miner::access_frequency(e.mass, total), p);
+                deg >= floor
+            });
+            removed += before - node.edges.len();
+        }
+        self.num_edges -= removed;
+        removed
+    }
+
+    /// Age the graph: multiply every node total and every edge's mass by
+    /// `factor` (≤ 1). Semantic similarity means are *not* decayed —
+    /// attributes "are rarely modified" (paper §3.2.3) — only the access
+    /// frequency evidence fades, so stale sequence signal dies out while
+    /// semantic structure is retained.
+    pub fn age(&mut self, factor: f64) {
+        debug_assert!((0.0..=1.0).contains(&factor));
+        if factor >= 1.0 {
+            return;
+        }
+        for node in &mut self.nodes {
+            node.total *= factor;
+            for e in &mut node.edges {
+                e.mass *= factor;
+                e.cached_degree *= factor; // conservative; exact on next touch
+            }
+        }
+    }
+
+    /// Number of nodes allocated (dense upper bound of observed file ids).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Approximate heap bytes held by the graph (Table 4 accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.edges.capacity() * std::mem::size_of::<Edge>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId::new(i)
+    }
+
+    fn cfg() -> FarmerConfig {
+        FarmerConfig::default()
+    }
+
+    #[test]
+    fn record_access_counts() {
+        let mut g = CorrelationGraph::new();
+        g.record_access(f(3));
+        g.record_access(f(3));
+        assert_eq!(g.total_accesses(f(3)), 2.0);
+        assert_eq!(g.total_accesses(f(0)), 0.0);
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn update_edge_accumulates() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.8, &c);
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 0.9, 0.6, &c);
+        let edges: Vec<EdgeView> = g.edges(f(0), &c).collect();
+        assert_eq!(edges.len(), 1);
+        assert!((edges[0].mass - 1.9).abs() < 1e-12);
+        assert!((edges[0].sim_avg - 0.7).abs() < 1e-12);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn degree_combines_sim_and_frequency() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg(); // p = 0.7
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.5, &c);
+        let e: Vec<EdgeView> = g.edges(f(0), &c).collect();
+        // F = 1.0/1.0 = 1, sim = 0.5 -> R = 0.5*0.7 + 1.0*0.3 = 0.65.
+        assert!((e[0].degree - 0.65).abs() < 1e-12, "degree {}", e[0].degree);
+    }
+
+    #[test]
+    fn degree_reflects_growing_total() {
+        // As N(A) grows without B recurring, F decays and so does R.
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.5, &c);
+        let before = g.edges(f(0), &c).next().unwrap().degree;
+        for _ in 0..9 {
+            g.record_access(f(0));
+        }
+        let after = g.edges(f(0), &c).next().unwrap().degree;
+        assert!(after < before, "{after} !< {before}");
+        // Semantic part survives: R >= p * sim.
+        assert!(after >= 0.7 * 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn successor_cap_evicts_weakest() {
+        let mut g = CorrelationGraph::new();
+        let mut c = cfg();
+        c.max_successors = 2;
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.1, &c); // weak sim
+        g.update_edge(f(0), f(2), 1.0, 0.9, &c); // strong sim
+        g.update_edge(f(0), f(3), 1.0, 0.5, &c); // mid: evicts f(1)
+        let succs: Vec<u32> = g.edges(f(0), &c).map(|e| e.to.raw()).collect();
+        assert_eq!(succs.len(), 2);
+        assert!(succs.contains(&2));
+        assert!(succs.contains(&3));
+        assert!(!succs.contains(&1));
+    }
+
+    #[test]
+    fn cap_does_not_admit_weaker_newcomer() {
+        let mut g = CorrelationGraph::new();
+        let mut c = cfg();
+        c.max_successors = 1;
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.9, &c);
+        g.update_edge(f(0), f(2), 0.1, 0.0, &c); // weaker, must bounce
+        let succs: Vec<u32> = g.edges(f(0), &c).map(|e| e.to.raw()).collect();
+        assert_eq!(succs, vec![1]);
+    }
+
+    #[test]
+    fn prune_below_drops_weak_edges() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.9, &c); // strong
+        g.update_edge(f(0), f(2), 0.05, 0.0, &c); // weak
+        let removed = g.prune_below(0.3, &c);
+        assert_eq!(removed, 1);
+        let succs: Vec<u32> = g.edges(f(0), &c).map(|e| e.to.raw()).collect();
+        assert_eq!(succs, vec![1]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_of_unknown_node_empty() {
+        let g = CorrelationGraph::new();
+        assert_eq!(g.edges(f(42), &cfg()).count(), 0);
+    }
+
+    #[test]
+    fn aging_scales_mass_but_keeps_frequency_ratio() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        // Keep totals well above the divide-by-zero clamp so the ratio
+        // invariance is observable.
+        for _ in 0..4 {
+            g.record_access(f(0));
+            g.update_edge(f(0), f(1), 1.0, 0.5, &c);
+        }
+        let before = g.edges(f(0), &c).next().unwrap();
+        g.age(0.5);
+        let after = g.edges(f(0), &c).next().unwrap();
+        assert!((after.mass - before.mass * 0.5).abs() < 1e-12);
+        // F = mass/total is invariant under uniform aging...
+        assert!((after.degree - before.degree).abs() < 1e-12);
+        // ...but fresh accesses of A now outweigh the aged mass faster.
+        g.record_access(f(0));
+        let diluted = g.edges(f(0), &c).next().unwrap();
+        assert!(diluted.degree < after.degree);
+    }
+
+    #[test]
+    fn aging_with_factor_one_is_noop() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.5, &c);
+        let before = g.edges(f(0), &c).next().unwrap();
+        g.age(1.0);
+        let after = g.edges(f(0), &c).next().unwrap();
+        assert_eq!(before.mass.to_bits(), after.mass.to_bits());
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_edges() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        let before = g.heap_bytes();
+        g.record_access(f(0));
+        for i in 1..10 {
+            g.update_edge(f(0), f(i), 1.0, 0.5, &c);
+        }
+        assert!(g.heap_bytes() > before);
+    }
+}

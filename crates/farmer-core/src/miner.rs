@@ -1,0 +1,97 @@
+//! Stage 3 — Mining & Evaluating: the CoMiner algorithm (paper §3.2).
+//!
+//! CoMiner's three steps are:
+//!
+//! 1. **Mine and quantify** the similarity of semantic attributes
+//!    ([`crate::semvec::similarity`]) and the access frequency
+//!    ([`access_frequency`], fed by LDA-weighted successor counts).
+//! 2. **Evaluate** the file correlation degree
+//!    `R(x,y) = sim(x,y)·p + F(x,y)·(1−p)` ([`correlation_degree`],
+//!    paper Function 2).
+//! 3. **Filter** out weak or false correlations against the validity
+//!    threshold `max_strength` ([`is_valid`], paper §3.2.4).
+//!
+//! The per-request orchestration (pseudo-code Algorithm 1) lives in
+//! [`crate::model::Farmer::observe`]; this module holds the arithmetic so
+//! it can be unit-tested against the paper's worked examples and reused by
+//! the graph.
+
+/// Access frequency `F(A,B) = N(A,B) / N(A)`, clamped to `[0, 1]`.
+///
+/// `N(A,B)` is the LDA-weighted count of B following A; `N(A)` the total
+/// access count of A. Clamping guards the corner case where several
+/// in-window repetitions of B push the weighted mass past the predecessor's
+/// access count.
+#[inline]
+pub fn access_frequency(mass: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (mass / total).clamp(0.0, 1.0)
+}
+
+/// The paper's Function 2: `R(x,y) = sim(x,y)·p + F(x,y)·(1−p)`.
+#[inline]
+pub fn correlation_degree(sim: f64, freq: f64, p: f64) -> f64 {
+    sim * p + freq * (1.0 - p)
+}
+
+/// Validity filter (paper §3.2.4): a correlation is exploitable only if its
+/// degree reaches the `max_strength` threshold.
+#[inline]
+pub fn is_valid(degree: f64, max_strength: f64) -> bool {
+    degree >= max_strength
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_is_ratio() {
+        assert!((access_frequency(1.0, 4.0) - 0.25).abs() < 1e-12);
+        assert!((access_frequency(2.7, 3.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_clamps() {
+        assert_eq!(access_frequency(5.0, 2.0), 1.0);
+        assert_eq!(access_frequency(-1.0, 2.0), 0.0);
+        assert_eq!(access_frequency(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn degree_interpolates() {
+        // p = 0: pure frequency (the paper's Nexus reduction).
+        assert_eq!(correlation_degree(0.9, 0.4, 0.0), 0.4);
+        // p = 1: pure semantics.
+        assert_eq!(correlation_degree(0.9, 0.4, 1.0), 0.9);
+        // p = 0.7 (default): 0.9*0.7 + 0.4*0.3 = 0.75.
+        assert!((correlation_degree(0.9, 0.4, 0.7) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_bounded_when_inputs_bounded() {
+        for &sim in &[0.0, 0.3, 1.0] {
+            for &f in &[0.0, 0.5, 1.0] {
+                for &p in &[0.0, 0.5, 1.0] {
+                    let r = correlation_degree(sim, f, p);
+                    assert!((0.0..=1.0).contains(&r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validity_threshold_inclusive() {
+        assert!(is_valid(0.4, 0.4));
+        assert!(is_valid(0.41, 0.4));
+        assert!(!is_valid(0.399, 0.4));
+    }
+
+    #[test]
+    fn weak_random_correlation_filtered() {
+        // The paper's example: a degree of 0.0001 is meaningless.
+        assert!(!is_valid(0.0001, 0.4));
+    }
+}

@@ -1,0 +1,390 @@
+//! The FARMER model façade: the four-stage pipeline wired together.
+//!
+//! "This is an iterative process that repeats itself for each incoming
+//! request" (paper §3.1): every call to [`Farmer::observe`] runs
+//! Extracting → Constructing → Mining & Evaluating, and
+//! [`Farmer::correlators`] materializes the Sorting stage on demand.
+//!
+//! The model is deliberately front-end agnostic ("black-box", §3.1): it
+//! consumes plain [`Request`] tuples plus an optional path, so it can sit
+//! behind a trace replayer, a metadata server, or a live file system.
+
+use std::collections::VecDeque;
+
+use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
+
+use crate::config::FarmerConfig;
+use crate::correlator::{Correlator, CorrelatorList};
+use crate::extract::{Extractor, Request};
+use crate::graph::CorrelationGraph;
+use crate::semvec::similarity;
+
+/// The FARMER model: feed requests, query sorted correlator lists.
+#[derive(Debug)]
+pub struct Farmer {
+    cfg: FarmerConfig,
+    graph: CorrelationGraph,
+    /// Sliding look-ahead window: the most recent `cfg.window` requests.
+    window: VecDeque<Request>,
+    /// Per-file learned paths (cloned from the first observation of each
+    /// file). This mirrors the paper's semantic-vector store: "vectors are
+    /// stored as columns of a single matrix".
+    paths: Vec<Option<FilePath>>,
+    observed: u64,
+}
+
+impl Farmer {
+    /// A fresh model with the given configuration.
+    pub fn new(cfg: FarmerConfig) -> Self {
+        Farmer {
+            cfg,
+            graph: CorrelationGraph::new(),
+            window: VecDeque::new(),
+            paths: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// A fresh model with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(FarmerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FarmerConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration. Changing `p`/`max_strength`
+    /// affects future evaluations immediately (degrees are computed at
+    /// query time); changing the window or combo only affects future
+    /// observations.
+    pub fn config_mut(&mut self) -> &mut FarmerConfig {
+        &mut self.cfg
+    }
+
+    /// Number of requests observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Read access to the correlation graph (diagnostics, tests, layout).
+    pub fn graph(&self) -> &CorrelationGraph {
+        &self.graph
+    }
+
+    /// Observe one request (stages 1–3 for this request).
+    ///
+    /// `path` is the file's path if the front-end knows it; it is learned
+    /// and cached per file on first sight.
+    pub fn observe(&mut self, req: Request, path: Option<&FilePath>) {
+        self.learn_path(req.file, path);
+        self.graph.record_access(req.file);
+
+        // Constructing + Mining: update the edge from every windowed
+        // predecessor to the new request, LDA-weighted by distance and
+        // carrying the semantic similarity of the two requests.
+        for (i, pred) in self.window.iter().rev().enumerate() {
+            if pred.file == req.file {
+                continue; // self-transitions carry no inter-file signal
+            }
+            let d = i + 1;
+            let w = self.cfg.lda_weight(d);
+            if w <= 0.0 {
+                continue;
+            }
+            let sim = similarity(
+                pred,
+                self.paths.get(pred.file.index()).and_then(Option::as_ref),
+                &req,
+                path,
+                self.cfg.combo,
+                self.cfg.path_mode,
+            );
+            self.graph.update_edge(pred.file, req.file, w, sim, &self.cfg);
+        }
+
+        self.window.push_back(req);
+        while self.window.len() > self.cfg.window {
+            self.window.pop_front();
+        }
+
+        self.observed += 1;
+        if self.cfg.prune_interval > 0 && self.observed % self.cfg.prune_interval as u64 == 0 {
+            if self.cfg.decay < 1.0 {
+                self.graph.age(self.cfg.decay);
+            }
+            self.graph.prune_below(self.cfg.prune_floor, &self.cfg);
+        }
+    }
+
+    /// Convenience: observe a trace event (runs the Stage-1 extractor).
+    pub fn observe_event(&mut self, trace: &Trace, e: &TraceEvent) {
+        let (req, path) = Extractor.extract(trace, e);
+        self.observe(req, path);
+    }
+
+    /// Batch-mine an entire trace.
+    pub fn mine_trace(trace: &Trace, cfg: FarmerConfig) -> Farmer {
+        let mut farmer = Farmer::new(cfg);
+        for e in &trace.events {
+            farmer.observe_event(trace, e);
+        }
+        farmer
+    }
+
+    /// Stage 4: the sorted, thresholded Correlator List of `file`,
+    /// evaluated against the *current* access counts.
+    pub fn correlators(&self, file: FileId) -> CorrelatorList {
+        self.correlators_with_threshold(file, self.cfg.max_strength)
+    }
+
+    /// Correlator list under an explicit threshold (used by the
+    /// `max_strength` sweeps without re-mining).
+    pub fn correlators_with_threshold(&self, file: FileId, max_strength: f64) -> CorrelatorList {
+        CorrelatorList::build(
+            file,
+            self.graph
+                .edges(file, &self.cfg)
+                .map(|e| Correlator { file: e.to, degree: e.degree }),
+            max_strength,
+        )
+    }
+
+    /// Manually drop all edges below the configured prune floor. Returns
+    /// the number of edges removed.
+    pub fn prune(&mut self) -> usize {
+        self.graph.prune_below(self.cfg.prune_floor, &self.cfg)
+    }
+
+    /// Approximate resident heap bytes of the model: graph, learned paths
+    /// and window. Regenerates the paper's Table 4 space-overhead numbers.
+    pub fn memory_bytes(&self) -> usize {
+        let paths: usize = self
+            .paths
+            .iter()
+            .map(|p| p.as_ref().map_or(0, FilePath::heap_bytes))
+            .sum::<usize>()
+            + self.paths.capacity() * std::mem::size_of::<Option<FilePath>>();
+        self.graph.heap_bytes()
+            + paths
+            + self.window.capacity() * std::mem::size_of::<Request>()
+    }
+
+    fn learn_path(&mut self, file: FileId, path: Option<&FilePath>) {
+        let idx = file.index();
+        if idx >= self.paths.len() {
+            self.paths.resize_with(idx + 1, || None);
+        }
+        if self.paths[idx].is_none() {
+            if let Some(p) = path {
+                self.paths[idx] = Some(p.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::{DevId, HostId, PathInterner, ProcId, UserId, WorkloadSpec};
+
+    fn req(file: u32, uid: u32, pid: u32, host: u32) -> Request {
+        Request {
+            file: FileId::new(file),
+            uid: UserId::new(uid),
+            pid: ProcId::new(pid),
+            host: HostId::new(host),
+            dev: DevId::new(0),
+        }
+    }
+
+    /// Feed the sequence A B C D from one process and check the LDA masses.
+    #[test]
+    fn abcd_lda_masses_match_paper() {
+        let mut f = Farmer::with_defaults();
+        for file in 0..4 {
+            f.observe(req(file, 1, 1, 1), None);
+        }
+        let cfg = f.config().clone();
+        let edges: Vec<_> = f.graph().edges(FileId::new(0), &cfg).collect();
+        let mass_of = |to: u32| {
+            edges
+                .iter()
+                .find(|e| e.to == FileId::new(to))
+                .map(|e| e.mass)
+                .unwrap_or(0.0)
+        };
+        assert!((mass_of(1) - 1.0).abs() < 1e-12, "B mass {}", mass_of(1));
+        assert!((mass_of(2) - 0.9).abs() < 1e-12, "C mass {}", mass_of(2));
+        assert!((mass_of(3) - 0.8).abs() < 1e-12, "D mass {}", mass_of(3));
+    }
+
+    #[test]
+    fn self_transitions_ignored() {
+        let mut f = Farmer::with_defaults();
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(0, 1, 1, 1), None);
+        let cfg = f.config().clone();
+        assert_eq!(f.graph().edges(FileId::new(0), &cfg).count(), 0);
+    }
+
+    #[test]
+    fn window_limits_reach() {
+        let mut cfg = FarmerConfig::default();
+        cfg.window = 2;
+        let mut f = Farmer::new(cfg.clone());
+        for file in 0..5 {
+            f.observe(req(file, 1, 1, 1), None);
+        }
+        // 0 can only reach 1 and 2 with window 2.
+        let succs: Vec<u32> = f
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .map(|e| e.to.raw())
+            .collect();
+        assert_eq!(succs.len(), 2);
+        assert!(succs.contains(&1) && succs.contains(&2));
+    }
+
+    #[test]
+    fn correlator_list_sorted_and_thresholded() {
+        let mut f = Farmer::with_defaults();
+        // Same-context successor (high sim) and cross-context one (low sim).
+        for _ in 0..10 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None); // same user/pid/host
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(2, 9, 9, 9), None); // foreign context
+        }
+        let l = f.correlators(FileId::new(0));
+        assert!(!l.is_empty());
+        // Sorted descending.
+        for w in l.entries().windows(2) {
+            assert!(w[0].degree >= w[1].degree);
+        }
+        // The same-context successor outranks the foreign one.
+        assert_eq!(l.head().unwrap().file, FileId::new(1));
+    }
+
+    #[test]
+    fn threshold_query_does_not_require_remine() {
+        let mut f = Farmer::with_defaults();
+        for _ in 0..5 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None);
+        }
+        let lo = f.correlators_with_threshold(FileId::new(0), 0.0);
+        let hi = f.correlators_with_threshold(FileId::new(0), 0.99);
+        assert!(lo.len() >= hi.len());
+    }
+
+    #[test]
+    fn paths_are_learned_once() {
+        let mut i = PathInterner::new();
+        let pa = i.parse("/home/u1/proj/a");
+        let pb = i.parse("/home/u1/proj/b");
+        let mut f = Farmer::with_defaults();
+        f.observe(req(0, 1, 1, 1), Some(&pa));
+        f.observe(req(1, 1, 1, 1), Some(&pb));
+        f.observe(req(0, 1, 1, 1), Some(&pa));
+        f.observe(req(1, 1, 1, 1), Some(&pb));
+        let l = f.correlators_with_threshold(FileId::new(0), 0.0);
+        // Path similarity contributes: same dir -> sim well above scalar-only.
+        assert!(l.head().unwrap().degree > 0.8, "degree {}", l.head().unwrap().degree);
+    }
+
+    #[test]
+    fn memory_grows_then_prune_shrinks() {
+        let mut cfg = FarmerConfig::default();
+        cfg.prune_interval = 0; // manual pruning only
+        cfg.prune_floor = 0.9; // aggressive, drops nearly everything
+        let trace = WorkloadSpec::res().scaled(0.05).generate();
+        let mut f = Farmer::new(cfg);
+        for e in &trace.events {
+            f.observe_event(&trace, e);
+        }
+        let edges_before = f.graph().num_edges();
+        assert!(edges_before > 0);
+        let removed = f.prune();
+        assert!(removed > 0);
+        assert_eq!(f.graph().num_edges(), edges_before - removed);
+    }
+
+    #[test]
+    fn mine_trace_consumes_everything() {
+        let trace = WorkloadSpec::ins().scaled(0.02).generate();
+        let f = Farmer::mine_trace(&trace, FarmerConfig::pathless());
+        assert_eq!(f.observed(), trace.len() as u64);
+        assert!(f.graph().num_edges() > 0);
+        assert!(f.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn decay_adapts_to_workload_shift() {
+        // Phase 1: 0 -> 1 dominates. Phase 2: the workload shifts to
+        // 0 -> 2. With aging the new successor overtakes the stale one;
+        // without aging the historical mass keeps 1 on top much longer.
+        let run = |decay: f64| {
+            let mut cfg = FarmerConfig::default();
+            cfg.prune_interval = 50;
+            cfg.prune_floor = 0.0;
+            cfg.decay = decay;
+            cfg.p = 0.0; // isolate the frequency signal
+            let mut f = Farmer::new(cfg);
+            for _ in 0..200 {
+                f.observe(req(0, 1, 1, 1), None);
+                f.observe(req(1, 1, 1, 1), None);
+            }
+            for _ in 0..80 {
+                f.observe(req(0, 1, 1, 1), None);
+                f.observe(req(2, 1, 1, 1), None);
+            }
+            f.correlators_with_threshold(FileId::new(0), 0.0)
+                .head()
+                .unwrap()
+                .file
+        };
+        assert_eq!(run(0.5), FileId::new(2), "decayed model follows the shift");
+        assert_eq!(run(1.0), FileId::new(1), "undecayed model stays with history");
+    }
+
+    #[test]
+    fn p_zero_orders_by_frequency_alone() {
+        // §7: with p = 0 FARMER reduces to pure sequence mining (Nexus).
+        let mut cfg = FarmerConfig::default();
+        cfg.p = 0.0;
+        cfg.max_strength = 0.0;
+        let mut f = Farmer::new(cfg);
+        // file 1 follows 0 often but from a foreign context; file 2 follows
+        // rarely but same-context. With p = 0 frequency must win.
+        for i in 0..12 {
+            f.observe(req(0, 1, 1, 1), None);
+            if i % 4 == 0 {
+                f.observe(req(2, 1, 1, 1), None);
+            } else {
+                f.observe(req(1, 9, 9, 9), None);
+            }
+        }
+        let l = f.correlators_with_threshold(FileId::new(0), 0.0);
+        assert_eq!(l.head().unwrap().file, FileId::new(1));
+    }
+
+    #[test]
+    fn p_one_orders_by_semantics_alone() {
+        let mut cfg = FarmerConfig::default();
+        cfg.p = 1.0;
+        cfg.max_strength = 0.0;
+        let mut f = Farmer::new(cfg);
+        for i in 0..12 {
+            f.observe(req(0, 1, 1, 1), None);
+            if i % 4 == 0 {
+                f.observe(req(2, 1, 1, 1), None); // same context, rare
+            } else {
+                f.observe(req(1, 9, 9, 9), None); // foreign context, frequent
+            }
+        }
+        let l = f.correlators_with_threshold(FileId::new(0), 0.0);
+        assert_eq!(l.head().unwrap().file, FileId::new(2));
+    }
+}

@@ -1,0 +1,267 @@
+//! Semantic vectors and the VSM similarity function (paper §3.2.1).
+//!
+//! A file request is represented as a vector of attribute items; similarity
+//! between two requests is the paper's Function 1:
+//!
+//! ```text
+//! sim(A, B) = |A ∩ B| / max(|A|, |B|)
+//! ```
+//!
+//! Scalar attributes (user, process, host, file id, device) contribute one
+//! item each and intersect exactly (equal → 1). The file path contributes
+//! according to the configured [`PathMode`]:
+//!
+//! * **DPA** — every path component is its own item; the intersection is a
+//!   multiset intersection over components. Table 2's left column.
+//! * **IPA** — the whole path is a single item whose intersection value is
+//!   the *fractional* directory similarity `|dirs ∩| / max(depth)`.
+//!   Table 2's right column, and the paper's final choice.
+//!
+//! The functions here are allocation-free: similarity is computed directly
+//! from the request tuples and path references without materializing the
+//! item vectors, because this sits on the hot path of every mined event.
+
+use farmer_trace::FilePath;
+
+use crate::attr::{AttrCombo, AttrKind};
+use crate::config::PathMode;
+use crate::extract::Request;
+
+/// Semantic distance between two requests under an attribute combination.
+///
+/// Returns a value in `[0, 1]`. Symmetric. Empty combinations (or a
+/// path-only combination on a pathless trace) give 0.
+pub fn similarity(
+    a: &Request,
+    path_a: Option<&FilePath>,
+    b: &Request,
+    path_b: Option<&FilePath>,
+    combo: AttrCombo,
+    mode: PathMode,
+) -> f64 {
+    let mut inter = 0.0f64;
+    let mut n_a = 0usize;
+    let mut n_b = 0usize;
+
+    // Scalar items: one per attribute, intersect on equality.
+    for kind in combo.iter() {
+        let eq = match kind {
+            AttrKind::User => Some(a.uid == b.uid),
+            AttrKind::Process => Some(a.pid == b.pid),
+            AttrKind::Host => Some(a.host == b.host),
+            AttrKind::FileId => Some(a.file == b.file),
+            AttrKind::Dev => Some(a.dev == b.dev),
+            AttrKind::Path => None, // handled below
+        };
+        if let Some(eq) = eq {
+            n_a += 1;
+            n_b += 1;
+            if eq {
+                inter += 1.0;
+            }
+        }
+    }
+
+    if combo.contains(AttrKind::Path) {
+        match (path_a, path_b) {
+            (Some(pa), Some(pb)) => match mode {
+                PathMode::Ipa => {
+                    n_a += 1;
+                    n_b += 1;
+                    inter += pa.ipa_similarity(pb);
+                }
+                PathMode::Dpa => {
+                    n_a += pa.depth();
+                    n_b += pb.depth();
+                    inter += pa.multiset_intersection(pb) as f64;
+                }
+            },
+            // A request with a path vs one without still carries the item.
+            (Some(pa), None) => match mode {
+                PathMode::Ipa => n_a += 1,
+                PathMode::Dpa => n_a += pa.depth(),
+            },
+            (None, Some(pb)) => match mode {
+                PathMode::Ipa => n_b += 1,
+                PathMode::Dpa => n_b += pb.depth(),
+            },
+            (None, None) => {}
+        }
+    }
+
+    let denom = n_a.max(n_b);
+    if denom == 0 {
+        0.0
+    } else {
+        inter / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::{DevId, FileId, HostId, PathInterner, ProcId, UserId};
+
+    /// Build the paper's Table 1 example: three requests
+    ///   (user1, p1, host1, /home/user1/paper/a)
+    ///   (user1, p2, host1, /home/user1/paper/b)
+    ///   (user2, p3, host2, /home/user2/c)
+    fn table1() -> (Vec<Request>, Vec<FilePath>, PathInterner) {
+        let mut i = PathInterner::new();
+        let paths = vec![
+            i.parse("/home/user1/paper/a"),
+            i.parse("/home/user1/paper/b"),
+            i.parse("/home/user2/c"),
+        ];
+        let reqs = vec![
+            req(0, 1, 1, 1),
+            req(1, 1, 2, 1),
+            req(2, 2, 3, 2),
+        ];
+        (reqs, paths, i)
+    }
+
+    fn req(file: u32, uid: u32, pid: u32, host: u32) -> Request {
+        Request {
+            file: FileId::new(file),
+            uid: UserId::new(uid),
+            pid: ProcId::new(pid),
+            host: HostId::new(host),
+            dev: DevId::new(0),
+        }
+    }
+
+    /// The paper's Table 1/2 combo: {User, Process, Host, File path}.
+    fn combo() -> AttrCombo {
+        AttrCombo::hp_default()
+    }
+
+    #[test]
+    fn table2_dpa_a_vs_b() {
+        // sim(A,B) = 5/7 under DPA.
+        let (r, p, _i) = table1();
+        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), combo(), PathMode::Dpa);
+        assert!((s - 5.0 / 7.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn table2_dpa_b_vs_c_and_a_vs_c() {
+        // sim(B,C) = sim(A,C) = 1/7 under DPA.
+        let (r, p, _i) = table1();
+        let s_bc = similarity(&r[1], Some(&p[1]), &r[2], Some(&p[2]), combo(), PathMode::Dpa);
+        let s_ac = similarity(&r[0], Some(&p[0]), &r[2], Some(&p[2]), combo(), PathMode::Dpa);
+        assert!((s_bc - 1.0 / 7.0).abs() < 1e-12, "got {s_bc}");
+        assert!((s_ac - 1.0 / 7.0).abs() < 1e-12, "got {s_ac}");
+    }
+
+    #[test]
+    fn table2_ipa_a_vs_b() {
+        // sim(A,B) = 2.75/4 under IPA (2 scalar matches + 0.75 path).
+        let (r, p, _i) = table1();
+        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), combo(), PathMode::Ipa);
+        assert!((s - 2.75 / 4.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn table2_ipa_vs_c() {
+        // sim(A,C) = sim(B,C) = 0.25/4 under IPA.
+        let (r, p, _i) = table1();
+        let s_ac = similarity(&r[0], Some(&p[0]), &r[2], Some(&p[2]), combo(), PathMode::Ipa);
+        let s_bc = similarity(&r[1], Some(&p[1]), &r[2], Some(&p[2]), combo(), PathMode::Ipa);
+        assert!((s_ac - 0.25 / 4.0).abs() < 1e-12, "got {s_ac}");
+        assert!((s_bc - 0.25 / 4.0).abs() < 1e-12, "got {s_bc}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let (r, p, _i) = table1();
+        for mode in [PathMode::Dpa, PathMode::Ipa] {
+            for x in 0..3 {
+                for y in 0..3 {
+                    let s1 = similarity(&r[x], Some(&p[x]), &r[y], Some(&p[y]), combo(), mode);
+                    let s2 = similarity(&r[y], Some(&p[y]), &r[x], Some(&p[x]), combo(), mode);
+                    assert_eq!(s1.to_bits(), s2.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_bounded_zero_one() {
+        let (r, p, _i) = table1();
+        for mode in [PathMode::Dpa, PathMode::Ipa] {
+            for x in 0..3 {
+                for y in 0..3 {
+                    let s = similarity(&r[x], Some(&p[x]), &r[y], Some(&p[y]), combo(), mode);
+                    assert!((0.0..=1.0).contains(&s), "sim = {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let (r, p, _i) = table1();
+        for mode in [PathMode::Dpa, PathMode::Ipa] {
+            let s = similarity(&r[0], Some(&p[0]), &r[0], Some(&p[0]), combo(), mode);
+            assert!((s - 1.0).abs() < 1e-12, "self sim = {s}");
+        }
+    }
+
+    #[test]
+    fn empty_combo_gives_zero() {
+        let (r, p, _i) = table1();
+        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), AttrCombo::EMPTY, PathMode::Ipa);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn pathless_requests_with_path_combo() {
+        // Path in the combo but no recorded paths: only scalars count.
+        let (r, _p, _i) = table1();
+        let s = similarity(&r[0], None, &r[1], None, combo(), PathMode::Ipa);
+        // user + host match, process differs; n = 3 scalar items.
+        assert!((s - 2.0 / 3.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn one_sided_path_dilutes() {
+        // One request carries a path, the other doesn't: the path item
+        // inflates the denominator but cannot match.
+        let (r, p, _i) = table1();
+        let s = similarity(&r[0], Some(&p[0]), &r[1], None, combo(), PathMode::Ipa);
+        assert!((s - 2.0 / 4.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn file_id_attr_never_matches_distinct_files() {
+        // The INS/RES combo: file id dilutes but never matches across files.
+        let (r, _p, _i) = table1();
+        let c = AttrCombo::ins_default();
+        let s = similarity(&r[0], None, &r[1], None, c, PathMode::Ipa);
+        // user + host match out of 4 items.
+        assert!((s - 2.0 / 4.0).abs() < 1e-12, "got {s}");
+        // Same request on both sides: all 4 match.
+        let s_self = similarity(&r[0], None, &r[0], None, c, PathMode::Ipa);
+        assert!((s_self - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn executable_vs_library_dpa_underestimates() {
+        // The paper's motivating flaw in DPA: an executable and the library
+        // it links share no path components, so DPA drowns the scalar
+        // matches in deep paths while IPA keeps them visible.
+        let mut i = PathInterner::new();
+        let exe = i.parse("/home/user1/project/build/bin/app");
+        let lib = i.parse("/usr/lib/libc.so");
+        let a = req(0, 1, 1, 1);
+        let b = req(1, 1, 1, 1); // same user, process, host
+        let c = combo();
+        let dpa = similarity(&a, Some(&exe), &b, Some(&lib), c, PathMode::Dpa);
+        let ipa = similarity(&a, Some(&exe), &b, Some(&lib), c, PathMode::Ipa);
+        // DPA: 3 matches / (3 + 6) items; IPA: 3 / 4.
+        assert!(dpa < 0.5, "dpa = {dpa}");
+        assert!(ipa >= 0.75, "ipa = {ipa}");
+        assert!(ipa > dpa);
+    }
+}

@@ -1,0 +1,227 @@
+//! Service-time model and response-time statistics.
+//!
+//! Calibrated to the scale the paper reports (average metadata response
+//! times between ~1.0 and ~1.8 ms on the HP trace, Figure 6): a cache hit
+//! costs a few tens of microseconds of CPU; a miss pays a per-page cost
+//! for the Berkeley-DB-role store descent; prefetch service is cheaper per
+//! file because correlated metadata is batch-read ("batch read into the
+//! cache by a single I/O request", §4.2).
+
+/// Tunable service-time constants (all microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Served-from-cache demand request.
+    pub cache_hit_us: u64,
+    /// Fixed CPU cost of a demand miss (request parsing, cache update).
+    pub miss_cpu_us: u64,
+    /// Per-page cost of a store descent on the miss path.
+    pub page_us: u64,
+    /// Fixed cost of serving one queued prefetch request (batched read;
+    /// cheaper than a demand miss).
+    pub prefetch_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            cache_hit_us: 30,
+            miss_cpu_us: 200,
+            page_us: 420,
+            prefetch_us: 340,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Service time of a demand request that hit the cache.
+    #[inline]
+    pub fn hit(&self) -> u64 {
+        self.cache_hit_us
+    }
+
+    /// Service time of a demand miss that touched `pages` store pages.
+    #[inline]
+    pub fn miss(&self, pages: u64) -> u64 {
+        self.miss_cpu_us + self.page_us * pages.max(1)
+    }
+
+    /// Service time of one prefetch request.
+    #[inline]
+    pub fn prefetch(&self) -> u64 {
+        self.prefetch_us
+    }
+}
+
+/// Streaming response-time statistics (mean, extremes, percentiles).
+///
+/// Percentiles come from a fixed log-spaced histogram (1 µs – ~67 s), which
+/// keeps the accumulator O(1) per sample and exact enough for reporting.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+    min_us: u64,
+    /// log2 buckets: bucket i counts samples in [2^i, 2^(i+1)).
+    buckets: [u64; 36],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats { count: 0, sum_us: 0, max_us: 0, min_us: u64::MAX, buckets: [0; 36] }
+    }
+
+    /// Record one response time in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
+        let b = (64 - us.max(1).leading_zeros() as usize - 1).min(35);
+        self.buckets[b] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean in microseconds (0 for an empty accumulator).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us() / 1000.0
+    }
+
+    /// Largest sample.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Approximate percentile (0 < q < 1) from the log histogram; returns
+    /// the upper bound of the bucket containing the q-quantile.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_costs_are_ordered() {
+        let m = LatencyModel::default();
+        assert!(m.hit() < m.prefetch());
+        assert!(m.prefetch() < m.miss(3));
+        // Deeper trees cost more.
+        assert!(m.miss(4) > m.miss(2));
+    }
+
+    #[test]
+    fn miss_charges_at_least_one_page() {
+        let m = LatencyModel::default();
+        assert_eq!(m.miss(0), m.miss(1));
+    }
+
+    #[test]
+    fn stats_mean_min_max() {
+        let mut s = LatencyStats::new();
+        for v in [100, 200, 300] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean_us() - 200.0).abs() < 1e-9);
+        assert_eq!(s.min_us(), 100);
+        assert_eq!(s.max_us(), 300);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.min_us(), 0);
+        assert_eq!(s.percentile_us(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut s = LatencyStats::new();
+        for v in 1..10_000u64 {
+            s.record(v);
+        }
+        let p50 = s.percentile_us(0.5);
+        let p95 = s.percentile_us(0.95);
+        let p99 = s.percentile_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 of uniform 1..10k sits near 5k; log buckets give [4096, 8192].
+        assert!(p50 >= 4096 && p50 <= 8192, "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_us() - 20.0).abs() < 1e-9);
+        assert_eq!(a.max_us(), 30);
+        assert_eq!(a.min_us(), 10);
+    }
+
+    #[test]
+    fn record_handles_zero_and_huge() {
+        let mut s = LatencyStats::new();
+        s.record(0);
+        s.record(u64::MAX / 2);
+        assert_eq!(s.count(), 2);
+        assert!(s.percentile_us(0.99) > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The bounded low-priority prefetch queue.
+//!
+//! "We identify demanding requests and prefetching requests by setting a
+//! request attribute and provide a priority-based request-scheduling model
+//! … two request queues to guarantee the availability of service for the
+//! demand requests queue that is of higher priority than the prefetching
+//! request queue." (§4.1)
+//!
+//! Demand requests are served the moment the server frees up; queued
+//! prefetch requests only run in idle gaps. The prefetch queue is bounded:
+//! when full, the *oldest* queued prefetch is dropped (its prediction is
+//! the stalest), which bounds both memory and the staleness of speculative
+//! work under load.
+
+use std::collections::VecDeque;
+
+use farmer_trace::FileId;
+
+/// A queued prefetch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// File whose metadata should be staged.
+    pub file: FileId,
+    /// Simulated enqueue time (µs).
+    pub enqueued_at_us: u64,
+}
+
+/// Bounded FIFO of prefetch requests with drop accounting.
+#[derive(Debug)]
+pub struct PrefetchQueue {
+    queue: VecDeque<PrefetchRequest>,
+    capacity: usize,
+    /// Requests dropped because the queue was full.
+    pub dropped: u64,
+    /// Requests ever enqueued (accepted).
+    pub enqueued: u64,
+}
+
+impl PrefetchQueue {
+    /// A queue holding at most `capacity` pending prefetches.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch queue capacity must be positive");
+        PrefetchQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no prefetches are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueue a request, dropping the oldest if full.
+    pub fn push(&mut self, req: PrefetchRequest) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped += 1;
+        }
+        self.queue.push_back(req);
+        self.enqueued += 1;
+    }
+
+    /// Dequeue the oldest pending request.
+    pub fn pop(&mut self) -> Option<PrefetchRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Remove any pending request for `file` (it was just demanded, so
+    /// prefetching it is pointless).
+    pub fn cancel(&mut self, file: FileId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|r| r.file != file);
+        before != self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(file: u32, t: u64) -> PrefetchRequest {
+        PrefetchRequest { file: FileId::new(file), enqueued_at_us: t }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(req(1, 10));
+        q.push(req(2, 20));
+        assert_eq!(q.pop().unwrap().file, FileId::new(1));
+        assert_eq!(q.pop().unwrap().file, FileId::new(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_drops_oldest() {
+        let mut q = PrefetchQueue::new(2);
+        q.push(req(1, 1));
+        q.push(req(2, 2));
+        q.push(req(3, 3)); // drops 1
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.pop().unwrap().file, FileId::new(2));
+        assert_eq!(q.pop().unwrap().file, FileId::new(3));
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(req(1, 1));
+        q.push(req(2, 2));
+        assert!(q.cancel(FileId::new(1)));
+        assert!(!q.cancel(FileId::new(1)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().file, FileId::new(2));
+    }
+
+    #[test]
+    fn enqueue_counter_tracks_accepted() {
+        let mut q = PrefetchQueue::new(1);
+        q.push(req(1, 1));
+        q.push(req(2, 2));
+        assert_eq!(q.enqueued, 2);
+        assert_eq!(q.dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = PrefetchQueue::new(0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trace-driven MDS replay: the measurement loop behind Figures 6 and 8.
+//!
+//! Arrival times come from the trace, optionally compressed or stretched
+//! by `time_scale` to hit a target offered load. The per-family default
+//! scales were chosen so the *demand* utilization sits in the regime the
+//! paper reports (~1–2 ms average response): high enough that queueing and
+//! prefetch-service contention matter, low enough that queues stay stable.
+
+use farmer_prefetch::Predictor;
+use farmer_trace::{Trace, TraceEvent, TraceFamily};
+
+use crate::latency::LatencyStats;
+use crate::server::{MdsConfig, MdsCounters, MdsServer};
+
+/// Parameters of one replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// MDS configuration.
+    pub mds: MdsConfig,
+    /// Multiplier applied to trace timestamps (>1 stretches = lighter load).
+    pub time_scale: f64,
+    /// Per-host client cache capacity (0 disables the client tier — the
+    /// paper's measurements are server-side, so the per-family defaults
+    /// keep it off; turn it on to model a full HUSt deployment).
+    pub client_cache: usize,
+    /// Client-local hit latency in µs (only used with a client tier).
+    pub client_hit_us: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            mds: MdsConfig::default(),
+            time_scale: 1.0,
+            client_cache: 0,
+            client_hit_us: 5,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Per-family defaults: cache sizes follow the cache-simulation
+    /// experiments; time scales bring each trace's offered load into the
+    /// ~40–70 % utilization band for the LRU (no-prefetch) baseline.
+    pub fn for_family(family: TraceFamily) -> Self {
+        let (cache_capacity, time_scale) = match family {
+            TraceFamily::Llnl => (768, 16.0),
+            TraceFamily::Ins => (128, 0.45),
+            TraceFamily::Res => (128, 1.6),
+            TraceFamily::Hp => (256, 1.7),
+        };
+        let mut mds = MdsConfig::default();
+        mds.cache_capacity = cache_capacity;
+        ReplayConfig { mds, time_scale, ..Default::default() }
+    }
+}
+
+/// The outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Predictor display name.
+    pub predictor: String,
+    /// Trace label.
+    pub trace: String,
+    /// Response-time statistics over all demand requests.
+    pub latency: LatencyStats,
+    /// MDS counters (busy time, prefetch services/drops).
+    pub counters: MdsCounters,
+    /// Cache counters (hit ratio, accuracy).
+    pub cache: farmer_prefetch::CacheStats,
+    /// Simulated horizon in µs (for utilization).
+    pub horizon_us: u64,
+    /// Predictor state bytes at end of run.
+    pub predictor_memory: usize,
+    /// Demands absorbed by the client tier (0 when the tier is off).
+    pub client_hits: u64,
+}
+
+impl ReplayReport {
+    /// Average response time in milliseconds — the paper's Figure 6/8 metric.
+    pub fn avg_response_ms(&self) -> f64 {
+        self.latency.mean_ms()
+    }
+
+    /// Server utilization (busy time / horizon).
+    pub fn utilization(&self) -> f64 {
+        if self.horizon_us == 0 {
+            0.0
+        } else {
+            self.counters.busy_us as f64 / self.horizon_us as f64
+        }
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<6} resp={:.3}ms p95={:.2}ms hit={:.1}% acc={:.1}% util={:.0}% pf={}/{} dropped",
+            self.predictor,
+            self.trace.split('(').next().unwrap_or(&self.trace),
+            self.avg_response_ms(),
+            self.latency.percentile_us(0.95) as f64 / 1000.0,
+            100.0 * self.cache.hit_ratio(),
+            100.0 * self.cache.prefetch_accuracy(),
+            100.0 * self.utilization(),
+            self.counters.prefetches_serviced,
+            self.counters.prefetches_dropped,
+        )
+    }
+}
+
+/// Replay a trace's metadata demand stream through an MDS, optionally
+/// fronted by per-host client caches.
+pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -> ReplayReport {
+    let mut mds = MdsServer::new(trace, predictor, cfg.mds);
+    let mut clients = (cfg.client_cache > 0).then(|| {
+        crate::client::ClientTier::new(
+            trace.num_hosts.max(1) as usize,
+            cfg.client_cache,
+            cfg.client_hit_us,
+        )
+    });
+    let mut horizon = 0u64;
+    let mut client_latency = LatencyStats::new();
+    for event in &trace.events {
+        if !event.op.is_metadata_demand() {
+            continue;
+        }
+        let mut e: TraceEvent = *event;
+        e.timestamp_us = (event.timestamp_us as f64 * cfg.time_scale) as u64;
+        horizon = e.timestamp_us;
+        if let Some(tier) = clients.as_mut() {
+            if matches!(e.op, farmer_trace::Op::Unlink) {
+                tier.invalidate_all(e.file);
+            } else if let Some(local) = tier.lookup(e.host, e.file) {
+                client_latency.record(local);
+                continue; // absorbed locally, never reaches the MDS
+            }
+            mds.demand(trace, &e);
+            tier.fill(e.host, e.file);
+        } else {
+            mds.demand(trace, &e);
+        }
+    }
+    let mut latency = mds.stats().clone();
+    let client_hits = clients.as_ref().map_or(0, |t| t.local_hits());
+    latency.merge(&client_latency);
+    ReplayReport {
+        predictor: mds.predictor_name(),
+        trace: trace.label.clone(),
+        latency,
+        counters: mds.counters(),
+        cache: mds.cache_stats(),
+        horizon_us: horizon,
+        predictor_memory: mds.predictor_memory(),
+        client_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_prefetch::baselines::LruOnly;
+    use farmer_prefetch::{FpaPredictor, NexusPredictor};
+    use farmer_trace::WorkloadSpec;
+
+    #[test]
+    fn replay_counts_all_demands() {
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let r = replay(&trace, Box::new(LruOnly), ReplayConfig::default());
+        let demands = trace.events.iter().filter(|e| e.op.is_metadata_demand()).count();
+        assert_eq!(r.latency.count() as usize, demands);
+        assert!(r.avg_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn stretching_time_reduces_queueing() {
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let mut tight = ReplayConfig::default();
+        tight.time_scale = 0.2; // compressed arrivals = heavy load
+        let mut loose = ReplayConfig::default();
+        loose.time_scale = 5.0;
+        let r_tight = replay(&trace, Box::new(LruOnly), tight);
+        let r_loose = replay(&trace, Box::new(LruOnly), loose);
+        assert!(
+            r_tight.avg_response_ms() > r_loose.avg_response_ms(),
+            "load must increase response: {} vs {}",
+            r_tight.avg_response_ms(),
+            r_loose.avg_response_ms()
+        );
+    }
+
+    #[test]
+    fn fpa_beats_lru_on_response_time() {
+        // Figure 8's core shape on a mid-size HP trace.
+        let trace = WorkloadSpec::hp().scaled(0.2).generate();
+        let cfg = ReplayConfig::for_family(trace.family);
+        let lru = replay(&trace, Box::new(LruOnly), cfg);
+        let fpa = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
+        assert!(
+            fpa.avg_response_ms() < lru.avg_response_ms(),
+            "FPA {:.3} must beat LRU {:.3}",
+            fpa.avg_response_ms(),
+            lru.avg_response_ms()
+        );
+    }
+
+    #[test]
+    fn fpa_beats_nexus_on_response_time() {
+        let trace = WorkloadSpec::hp().scaled(0.2).generate();
+        let cfg = ReplayConfig::for_family(trace.family);
+        let nexus = replay(&trace, Box::new(NexusPredictor::paper_default()), cfg);
+        let fpa = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
+        assert!(
+            fpa.avg_response_ms() < nexus.avg_response_ms(),
+            "FPA {:.3} must beat Nexus {:.3}",
+            fpa.avg_response_ms(),
+            nexus.avg_response_ms()
+        );
+    }
+
+    #[test]
+    fn client_tier_absorbs_rereferences() {
+        let trace = WorkloadSpec::hp().scaled(0.1).generate();
+        let base = ReplayConfig::for_family(trace.family);
+        let mut with_clients = base;
+        with_clients.client_cache = 64;
+        let plain = replay(&trace, Box::new(LruOnly), base);
+        let tiered = replay(&trace, Box::new(LruOnly), with_clients);
+        assert!(tiered.client_hits > 0, "client caches must absorb traffic");
+        assert!(
+            tiered.counters.demands < plain.counters.demands,
+            "MDS must see fewer demands behind client caches"
+        );
+        assert!(
+            tiered.avg_response_ms() < plain.avg_response_ms(),
+            "end-to-end latency must improve: {:.3} vs {:.3}",
+            tiered.avg_response_ms(),
+            plain.avg_response_ms()
+        );
+        // Every demand is still accounted once, locally or at the MDS.
+        assert_eq!(
+            tiered.latency.count(),
+            plain.latency.count(),
+            "no request may vanish"
+        );
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let trace = WorkloadSpec::ins().scaled(0.05).generate();
+        let r = replay(&trace, Box::new(LruOnly), ReplayConfig::for_family(trace.family));
+        assert!(r.utilization() > 0.0);
+        assert!(r.utilization() <= 1.05, "utilization {}", r.utilization());
+    }
+}

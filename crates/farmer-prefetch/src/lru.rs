@@ -1,0 +1,342 @@
+//! An intrusive, slab-backed doubly-linked LRU list with O(1) operations.
+//!
+//! The metadata cache performs one `move_to_front` per demand hit and one
+//! `push_front`/`pop_back` pair per miss, at trace scale (10⁵–10⁷ events per
+//! experiment), so constant-time list surgery matters. Nodes live in a
+//! `Vec` slab and link by index; freed slots are recycled through a free
+//! list, so the structure never reallocates once warm.
+
+/// Index type for slab slots. `NIL` marks list ends / free slots.
+type Idx = u32;
+const NIL: Idx = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    prev: Idx,
+    next: Idx,
+    value: Option<T>,
+}
+
+/// A doubly-linked list over a slab; front = most recent.
+#[derive(Debug, Clone)]
+pub struct LruList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<Idx>,
+    head: Idx,
+    tail: Idx,
+    len: usize,
+}
+
+impl<T> Default for LruList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LruList<T> {
+    /// An empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// An empty list with room for `cap` nodes before any allocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value at the front (most-recent). Returns its slot handle.
+    pub fn push_front(&mut self, value: T) -> u32 {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { prev: NIL, next: self.head, value: Some(value) };
+                i
+            }
+            None => {
+                self.nodes.push(Node { prev: NIL, next: self.head, value: Some(value) });
+                (self.nodes.len() - 1) as Idx
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.len += 1;
+        idx
+    }
+
+    /// Move a live slot to the front.
+    pub fn move_to_front(&mut self, idx: u32) {
+        debug_assert!(self.nodes[idx as usize].value.is_some(), "moving dead slot");
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        let node = &mut self.nodes[idx as usize];
+        node.prev = NIL;
+        node.next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Remove and return the least-recent entry.
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.remove(idx)
+    }
+
+    /// Remove a specific live slot, returning its value.
+    pub fn remove(&mut self, idx: u32) -> Option<T> {
+        let value = self.nodes[idx as usize].value.take()?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Peek at the least-recent entry.
+    pub fn back(&self) -> Option<&T> {
+        if self.tail == NIL {
+            None
+        } else {
+            self.nodes[self.tail as usize].value.as_ref()
+        }
+    }
+
+    /// Peek at the most-recent entry.
+    pub fn front(&self) -> Option<&T> {
+        if self.head == NIL {
+            None
+        } else {
+            self.nodes[self.head as usize].value.as_ref()
+        }
+    }
+
+    /// Read a live slot's value.
+    pub fn get(&self, idx: u32) -> Option<&T> {
+        self.nodes.get(idx as usize).and_then(|n| n.value.as_ref())
+    }
+
+    /// Mutable access to a live slot's value.
+    pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
+        self.nodes.get_mut(idx as usize).and_then(|n| n.value.as_mut())
+    }
+
+    /// Iterate front (most-recent) to back (least-recent).
+    pub fn iter(&self) -> LruIter<'_, T> {
+        LruIter { list: self, cur: self.head }
+    }
+
+    /// Detach `idx` from its neighbours (does not free the slot).
+    fn unlink(&mut self, idx: Idx) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+    }
+}
+
+/// Front-to-back iterator over an [`LruList`].
+pub struct LruIter<'a, T> {
+    list: &'a LruList<T>,
+    cur: Idx,
+}
+
+impl<'a, T> Iterator for LruIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur as usize];
+        self.cur = node.next;
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn push_and_pop_order() {
+        let mut l = LruList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn move_to_front_changes_eviction_order() {
+        let mut l = LruList::new();
+        let a = l.push_front('a');
+        let _b = l.push_front('b');
+        let _c = l.push_front('c');
+        l.move_to_front(a);
+        assert_eq!(l.pop_back(), Some('b'));
+        assert_eq!(l.pop_back(), Some('c'));
+        assert_eq!(l.pop_back(), Some('a'));
+    }
+
+    #[test]
+    fn move_front_is_noop() {
+        let mut l = LruList::new();
+        l.push_front(1);
+        let b = l.push_front(2);
+        l.move_to_front(b);
+        assert_eq!(l.front(), Some(&2));
+        assert_eq!(l.back(), Some(&1));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LruList::new();
+        let _a = l.push_front(1);
+        let b = l.push_front(2);
+        let _c = l.push_front(3);
+        assert_eq!(l.remove(b), Some(2));
+        assert_eq!(l.len(), 2);
+        let items: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(items, vec![3, 1]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        let cap_before = l.nodes.len();
+        l.push_front(2);
+        assert_eq!(l.nodes.len(), cap_before, "slot should be reused");
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut l = LruList::new();
+        let a = l.push_front(10);
+        assert_eq!(l.get(a), Some(&10));
+        *l.get_mut(a).unwrap() = 20;
+        assert_eq!(l.get(a), Some(&20));
+        l.remove(a);
+        assert_eq!(l.get(a), None);
+    }
+
+    #[test]
+    fn singleton_list_pops_clean() {
+        let mut l = LruList::new();
+        l.push_front(7);
+        assert_eq!(l.front(), l.back());
+        assert_eq!(l.pop_back(), Some(7));
+        assert!(l.front().is_none());
+        assert!(l.back().is_none());
+    }
+
+    proptest! {
+        /// Model test: a random op sequence matches a VecDeque reference
+        /// implementation (front = most recent).
+        #[test]
+        fn matches_vecdeque_model(ops in proptest::collection::vec(0u8..4, 1..200)) {
+            let mut sys: LruList<u32> = LruList::new();
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut handles: Vec<(u32, u32)> = Vec::new(); // (handle, value)
+            let mut next_val = 0u32;
+
+            for op in ops {
+                match op {
+                    0 => {
+                        // push_front
+                        let h = sys.push_front(next_val);
+                        model.push_front(next_val);
+                        handles.push((h, next_val));
+                        next_val += 1;
+                    }
+                    1 => {
+                        // pop_back
+                        let got = sys.pop_back();
+                        let want = model.pop_back();
+                        prop_assert_eq!(got, want);
+                        if let Some(v) = want {
+                            handles.retain(|&(_, val)| val != v);
+                        }
+                    }
+                    2 => {
+                        // move_to_front of a random live handle
+                        if !handles.is_empty() {
+                            let (h, v) = handles[(next_val as usize) % handles.len()];
+                            sys.move_to_front(h);
+                            let pos = model.iter().position(|&x| x == v).unwrap();
+                            model.remove(pos);
+                            model.push_front(v);
+                        }
+                    }
+                    _ => {
+                        // remove a random live handle
+                        if !handles.is_empty() {
+                            let i = (next_val as usize) % handles.len();
+                            let (h, v) = handles.remove(i);
+                            let got = sys.remove(h);
+                            prop_assert_eq!(got, Some(v));
+                            let pos = model.iter().position(|&x| x == v).unwrap();
+                            model.remove(pos);
+                        }
+                    }
+                }
+                prop_assert_eq!(sys.len(), model.len());
+                let sys_items: Vec<u32> = sys.iter().copied().collect();
+                let model_items: Vec<u32> = model.iter().copied().collect();
+                prop_assert_eq!(sys_items, model_items);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Simulation reports shared by the bench harness and the MDS simulator.
+
+use crate::cache::CacheStats;
+
+/// The outcome of one trace-driven cache simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Predictor display name ("FARMER", "Nexus", "LRU", …).
+    pub predictor: String,
+    /// Trace label the run used.
+    pub trace: String,
+    /// Cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Raw cache counters.
+    pub stats: CacheStats,
+    /// Predictor state size at the end of the run, in bytes.
+    pub predictor_memory: usize,
+}
+
+impl SimReport {
+    /// Demand hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+
+    /// Prefetching accuracy.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.stats.prefetch_accuracy()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<12} hit={:>6.2}% acc={:>6.2}% prefetches={} mem={}KB",
+            self.predictor,
+            self.trace.split('(').next().unwrap_or(&self.trace),
+            100.0 * self.hit_ratio(),
+            100.0 * self.prefetch_accuracy(),
+            self.stats.prefetches_issued,
+            self.predictor_memory / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let r = SimReport {
+            predictor: "FARMER".into(),
+            trace: "HP(synthetic)".into(),
+            cache_capacity: 512,
+            stats: CacheStats {
+                demand_accesses: 100,
+                hits: 60,
+                prefetch_hits: 10,
+                prefetches_issued: 20,
+                useful_prefetches: 10,
+                wasted_prefetches: 5,
+                evictions: 40,
+            },
+            predictor_memory: 2048,
+        };
+        let s = r.summary();
+        assert!(s.contains("FARMER"));
+        assert!(s.contains("60.00%"));
+        assert!(s.contains("50.00%"));
+        assert!((r.hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((r.prefetch_accuracy() - 0.5).abs() < 1e-12);
+    }
+}

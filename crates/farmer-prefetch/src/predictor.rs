@@ -1,0 +1,50 @@
+//! The prefetch-predictor interface.
+
+use farmer_trace::{FileId, Trace, TraceEvent};
+
+/// A prefetching algorithm: observes the demand stream and proposes files
+/// whose metadata should be staged into the cache.
+///
+/// `on_access` is called once per metadata demand request, *after* the
+/// cache has been probed for it. Implementations update their internal
+/// model with the access and return prefetch candidates in priority order
+/// (strongest first). The simulator truncates the list to its configured
+/// prefetch limit, so implementations need not bound it precisely.
+pub trait Predictor {
+    /// Short display name used in reports ("FARMER", "Nexus", "LRU", …).
+    fn name(&self) -> &str;
+
+    /// Observe a demand access and return prefetch candidates.
+    fn on_access(&mut self, trace: &Trace, event: &TraceEvent) -> Vec<FileId>;
+
+    /// Approximate resident heap bytes of the predictor's state (Table 4).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial predictor to pin the trait contract.
+    struct Echo;
+    impl Predictor for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+            vec![event.file]
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let trace = farmer_trace::WorkloadSpec::ins().scaled(0.01).generate();
+        let mut p: Box<dyn Predictor> = Box::new(Echo);
+        assert_eq!(p.name(), "echo");
+        let c = p.on_access(&trace, &trace.events[0]);
+        assert_eq!(c, vec![trace.events[0].file]);
+        assert_eq!(p.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Probability Graph (Griffioen & Appleton, USENIX Summer 1994) — one of
+//! the two classical weight-based-graph predictors the paper positions
+//! FARMER against (§3.2.2, §6).
+//!
+//! The model counts, for each file, how often every other file is opened
+//! within a *lookahead window* after it ("follow window"). Unlike Nexus's
+//! linear decremented assignment, every successor in the window counts
+//! equally. Prefetch candidates are the successors whose estimated chance
+//! `count(A→B) / total(A)` exceeds a minimum probability.
+
+use std::collections::VecDeque;
+
+use farmer_trace::hash::FxHashMap;
+use farmer_trace::{FileId, Trace, TraceEvent};
+
+use crate::predictor::Predictor;
+
+/// The Probability Graph predictor.
+#[derive(Debug)]
+pub struct ProbabilityGraph {
+    window: usize,
+    min_chance: f64,
+    group_limit: usize,
+    history: VecDeque<u32>,
+    /// Per-predecessor: total window observations and per-successor counts.
+    nodes: FxHashMap<u32, Node>,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    total: u64,
+    succ: FxHashMap<u32, u64>,
+}
+
+impl ProbabilityGraph {
+    /// The original paper's commonly cited configuration: window 2,
+    /// minimum chance 0.1, small prefetch groups.
+    pub fn classic() -> Self {
+        Self::new(2, 0.1, 4)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn new(window: usize, min_chance: f64, group_limit: usize) -> Self {
+        assert!(window >= 1, "window must be positive");
+        assert!((0.0..=1.0).contains(&min_chance), "chance must be a probability");
+        ProbabilityGraph {
+            window,
+            min_chance,
+            group_limit,
+            history: VecDeque::new(),
+            nodes: FxHashMap::default(),
+        }
+    }
+
+    /// Estimated probability that `to` follows `from` within the window.
+    pub fn chance(&self, from: FileId, to: FileId) -> f64 {
+        match self.nodes.get(&from.raw()) {
+            Some(n) if n.total > 0 => {
+                *n.succ.get(&to.raw()).unwrap_or(&0) as f64 / n.total as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn update(&mut self, file: u32) {
+        for &pred in self.history.iter().rev().take(self.window) {
+            if pred == file {
+                continue;
+            }
+            let node = self.nodes.entry(pred).or_default();
+            node.total += 1;
+            *node.succ.entry(file).or_insert(0) += 1;
+        }
+        self.history.push_back(file);
+        while self.history.len() > self.window {
+            self.history.pop_front();
+        }
+    }
+}
+
+impl Predictor for ProbabilityGraph {
+    fn name(&self) -> &str {
+        "ProbGraph"
+    }
+
+    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+        self.update(event.file.raw());
+        let Some(node) = self.nodes.get(&event.file.raw()) else {
+            return Vec::new();
+        };
+        if node.total == 0 {
+            return Vec::new();
+        }
+        let mut cands: Vec<(u32, f64)> = node
+            .succ
+            .iter()
+            .map(|(&f, &c)| (f, c as f64 / node.total as f64))
+            .filter(|&(_, p)| p >= self.min_chance)
+            .collect();
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        cands
+            .into_iter()
+            .take(self.group_limit)
+            .map(|(f, _)| FileId::new(f))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| 24 + n.succ.len() * 16)
+            .sum::<usize>()
+            + self.history.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::{HostId, ProcId, UserId, WorkloadSpec};
+
+    fn ev(seq: u64, file: u32) -> TraceEvent {
+        TraceEvent::synthetic(seq, FileId::new(file), UserId::new(0), ProcId::new(1), HostId::new(0))
+    }
+
+    fn t() -> Trace {
+        WorkloadSpec::ins().scaled(0.002).generate()
+    }
+
+    #[test]
+    fn chance_estimates_frequency() {
+        let trace = t();
+        let mut p = ProbabilityGraph::new(1, 0.0, 4);
+        // 0 -> 1 three times, 0 -> 2 once.
+        for (i, succ) in [1u32, 1, 2, 1].iter().enumerate() {
+            p.on_access(&trace, &ev(2 * i as u64, 0));
+            p.on_access(&trace, &ev(2 * i as u64 + 1, *succ));
+        }
+        assert!((p.chance(FileId::new(0), FileId::new(1)) - 0.75).abs() < 1e-12);
+        assert!((p.chance(FileId::new(0), FileId::new(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_chance_filters() {
+        let trace = t();
+        let mut p = ProbabilityGraph::new(1, 0.5, 4);
+        for (i, succ) in [1u32, 1, 2, 1].iter().enumerate() {
+            p.on_access(&trace, &ev(2 * i as u64, 0));
+            p.on_access(&trace, &ev(2 * i as u64 + 1, *succ));
+        }
+        let c = p.on_access(&trace, &ev(100, 0));
+        assert_eq!(c, vec![FileId::new(1)], "only the 75% successor passes 0.5");
+    }
+
+    #[test]
+    fn candidates_ranked_by_chance() {
+        let trace = t();
+        let mut p = ProbabilityGraph::new(1, 0.0, 4);
+        for (i, succ) in [1u32, 2, 1, 1].iter().enumerate() {
+            p.on_access(&trace, &ev(2 * i as u64, 0));
+            p.on_access(&trace, &ev(2 * i as u64 + 1, *succ));
+        }
+        let c = p.on_access(&trace, &ev(100, 0));
+        assert_eq!(c[0], FileId::new(1));
+        assert_eq!(c[1], FileId::new(2));
+    }
+
+    #[test]
+    fn unknown_file_proposes_nothing() {
+        let trace = t();
+        let mut p = ProbabilityGraph::classic();
+        assert!(p.on_access(&trace, &ev(0, 999)).is_empty());
+    }
+
+    #[test]
+    fn helps_over_lru_on_regular_trace() {
+        use crate::baselines::LruOnly;
+        use crate::sim::{simulate, SimConfig};
+        let trace = WorkloadSpec::ins().scaled(0.2).generate();
+        let cfg = SimConfig::for_family(trace.family);
+        let lru = simulate(&trace, &mut LruOnly, cfg);
+        let pg = simulate(&trace, &mut ProbabilityGraph::classic(), cfg);
+        assert!(
+            pg.hit_ratio() > lru.hit_ratio(),
+            "ProbGraph {:.3} should beat LRU {:.3}",
+            pg.hit_ratio(),
+            lru.hit_ratio()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = ProbabilityGraph::new(0, 0.1, 4);
+    }
+}

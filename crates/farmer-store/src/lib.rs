@@ -1,0 +1,28 @@
+//! # farmer-store — an embedded, ordered key-value store
+//!
+//! HUSt (the paper's host system) keeps file/object metadata and FARMER's
+//! Correlator Lists in Berkeley DB (§5.1: "The metadata information of
+//! files and objects are stored in the Berkeley DB", "The mining and
+//! evaluating utility also interacts with the Berkeley DB to store the file
+//! correlation information such as Correlator List"). This crate fills that
+//! role from scratch:
+//!
+//! * [`tree`] — a slab-backed **B+-tree** (ordered map `u64 → bytes`) with
+//!   leaf-chained range scans, node splitting on overflow and lazy deletion
+//!   (empty-leaf unlinking, as PostgreSQL's nbtree does), plus page-level
+//!   I/O accounting that the metadata-server latency model consumes,
+//! * [`codec`] — compact binary encode/decode for the record types,
+//! * [`store`] — the [`MetaStore`] façade: a metadata table and a
+//!   correlator-list table with typed accessors.
+//!
+//! Every metadata-server cache miss performs a real tree descent here, so
+//! experiment response times inherit the store's actual page-touch counts.
+
+pub mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod tree;
+
+pub use snapshot::SnapshotError;
+pub use store::{CorrelatorRecord, IoStats, MetaStore, MetadataRecord};
+pub use tree::BTree;

@@ -1,0 +1,177 @@
+//! Whole-store snapshots: serialize both tables to a byte image and
+//! restore them — the durability path a Berkeley-DB-role store needs for
+//! restarts (HUSt's correlator lists survive MDS restarts this way).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "FSNAP1"  |  per table: u64 count, then count × (u64 key, bytes value)
+//! ```
+//!
+//! Restores rebuild the trees by sorted bulk insertion, so a restored
+//! store answers every query identically while its internal page layout is
+//! freshly packed.
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::store::MetaStore;
+use crate::tree::BTree;
+
+const MAGIC: &[u8; 6] = b"FSNAP1";
+
+/// Errors restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The magic header is missing or wrong.
+    BadMagic,
+    /// The payload is malformed.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a farmer-store snapshot"),
+            SnapshotError::Decode(e) => write!(f, "corrupt snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+/// Serialize one tree (count + pairs in key order).
+fn dump_tree(tree: &mut BTree, w: &mut Writer) {
+    let pairs = tree.range(0, u64::MAX);
+    w.u64(pairs.len() as u64);
+    for (k, v) in pairs {
+        w.u64(k);
+        w.bytes(&v);
+    }
+}
+
+/// Rebuild one tree from its serialized form.
+fn load_tree(r: &mut Reader<'_>) -> Result<BTree, SnapshotError> {
+    let count = r.u64()?;
+    let mut tree = BTree::new();
+    for _ in 0..count {
+        let k = r.u64()?;
+        let v = r.bytes()?;
+        tree.insert(k, v);
+    }
+    Ok(tree)
+}
+
+impl MetaStore {
+    /// Serialize the whole store (both tables) to a byte image.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64 + self.metadata_len() * 40);
+        for b in MAGIC {
+            w.u8(*b);
+        }
+        let (metadata, correlators) = self.tables_mut();
+        dump_tree(metadata, &mut w);
+        dump_tree(correlators, &mut w);
+        w.finish()
+    }
+
+    /// Restore a store from a snapshot image.
+    pub fn restore(image: &[u8]) -> Result<MetaStore, SnapshotError> {
+        if image.len() < MAGIC.len() || &image[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = Reader::new(&image[MAGIC.len()..]);
+        let metadata = load_tree(&mut r)?;
+        let correlators = load_tree(&mut r)?;
+        Ok(MetaStore::from_tables(metadata, correlators))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{CorrelatorRecord, MetadataRecord};
+    use farmer_trace::FileId;
+    use proptest::prelude::*;
+
+    fn rec(file: u32, size: u64) -> MetadataRecord {
+        MetadataRecord {
+            file: FileId::new(file),
+            size,
+            dev: file % 3,
+            read_only: file % 2 == 0,
+            group: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = MetaStore::new();
+        for i in 0..500 {
+            s.put_metadata(&rec(i, i as u64 * 10));
+        }
+        s.put_correlators(
+            FileId::new(1),
+            &[CorrelatorRecord { file: FileId::new(2), degree: 0.75 }],
+        );
+        let image = s.snapshot();
+        let mut restored = MetaStore::restore(&image).expect("restore");
+        assert_eq!(restored.metadata_len(), 500);
+        for i in (0..500).step_by(37) {
+            assert_eq!(restored.get_metadata(FileId::new(i)).0, Some(rec(i, i as u64 * 10)));
+        }
+        assert_eq!(
+            restored.get_correlators(FileId::new(1)),
+            Some(vec![CorrelatorRecord { file: FileId::new(2), degree: 0.75 }])
+        );
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let mut s = MetaStore::new();
+        let image = s.snapshot();
+        let restored = MetaStore::restore(&image).expect("restore");
+        assert_eq!(restored.metadata_len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(MetaStore::restore(b"NOTASNAP"), Err(SnapshotError::BadMagic)));
+        assert!(matches!(MetaStore::restore(b""), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let mut s = MetaStore::new();
+        for i in 0..50 {
+            s.put_metadata(&rec(i, 1));
+        }
+        let image = s.snapshot();
+        let cut = &image[..image.len() / 2];
+        assert!(matches!(MetaStore::restore(cut), Err(SnapshotError::Decode(_))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn arbitrary_stores_roundtrip(
+            files in proptest::collection::btree_map(0u32..2000, 0u64..1_000_000, 0..200),
+        ) {
+            let mut s = MetaStore::new();
+            for (&f, &size) in &files {
+                s.put_metadata(&rec(f, size));
+            }
+            let image = s.snapshot();
+            let mut restored = MetaStore::restore(&image).expect("restore");
+            prop_assert_eq!(restored.metadata_len(), files.len());
+            for (&f, &size) in &files {
+                prop_assert_eq!(restored.get_metadata(FileId::new(f)).0, Some(rec(f, size)));
+            }
+        }
+    }
+}

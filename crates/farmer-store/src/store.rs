@@ -1,0 +1,332 @@
+//! The [`MetaStore`] façade: typed tables over the B+-tree.
+//!
+//! Two tables, mirroring what HUSt keeps in Berkeley DB:
+//!
+//! * **metadata** — one [`MetadataRecord`] per file (size, device,
+//!   read-only flag, layout group),
+//! * **correlators** — one serialized correlator list per file, written by
+//!   the mining utility and read by the prefetcher on warm-up.
+//!
+//! All accesses are counted in [`IoStats`]; the metadata server charges its
+//! latency model per page touched, so store shape (tree depth, record
+//! sizes) propagates into simulated response times.
+
+use farmer_trace::FileId;
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::tree::BTree;
+
+/// Persistent per-file metadata (the MDS's source of truth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetadataRecord {
+    /// The file this record describes.
+    pub file: FileId,
+    /// File size in bytes.
+    pub size: u64,
+    /// Device/volume id.
+    pub dev: u32,
+    /// Whether the file is read-only (eligible for grouped layout, §4.2).
+    pub read_only: bool,
+    /// Layout group assigned by the FARMER-enabled data layout, if any.
+    pub group: Option<u32>,
+}
+
+impl MetadataRecord {
+    /// Encode to the store's binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(26);
+        w.u32(self.file.raw())
+            .u64(self.size)
+            .u32(self.dev)
+            .u8(u8::from(self.read_only))
+            .u8(u8::from(self.group.is_some()))
+            .u32(self.group.unwrap_or(0));
+        w.finish()
+    }
+
+    /// Decode from the store's binary format.
+    pub fn decode(buf: &[u8]) -> Result<MetadataRecord, DecodeError> {
+        let mut r = Reader::new(buf);
+        let file = FileId::new(r.u32()?);
+        let size = r.u64()?;
+        let dev = r.u32()?;
+        let read_only = r.u8()? != 0;
+        let has_group = r.u8()? != 0;
+        let group_val = r.u32()?;
+        Ok(MetadataRecord {
+            file,
+            size,
+            dev,
+            read_only,
+            group: has_group.then_some(group_val),
+        })
+    }
+}
+
+/// One persisted correlator entry (successor + degree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatorRecord {
+    /// Successor file.
+    pub file: FileId,
+    /// Correlation degree at persist time.
+    pub degree: f64,
+}
+
+/// Cumulative store I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read across both tables.
+    pub page_reads: u64,
+    /// Pages written across both tables.
+    pub page_writes: u64,
+    /// Record-level lookups.
+    pub lookups: u64,
+    /// Record-level writes.
+    pub updates: u64,
+}
+
+/// The embedded metadata store.
+#[derive(Debug, Default)]
+pub struct MetaStore {
+    metadata: BTree,
+    correlators: BTree,
+    stats: IoStats,
+}
+
+impl MetaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MetaStore::default()
+    }
+
+    /// Bulk-load metadata records (namespace ingestion at mount time).
+    pub fn load_namespace<'a>(&mut self, records: impl IntoIterator<Item = &'a MetadataRecord>) {
+        for rec in records {
+            self.put_metadata(rec);
+        }
+        self.sync_io();
+    }
+
+    /// Insert or replace one metadata record.
+    pub fn put_metadata(&mut self, rec: &MetadataRecord) {
+        self.metadata.insert(rec.file.raw() as u64, &rec.encode());
+        self.stats.updates += 1;
+        self.sync_io();
+    }
+
+    /// Look up one metadata record. Returns the number of pages the lookup
+    /// touched alongside the record, for per-request latency charging.
+    pub fn get_metadata(&mut self, file: FileId) -> (Option<MetadataRecord>, u64) {
+        let before = self.metadata.io().page_reads;
+        let rec = self
+            .metadata
+            .get(file.raw() as u64)
+            .map(|b| MetadataRecord::decode(b).expect("store corruption"));
+        let pages = self.metadata.io().page_reads - before;
+        self.stats.lookups += 1;
+        self.sync_io();
+        (rec, pages)
+    }
+
+    /// Remove a metadata record (unlink). Returns whether it existed.
+    pub fn remove_metadata(&mut self, file: FileId) -> bool {
+        let existed = self.metadata.remove(file.raw() as u64);
+        self.stats.updates += 1;
+        self.sync_io();
+        existed
+    }
+
+    /// Range scan of metadata records by file id (layout grouping uses it).
+    pub fn scan_metadata(&mut self, lo: FileId, hi: FileId) -> Vec<MetadataRecord> {
+        let out = self
+            .metadata
+            .range(lo.raw() as u64, hi.raw() as u64)
+            .into_iter()
+            .map(|(_, v)| MetadataRecord::decode(&v).expect("store corruption"))
+            .collect();
+        self.sync_io();
+        out
+    }
+
+    /// Persist a file's correlator list.
+    pub fn put_correlators(&mut self, owner: FileId, list: &[CorrelatorRecord]) {
+        let mut w = Writer::with_capacity(4 + list.len() * 12);
+        w.u32(list.len() as u32);
+        for c in list {
+            w.u32(c.file.raw());
+            w.f64(c.degree);
+        }
+        self.correlators.insert(owner.raw() as u64, &w.finish());
+        self.stats.updates += 1;
+        self.sync_io();
+    }
+
+    /// Read back a file's correlator list.
+    pub fn get_correlators(&mut self, owner: FileId) -> Option<Vec<CorrelatorRecord>> {
+        let buf = self.correlators.get(owner.raw() as u64)?.to_vec();
+        self.stats.lookups += 1;
+        self.sync_io();
+        let mut r = Reader::new(&buf);
+        let n = r.u32().expect("store corruption");
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let file = FileId::new(r.u32().expect("store corruption"));
+            let degree = r.f64().expect("store corruption");
+            out.push(CorrelatorRecord { file, degree });
+        }
+        Some(out)
+    }
+
+    /// Number of metadata records.
+    pub fn metadata_len(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// Tree depth of the metadata table (drives worst-case lookup cost).
+    pub fn metadata_depth(&self) -> usize {
+        self.metadata.depth()
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Approximate resident bytes of both tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.metadata.heap_bytes() + self.correlators.heap_bytes()
+    }
+
+    /// Mutable access to both underlying trees (snapshot machinery).
+    pub(crate) fn tables_mut(&mut self) -> (&mut BTree, &mut BTree) {
+        (&mut self.metadata, &mut self.correlators)
+    }
+
+    /// Rebuild a store from restored trees (snapshot machinery).
+    pub(crate) fn from_tables(metadata: BTree, correlators: BTree) -> MetaStore {
+        MetaStore { metadata, correlators, stats: IoStats::default() }
+    }
+
+    fn sync_io(&mut self) {
+        let m = self.metadata.take_io();
+        let c = self.correlators.take_io();
+        self.stats.page_reads += m.page_reads + c.page_reads;
+        self.stats.page_writes += m.page_writes + c.page_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(file: u32, size: u64) -> MetadataRecord {
+        MetadataRecord {
+            file: FileId::new(file),
+            size,
+            dev: file % 4,
+            read_only: file % 2 == 0,
+            group: (file % 3 == 0).then_some(file / 3),
+        }
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let mut s = MetaStore::new();
+        s.put_metadata(&rec(1, 100));
+        s.put_metadata(&rec(2, 200));
+        let (got, pages) = s.get_metadata(FileId::new(1));
+        assert_eq!(got, Some(rec(1, 100)));
+        assert!(pages >= 1, "a lookup touches at least the root page");
+        let (missing, _) = s.get_metadata(FileId::new(99));
+        assert_eq!(missing, None);
+    }
+
+    #[test]
+    fn record_encode_decode_all_shapes() {
+        for r in [rec(0, 0), rec(3, u64::MAX), rec(7, 42)] {
+            let buf = r.encode();
+            assert_eq!(MetadataRecord::decode(&buf).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = rec(1, 2).encode();
+        assert!(MetadataRecord::decode(&buf[..5]).is_err());
+    }
+
+    #[test]
+    fn remove_metadata_works() {
+        let mut s = MetaStore::new();
+        s.put_metadata(&rec(5, 50));
+        assert!(s.remove_metadata(FileId::new(5)));
+        assert!(!s.remove_metadata(FileId::new(5)));
+        assert_eq!(s.get_metadata(FileId::new(5)).0, None);
+    }
+
+    #[test]
+    fn correlator_lists_roundtrip() {
+        let mut s = MetaStore::new();
+        let list = vec![
+            CorrelatorRecord { file: FileId::new(2), degree: 0.9 },
+            CorrelatorRecord { file: FileId::new(3), degree: 0.5 },
+        ];
+        s.put_correlators(FileId::new(1), &list);
+        assert_eq!(s.get_correlators(FileId::new(1)), Some(list));
+        assert_eq!(s.get_correlators(FileId::new(9)), None);
+        // Empty lists are representable.
+        s.put_correlators(FileId::new(4), &[]);
+        assert_eq!(s.get_correlators(FileId::new(4)), Some(vec![]));
+    }
+
+    #[test]
+    fn load_namespace_bulk() {
+        let mut s = MetaStore::new();
+        let recs: Vec<MetadataRecord> = (0..1000).map(|i| rec(i, i as u64)).collect();
+        s.load_namespace(&recs);
+        assert_eq!(s.metadata_len(), 1000);
+        assert!(s.metadata_depth() >= 2, "1000 records should split");
+        let scan = s.scan_metadata(FileId::new(10), FileId::new(19));
+        assert_eq!(scan.len(), 10);
+    }
+
+    #[test]
+    fn io_stats_accumulate() {
+        let mut s = MetaStore::new();
+        s.put_metadata(&rec(1, 1));
+        let w0 = s.stats().page_writes;
+        let r0 = s.stats().page_reads;
+        s.get_metadata(FileId::new(1));
+        assert!(s.stats().page_reads > r0);
+        assert_eq!(s.stats().page_writes, w0, "reads must not write");
+        assert_eq!(s.stats().lookups, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_records_roundtrip(
+            file in any::<u32>(),
+            size in any::<u64>(),
+            dev in any::<u32>(),
+            ro in any::<bool>(),
+            group in proptest::option::of(any::<u32>()),
+        ) {
+            let r = MetadataRecord { file: FileId::new(file), size, dev, read_only: ro, group };
+            prop_assert_eq!(MetadataRecord::decode(&r.encode()).unwrap(), r);
+        }
+
+        #[test]
+        fn correlator_lists_of_any_size_roundtrip(
+            entries in proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 0..64),
+        ) {
+            let mut s = MetaStore::new();
+            let list: Vec<CorrelatorRecord> = entries
+                .into_iter()
+                .map(|(f, d)| CorrelatorRecord { file: FileId::new(f), degree: d })
+                .collect();
+            s.put_correlators(FileId::new(0), &list);
+            prop_assert_eq!(s.get_correlators(FileId::new(0)), Some(list));
+        }
+    }
+}

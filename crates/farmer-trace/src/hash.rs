@@ -1,0 +1,133 @@
+//! A fast, non-cryptographic hasher for dense integer keys.
+//!
+//! The FARMER pipeline performs one hash-map probe per trace event per data
+//! structure (graph adjacency, cache index, correlator table, …), so hashing
+//! is on the hot path of every experiment. SipHash (std's default) is
+//! needlessly expensive for trusted `u32` keys; this module implements the
+//! Fx multiply-xor hash used by rustc, which the Rust performance book
+//! recommends for exactly this situation. HashDoS resistance is irrelevant:
+//! all keys are internally generated dense indices.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx multiply-xor hasher. Extremely fast for small integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `u64` with the Fx function (useful for seeds).
+#[inline]
+pub fn fx_hash_u64(v: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(v);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn set_basic_ops() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.contains(&10));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fx_hash_u64(12345), fx_hash_u64(12345));
+        assert_ne!(fx_hash_u64(12345), fx_hash_u64(12346));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world"); // 11 bytes: one full chunk + 3-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"hello worlc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        // Sanity check the hash doesn't collapse small keys.
+        let mut seen = FxHashSet::default();
+        for k in 0u64..10_000 {
+            seen.insert(fx_hash_u64(k));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

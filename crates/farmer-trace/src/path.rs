@@ -1,0 +1,302 @@
+//! Normalized file-path representation.
+//!
+//! FARMER's semantic-attribute mining treats the file path as a first-class
+//! attribute: the Divided Path Algorithm (DPA) turns every path component
+//! into its own semantic-vector item, while the Integrated Path Algorithm
+//! (IPA) treats the whole path as a single item whose intersection value is
+//! the *fractional* component-wise similarity (paper §3.2.1, Tables 1–2).
+//!
+//! To make those computations cheap we store a path as a small vector of
+//! interned component indices. The final component is the file name; every
+//! preceding component is a directory. `/home/user1/paper/a` becomes
+//! `[home, user1, paper, a]` — exactly the four "subdirectories" the paper's
+//! Table 2 example counts.
+
+use std::fmt;
+
+use crate::ids::Interner;
+
+/// Interner specialized for path components; a thin wrapper that exists so
+/// path components and other strings don't share an index space by accident.
+#[derive(Debug, Default, Clone)]
+pub struct PathInterner {
+    inner: Interner,
+}
+
+impl PathInterner {
+    /// An empty path-component interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern one component (e.g. `"home"`).
+    pub fn intern(&mut self, component: &str) -> u32 {
+        self.inner.intern(component)
+    }
+
+    /// Parse a `/`-separated path string into a [`FilePath`].
+    ///
+    /// Empty components (leading slash, doubled slashes) are skipped, so
+    /// `"/home//user1/a"` and `"home/user1/a"` normalize identically.
+    pub fn parse(&mut self, path: &str) -> FilePath {
+        let components = path
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .map(|c| self.intern(c))
+            .collect();
+        FilePath { components }
+    }
+
+    /// Render a [`FilePath`] back to a `/`-prefixed string.
+    pub fn render(&self, path: &FilePath) -> String {
+        let mut out = String::new();
+        for &c in &path.components {
+            out.push('/');
+            out.push_str(self.inner.resolve(c));
+        }
+        if out.is_empty() {
+            out.push('/');
+        }
+        out
+    }
+
+    /// Resolve one component index.
+    pub fn resolve(&self, idx: u32) -> &str {
+        self.inner.resolve(idx)
+    }
+
+    /// Number of distinct components interned.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no components have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Approximate heap bytes (for space-overhead accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+/// A normalized absolute path: interned components, last one the file name.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct FilePath {
+    components: Vec<u32>,
+}
+
+impl FilePath {
+    /// Build directly from interned component indices.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Self { components }
+    }
+
+    /// All components, directories first, file name last.
+    #[inline]
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Number of components (the paper's "count of subdirectories": the
+    /// Table 2 example counts `/home/user1/paper/a` as 4).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Directory components only (everything but the file name).
+    #[inline]
+    pub fn dirs(&self) -> &[u32] {
+        match self.components.len() {
+            0 => &[],
+            n => &self.components[..n - 1],
+        }
+    }
+
+    /// The file-name component, if the path is non-empty.
+    #[inline]
+    pub fn file_name(&self) -> Option<u32> {
+        self.components.last().copied()
+    }
+
+    /// Length of the longest common prefix with `other`, in components.
+    pub fn common_prefix_len(&self, other: &FilePath) -> usize {
+        self.components
+            .iter()
+            .zip(&other.components)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Component-wise intersection size counted as a multiset (order-free).
+    ///
+    /// The paper's Table 2 DPA example counts *matching items* between the
+    /// two vectors regardless of position, with duplicates counted as many
+    /// times as they pair up. Paths are short (≤ ~12 components), so an
+    /// O(n·m) scan with a used-mark is faster than building hash maps.
+    pub fn multiset_intersection(&self, other: &FilePath) -> usize {
+        multiset_intersection(&self.components, &other.components)
+    }
+
+    /// The paper's IPA per-path similarity: `|dir components ∩| / max depth`.
+    ///
+    /// For `/home/user1/paper/a` vs `/home/user1/paper/b`: intersection 3
+    /// (home, user1, paper), max depth 4 → 0.75, exactly Table 2.
+    pub fn ipa_similarity(&self, other: &FilePath) -> f64 {
+        let max = self.depth().max(other.depth());
+        if max == 0 {
+            return 0.0;
+        }
+        let inter = multiset_intersection(self.dirs(), other.dirs());
+        // A full match including the file name means the same file; count it.
+        let name_match =
+            usize::from(self.file_name().is_some() && self.file_name() == other.file_name());
+        (inter + name_match) as f64 / max as f64
+    }
+
+    /// Approximate heap bytes held by this path.
+    pub fn heap_bytes(&self) -> usize {
+        self.components.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Multiset intersection size of two small index slices.
+pub(crate) fn multiset_intersection(a: &[u32], b: &[u32]) -> usize {
+    let mut used = [false; 64];
+    let mut used_vec;
+    let used: &mut [bool] = if b.len() <= 64 {
+        &mut used[..b.len()]
+    } else {
+        used_vec = vec![false; b.len()];
+        &mut used_vec
+    };
+    let mut count = 0;
+    for &x in a {
+        for (i, &y) in b.iter().enumerate() {
+            if !used[i] && x == y {
+                used[i] = true;
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}
+
+impl fmt::Debug for FilePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FilePath{:?}", self.components)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(interner: &mut PathInterner, s: &str) -> FilePath {
+        interner.parse(s)
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let mut i = PathInterner::new();
+        let p = mk(&mut i, "/home/user1/paper/a");
+        assert_eq!(p.depth(), 4);
+        assert_eq!(i.render(&p), "/home/user1/paper/a");
+    }
+
+    #[test]
+    fn parse_normalizes_slashes() {
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home//user1/a");
+        let b = mk(&mut i, "home/user1/a");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dirs_and_file_name_split() {
+        let mut i = PathInterner::new();
+        let p = mk(&mut i, "/home/user1/paper/a");
+        assert_eq!(p.dirs().len(), 3);
+        assert_eq!(i.resolve(p.file_name().unwrap()), "a");
+    }
+
+    #[test]
+    fn empty_path_has_no_parts() {
+        let mut i = PathInterner::new();
+        let p = mk(&mut i, "/");
+        assert_eq!(p.depth(), 0);
+        assert!(p.dirs().is_empty());
+        assert!(p.file_name().is_none());
+        assert_eq!(i.render(&p), "/");
+    }
+
+    #[test]
+    fn common_prefix() {
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home/user1/paper/a");
+        let b = mk(&mut i, "/home/user1/code/b");
+        assert_eq!(a.common_prefix_len(&b), 2);
+    }
+
+    #[test]
+    fn table2_ipa_same_dir() {
+        // Paper Table 2: /home/user1/paper/a vs /home/user1/paper/b -> 3/4.
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home/user1/paper/a");
+        let b = mk(&mut i, "/home/user1/paper/b");
+        assert!((a.ipa_similarity(&b) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_ipa_cross_user() {
+        // Paper Table 2: /home/user1/paper/a vs /home/user2/c -> 1/4 = 0.25.
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home/user1/paper/a");
+        let c = mk(&mut i, "/home/user2/c");
+        assert!((a.ipa_similarity(&c) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipa_identical_paths_is_one() {
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/usr/bin/gcc");
+        let b = mk(&mut i, "/usr/bin/gcc");
+        assert!((a.ipa_similarity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipa_is_symmetric() {
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home/user1/paper/a");
+        let c = mk(&mut i, "/home/user2/c");
+        assert_eq!(a.ipa_similarity(&c).to_bits(), c.ipa_similarity(&a).to_bits());
+    }
+
+    #[test]
+    fn multiset_intersection_counts_duplicates() {
+        // [x, x, y] vs [x, x, z] -> 2 (two x pairings), not 1.
+        let a = FilePath::from_components(vec![1, 1, 2]);
+        let b = FilePath::from_components(vec![1, 1, 3]);
+        assert_eq!(a.multiset_intersection(&b), 2);
+    }
+
+    #[test]
+    fn multiset_intersection_caps_at_multiplicity() {
+        // [x] vs [x, x] -> 1.
+        let a = FilePath::from_components(vec![1]);
+        let b = FilePath::from_components(vec![1, 1]);
+        assert_eq!(a.multiset_intersection(&b), 1);
+        assert_eq!(b.multiset_intersection(&a), 1);
+    }
+
+    #[test]
+    fn multiset_intersection_large_slices() {
+        // Exercise the heap-allocated fallback (> 64 components).
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (50..150).collect();
+        assert_eq!(multiset_intersection(&a, &b), 50);
+    }
+}

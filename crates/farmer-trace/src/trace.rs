@@ -1,0 +1,240 @@
+//! The trace container: an event stream plus the file namespace it refers to.
+
+use crate::event::TraceEvent;
+use crate::ids::{DevId, FileId};
+use crate::path::{FilePath, PathInterner};
+
+/// Which paper trace a synthetic trace models. Used by presets, reporting
+/// and the benchmark harness to label results the way the paper does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFamily {
+    /// Lawrence Livermore National Laboratory parallel scientific workload:
+    /// >800 dual-processor nodes, heavy I/O, many concurrent ranks.
+    Llnl,
+    /// Instructional HP-UX lab: 20 machines, undergraduate class accounts,
+    /// highly regular program file-sets. No path information recorded.
+    Ins,
+    /// Research desktops: 13 machines, grad students/faculty/staff, diverse
+    /// workloads. No path information recorded.
+    Res,
+    /// HP Labs time-sharing server: 236 users, full path information.
+    Hp,
+}
+
+impl TraceFamily {
+    /// All four families in the paper's usual presentation order.
+    pub const ALL: [TraceFamily; 4] =
+        [TraceFamily::Llnl, TraceFamily::Ins, TraceFamily::Res, TraceFamily::Hp];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFamily::Llnl => "LLNL",
+            TraceFamily::Ins => "INS",
+            TraceFamily::Res => "RES",
+            TraceFamily::Hp => "HP",
+        }
+    }
+
+    /// Whether this trace family records full file paths. INS and RES
+    /// identify files only by `(file id, device id)` (paper §5.3).
+    pub fn has_paths(self) -> bool {
+        matches!(self, TraceFamily::Llnl | TraceFamily::Hp)
+    }
+
+    /// Parse a display name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<TraceFamily> {
+        TraceFamily::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Static per-file information (the trace "namespace").
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Full path if the trace family records paths.
+    pub path: Option<FilePath>,
+    /// Device/volume the file lives on.
+    pub dev: DevId,
+    /// File size in bytes (drives the data-layout experiments).
+    pub size: u64,
+    /// Whether the file is effectively read-only over the trace (eligible
+    /// for FARMER-enabled grouped layout, paper §4.2).
+    pub read_only: bool,
+}
+
+impl FileMeta {
+    /// Approximate heap bytes for space-overhead accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.path.as_ref().map_or(0, FilePath::heap_bytes)
+    }
+}
+
+/// A complete trace: ordered events plus the namespace they reference.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Which paper trace this models.
+    pub family: TraceFamily,
+    /// Human-readable label (family name plus generator parameters).
+    pub label: String,
+    /// The ordered event stream.
+    pub events: Vec<TraceEvent>,
+    /// Per-file static metadata, indexed by `FileId`.
+    pub files: Vec<FileMeta>,
+    /// Interner for path components (shared by all `files[..].path`).
+    pub paths: PathInterner,
+    /// Number of distinct users appearing in the trace.
+    pub num_users: u32,
+    /// Number of distinct hosts appearing in the trace.
+    pub num_hosts: u32,
+}
+
+impl Trace {
+    /// An empty trace shell for the given family.
+    pub fn empty(family: TraceFamily) -> Self {
+        Trace {
+            family,
+            label: family.name().to_string(),
+            events: Vec::new(),
+            files: Vec::new(),
+            paths: PathInterner::new(),
+            num_users: 0,
+            num_hosts: 0,
+        }
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct files in the namespace.
+    #[inline]
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Path of a file, if this trace family records paths.
+    #[inline]
+    pub fn path_of(&self, file: FileId) -> Option<&FilePath> {
+        self.files[file.index()].path.as_ref()
+    }
+
+    /// Metadata record of a file.
+    #[inline]
+    pub fn meta_of(&self, file: FileId) -> &FileMeta {
+        &self.files[file.index()]
+    }
+
+    /// Validate internal invariants; used by tests and after parsing.
+    ///
+    /// Checks that event sequence numbers are dense, timestamps are
+    /// monotonically non-decreasing, and every referenced file exists.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_ts = 0;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.seq != i as u64 {
+                return Err(format!("event {i} has seq {}", e.seq));
+            }
+            if e.timestamp_us < last_ts {
+                return Err(format!("event {i} timestamp goes backwards"));
+            }
+            last_ts = e.timestamp_us;
+            if e.file.index() >= self.files.len() {
+                return Err(format!("event {i} references unknown file {}", e.file));
+            }
+        }
+        if self.family.has_paths() {
+            for (i, f) in self.files.iter().enumerate() {
+                if f.path.is_none() {
+                    return Err(format!("file {i} missing path in path-bearing trace"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::ids::{FileId, HostId, ProcId, UserId};
+
+    fn ev(seq: u64, file: u32) -> TraceEvent {
+        TraceEvent::synthetic(seq, FileId::new(file), UserId::new(0), ProcId::new(0), HostId::new(0))
+    }
+
+    fn meta() -> FileMeta {
+        FileMeta { path: None, dev: DevId::new(0), size: 0, read_only: true }
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for f in TraceFamily::ALL {
+            assert_eq!(TraceFamily::from_name(f.name()), Some(f));
+            assert_eq!(TraceFamily::from_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(TraceFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn path_availability_matches_paper() {
+        assert!(TraceFamily::Hp.has_paths());
+        assert!(TraceFamily::Llnl.has_paths());
+        assert!(!TraceFamily::Ins.has_paths());
+        assert!(!TraceFamily::Res.has_paths());
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let mut t = Trace::empty(TraceFamily::Ins);
+        t.files.push(meta());
+        t.events.push(ev(0, 0));
+        t.events.push(ev(1, 0));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_seq() {
+        let mut t = Trace::empty(TraceFamily::Ins);
+        t.files.push(meta());
+        t.events.push(ev(3, 0));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_file() {
+        let mut t = Trace::empty(TraceFamily::Ins);
+        t.events.push(ev(0, 9));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_paths_when_required() {
+        let mut t = Trace::empty(TraceFamily::Hp);
+        t.files.push(meta()); // no path, but HP requires one
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_time_travel() {
+        let mut t = Trace::empty(TraceFamily::Ins);
+        t.files.push(meta());
+        let mut e0 = ev(0, 0);
+        e0.timestamp_us = 100;
+        let mut e1 = ev(1, 0);
+        e1.timestamp_us = 50;
+        t.events.push(e0);
+        t.events.push(e1);
+        assert!(t.validate().is_err());
+    }
+}

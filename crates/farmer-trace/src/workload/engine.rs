@@ -1,0 +1,346 @@
+//! The interleaving engine: turns a namespace + spec into an event stream.
+//!
+//! A fixed-size pool of `concurrency` process slots is kept busy. Each step
+//! the engine picks one active slot uniformly at random — modelling an OS
+//! scheduler interleaving concurrent processes — and emits that process's
+//! next file-set access (or, with probability `noise`, an unrelated access
+//! to a Zipf-popular file). When a process finishes its run it retires and a
+//! fresh process spawns: a user is drawn (Zipf over users), the user's
+//! primary host is selected, and an application is drawn (private with
+//! probability `private_app_prob`, else global by Zipf popularity).
+//!
+//! The result is a stream in which true intra-run correlations are separated
+//! by `concurrency`-proportional gaps — exactly the regime in which the
+//! paper argues sequence-only mining degrades and semantic filtering pays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::namespace::Namespace;
+use super::WorkloadSpec;
+use crate::event::{Op, TraceEvent};
+use crate::ids::{FileId, HostId, ProcId, UserId};
+use crate::trace::Trace;
+use crate::zipf::Zipf;
+
+/// Generates a [`Trace`] from a [`WorkloadSpec`]. See module docs.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+}
+
+/// One live process slot.
+struct Proc {
+    pid: ProcId,
+    uid: UserId,
+    host: HostId,
+    /// Index into `Namespace::apps`; `usize::MAX` for ad-hoc runs.
+    app: usize,
+    /// Per-run sequence for ad-hoc runs (random files in random order);
+    /// empty when replaying an app template.
+    inline_seq: Vec<FileId>,
+    /// Position within the sequence.
+    pos: usize,
+    /// Remaining loops of the sequence (≥ 1 while active).
+    loops_left: usize,
+    /// Whether the next emitted op should be `Open` (first touch of a file
+    /// in this run) — subsequent loop touches are reads/writes.
+    first_loop: bool,
+    /// Length of the run's sequence, cached to avoid re-borrowing the
+    /// namespace inside `advance`.
+    seq_len: usize,
+}
+
+impl Proc {
+    /// The file at sequence position `pos`.
+    fn file_at(&self, ns: &Namespace, pos: usize) -> FileId {
+        if self.inline_seq.is_empty() {
+            let seq = &ns.apps[self.app].sequence;
+            seq[pos.min(seq.len() - 1)]
+        } else {
+            self.inline_seq[pos.min(self.inline_seq.len() - 1)]
+        }
+    }
+
+    /// Program identity recorded in events (`NO_APP` for ad-hoc runs).
+    fn app_id(&self) -> u32 {
+        if self.inline_seq.is_empty() {
+            self.app as u32
+        } else {
+            TraceEvent::NO_APP
+        }
+    }
+}
+
+impl TraceGenerator {
+    /// Wrap a spec.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        TraceGenerator { spec }
+    }
+
+    /// Generate the trace. Deterministic for a given spec (seed included).
+    pub fn generate(&self) -> Trace {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let ns = Namespace::build(spec, &mut rng);
+
+        let user_zipf = Zipf::new(spec.num_users.max(1) as usize, spec.user_zipf);
+        let global_zipf = Zipf::new(ns.global_end.max(1), spec.app_zipf);
+        let noise_zipf = Zipf::new(ns.num_files().max(1), 1.1);
+
+        let mut next_pid: u32 = 1;
+        let mut slots: Vec<Proc> = (0..spec.concurrency)
+            .map(|_| spawn(spec, &ns, &user_zipf, &global_zipf, &mut next_pid, &mut rng))
+            .collect();
+
+        let mut events = Vec::with_capacity(spec.num_events);
+        let mut now_us: u64 = 0;
+
+        while events.len() < spec.num_events {
+            let slot = rng.gen_range(0..slots.len());
+            now_us += rng.gen_range(1..=2 * spec.mean_interarrival_us.max(1));
+
+            let (file, op, uid, pid, host, app) = if rng.gen_bool(spec.noise) {
+                // Unrelated background access (daemons, cron, stray users):
+                // a popular file touched under a context foreign to every
+                // live run. pid 0 is reserved for this daemon context.
+                let file = FileId::new(noise_zipf.sample(&mut rng) as u32);
+                let uid = UserId::new(rng.gen_range(0..spec.num_users.max(1)));
+                let host = HostId::new(rng.gen_range(0..spec.num_hosts.max(1)));
+                (file, Op::Stat, uid, ProcId::new(0), host, TraceEvent::NO_APP)
+            } else {
+                let p = &mut slots[slot];
+                // Imperfect regularity: occasionally skip a step.
+                if rng.gen_bool(spec.skip_prob) {
+                    advance(p);
+                }
+                let file = p.file_at(&ns, p.pos);
+                let op = if p.first_loop {
+                    Op::Open
+                } else if ns.files[file.index()].read_only {
+                    Op::Read
+                } else {
+                    Op::Write
+                };
+                let (uid, pid, host, app) = (p.uid, p.pid, p.host, p.app_id());
+                advance(p);
+                (file, op, uid, pid, host, app)
+            };
+
+            let meta = &ns.files[file.index()];
+            let bytes = match op {
+                Op::Read | Op::Write => meta.size.min(65_536),
+                _ => 0,
+            };
+            events.push(TraceEvent {
+                seq: events.len() as u64,
+                timestamp_us: now_us,
+                op,
+                file,
+                dev: meta.dev,
+                uid,
+                pid,
+                host,
+                app,
+                bytes,
+            });
+
+            // Retire finished runs and refill the slot.
+            if slots[slot].loops_left == 0 {
+                slots[slot] = spawn(spec, &ns, &user_zipf, &global_zipf, &mut next_pid, &mut rng);
+            }
+        }
+
+        let trace = Trace {
+            family: spec.family,
+            label: format!(
+                "{}(synthetic: {} events, {} users, {} hosts, c={})",
+                spec.family.name(),
+                spec.num_events,
+                spec.num_users,
+                spec.num_hosts,
+                spec.concurrency
+            ),
+            events,
+            files: if spec.family.has_paths() {
+                ns.files
+            } else {
+                // INS/RES record no paths: strip them so downstream consumers
+                // cannot accidentally use information the real trace lacks.
+                ns.files
+                    .into_iter()
+                    .map(|mut f| {
+                        f.path = None;
+                        f
+                    })
+                    .collect()
+            },
+            paths: ns.paths,
+            num_users: spec.num_users,
+            num_hosts: spec.num_hosts,
+        };
+        debug_assert_eq!(trace.validate(), Ok(()));
+        trace
+    }
+}
+
+/// Advance a process one step, decrementing loops at sequence end.
+fn advance(p: &mut Proc) {
+    p.pos += 1;
+    if p.pos >= p.seq_len {
+        p.pos = 0;
+        p.loops_left = p.loops_left.saturating_sub(1);
+        p.first_loop = false;
+    }
+}
+
+fn spawn(
+    spec: &WorkloadSpec,
+    ns: &Namespace,
+    user_zipf: &Zipf,
+    global_zipf: &Zipf,
+    next_pid: &mut u32,
+    rng: &mut StdRng,
+) -> Proc {
+    let uid = UserId::new(user_zipf.sample(rng) as u32);
+    let host = if rng.gen_bool(spec.host_hop_prob) {
+        HostId::new(rng.gen_range(0..spec.num_hosts.max(1)))
+    } else {
+        HostId::new(uid.raw() % spec.num_hosts.max(1))
+    };
+    let (start, end) = ns.private_ranges[uid.index()];
+    let has_private = end > start;
+    let pool = &ns.user_files[uid.index()];
+    let loops = rng.gen_range(spec.loops_per_run.0..=spec.loops_per_run.1).max(1);
+    let pid = ProcId::new(*next_pid);
+    *next_pid += 1;
+
+    if has_private && rng.gen_bool(spec.private_app_prob) {
+        if !pool.is_empty() && rng.gen_bool(spec.adhoc_prob) {
+            // Ad-hoc exploration: random files from the pool, random order,
+            // fresh every run — intentionally unmineable.
+            let len = rng
+                .gen_range(spec.files_per_app.0..=spec.files_per_app.1)
+                .min(pool.len())
+                .max(1);
+            let inline_seq: Vec<FileId> =
+                (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let seq_len = inline_seq.len();
+            return Proc {
+                pid,
+                uid,
+                host,
+                app: usize::MAX,
+                inline_seq,
+                pos: 0,
+                loops_left: 1,
+                first_loop: true,
+                seq_len,
+            };
+        }
+        let app = rng.gen_range(start..end);
+        return Proc {
+            pid,
+            uid,
+            host,
+            app,
+            inline_seq: Vec::new(),
+            pos: 0,
+            loops_left: loops,
+            first_loop: true,
+            seq_len: ns.apps[app].sequence.len(),
+        };
+    }
+
+    let app = global_zipf.sample(rng);
+    Proc {
+        pid,
+        uid,
+        host,
+        app,
+        inline_seq: Vec::new(),
+        pos: 0,
+        loops_left: loops,
+        first_loop: true,
+        seq_len: ns.apps[app].sequence.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashSet;
+
+    #[test]
+    fn generates_requested_event_count() {
+        let trace = WorkloadSpec::ins().scaled(0.1).generate();
+        assert_eq!(trace.len(), WorkloadSpec::ins().scaled(0.1).num_events);
+        assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = WorkloadSpec::res().scaled(0.05);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::res().scaled(0.05).with_seed(1).generate();
+        let b = WorkloadSpec::res().scaled(0.05).with_seed(2).generate();
+        assert!(a.events.iter().zip(&b.events).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn ins_res_have_no_paths_llnl_hp_do() {
+        assert!(WorkloadSpec::ins().scaled(0.02).generate().files.iter().all(|f| f.path.is_none()));
+        assert!(WorkloadSpec::res().scaled(0.02).generate().files.iter().all(|f| f.path.is_none()));
+        assert!(WorkloadSpec::hp().scaled(0.02).generate().files.iter().all(|f| f.path.is_some()));
+        assert!(WorkloadSpec::llnl().scaled(0.01).generate().files.iter().all(|f| f.path.is_some()));
+    }
+
+    #[test]
+    fn pids_are_fresh_per_run() {
+        let trace = WorkloadSpec::ins().scaled(0.05).generate();
+        // Many distinct pids should appear (process turnover).
+        let pids: FxHashSet<u32> = trace.events.iter().map(|e| e.pid.raw()).collect();
+        assert!(pids.len() > 10, "expected process turnover, got {}", pids.len());
+    }
+
+    #[test]
+    fn hosts_within_bounds() {
+        let spec = WorkloadSpec::hp().scaled(0.05);
+        let trace = spec.generate();
+        for e in &trace.events {
+            assert!(e.host.raw() < spec.num_hosts);
+            assert!(e.uid.raw() < spec.num_users);
+        }
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        for w in trace.events.windows(2) {
+            assert!(w[0].timestamp_us < w[1].timestamp_us);
+        }
+    }
+
+    #[test]
+    fn interleaving_breaks_adjacency() {
+        // With concurrency > 1, consecutive events frequently come from
+        // different processes — the property that degrades sequence mining.
+        let trace = WorkloadSpec::llnl().scaled(0.02).generate();
+        let switches = trace
+            .events
+            .windows(2)
+            .filter(|w| w[0].pid != w[1].pid)
+            .count();
+        let frac = switches as f64 / (trace.len() - 1) as f64;
+        assert!(frac > 0.5, "expected heavy interleaving, got {frac}");
+    }
+}

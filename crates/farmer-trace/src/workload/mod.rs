@@ -1,0 +1,187 @@
+//! Synthetic workload generation.
+//!
+//! The generators model the mechanisms that give real file-system traces
+//! their structure, because those mechanisms are exactly what FARMER (and
+//! the baselines it is compared against) exploit or suffer from:
+//!
+//! * **Program file-set regularity** — a program run touches an ordered set
+//!   of files ([`AppTemplate`]); sequence-mining predictors live off this.
+//! * **Semantic attribute coherence** — a run carries a stable (user,
+//!   process, host) context, and its files cluster in directories; semantic
+//!   mining lives off this.
+//! * **Multi-process interleaving** — concurrently active runs are
+//!   interleaved by the OS scheduler, which is the paper's stated reason
+//!   pure sequence predictors degrade (§6: "the file access sequence will be
+//!   interleaved by the scheduler of OS").
+//! * **Noise** — accesses unrelated to any file-set (Zipf-popular shared
+//!   files), which create spurious successor pairs.
+//!
+//! One [`WorkloadSpec`] preset per paper trace family dials these mechanisms
+//! to reproduce that family's reported character (see module docs of
+//! [`presets`]).
+
+mod engine;
+mod namespace;
+mod presets;
+
+pub use engine::TraceGenerator;
+pub use namespace::{AppTemplate, Namespace};
+
+use crate::trace::{Trace, TraceFamily};
+
+/// Parameters of one synthetic workload. Construct via the per-family
+/// presets ([`WorkloadSpec::llnl`] etc.) and tweak fields as needed.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Which paper trace this models (labels + path availability).
+    pub family: TraceFamily,
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Number of events to emit.
+    pub num_events: usize,
+    /// Distinct user accounts.
+    pub num_users: u32,
+    /// Distinct client hosts.
+    pub num_hosts: u32,
+    /// Distinct devices/volumes (INS/RES identify files by (fid, dev)).
+    pub num_devs: u32,
+    /// Globally shared application templates (class assignments, system
+    /// tools). Chosen with Zipf(`app_zipf`) popularity.
+    pub global_apps: usize,
+    /// Private application templates **per user** (personal projects).
+    pub private_apps_per_user: usize,
+    /// Probability a newly spawned process runs one of its user's private
+    /// apps instead of a global one.
+    pub private_app_prob: f64,
+    /// Inclusive range of file-set lengths for app templates.
+    pub files_per_app: (usize, usize),
+    /// Number of shared tool/library files (every app's file-set starts with
+    /// a tool and may link libraries).
+    pub shared_files: usize,
+    /// Times each app's sequence repeats within one run (LLNL timestep
+    /// loops; 1 elsewhere).
+    pub loops_per_run: (usize, usize),
+    /// Parallel ranks per global app (LLNL): each global app is expanded
+    /// into this many rank variants sharing the input prefix but owning
+    /// private checkpoint files. 1 disables rank expansion.
+    pub parallel_ranks: usize,
+    /// Inclusive range of rank-private checkpoint files appended to each
+    /// rank variant (only meaningful when `parallel_ranks > 1`). Real
+    /// checkpoints are written once per timestep, so longer chains model
+    /// longer-running jobs with write-once files.
+    pub ckpts_per_rank: (usize, usize),
+    /// Number of concurrently active processes; the interleaving factor.
+    pub concurrency: usize,
+    /// Probability that a scheduled step emits a Zipf-random noise access
+    /// instead of the process's next file-set step.
+    pub noise: f64,
+    /// Probability a process skips a file-set step (imperfect regularity).
+    pub skip_prob: f64,
+    /// Zipf exponent for global-app popularity.
+    pub app_zipf: f64,
+    /// Zipf exponent for user activity (who spawns the next process).
+    pub user_zipf: f64,
+    /// Probability a new process runs on a random host instead of the
+    /// user's primary one (users moving between lab machines / login
+    /// nodes). Host mobility is what lets the host attribute discriminate
+    /// between within-run pairs (same host) and stale cross-run pairs.
+    pub host_hop_prob: f64,
+    /// Probability a private run is *ad-hoc*: instead of replaying an app
+    /// template it touches a random subset of the owner's files in random
+    /// order. Ad-hoc work produces no repeatable successor structure, which
+    /// is how research-desktop workloads (RES) blunt every predictor.
+    pub adhoc_prob: f64,
+    /// Extra project files per user beyond what private apps need — cold
+    /// namespace mass that dilutes cache residency (drives base LRU hit
+    /// ratios down to each trace family's reported band).
+    pub extra_files_per_user: usize,
+    /// Mean event inter-arrival time in microseconds.
+    pub mean_interarrival_us: u64,
+    /// Directory depth of private project paths (under `/home/uN/`).
+    pub project_depth: usize,
+}
+
+impl WorkloadSpec {
+    /// LLNL preset: parallel scientific cluster (see [`presets`]).
+    pub fn llnl() -> Self {
+        presets::llnl()
+    }
+
+    /// INS preset: instructional HP-UX lab (see [`presets`]).
+    pub fn ins() -> Self {
+        presets::ins()
+    }
+
+    /// RES preset: research desktops (see [`presets`]).
+    pub fn res() -> Self {
+        presets::res()
+    }
+
+    /// HP preset: time-sharing server (see [`presets`]).
+    pub fn hp() -> Self {
+        presets::hp()
+    }
+
+    /// The preset for a given family.
+    pub fn for_family(family: TraceFamily) -> Self {
+        match family {
+            TraceFamily::Llnl => Self::llnl(),
+            TraceFamily::Ins => Self::ins(),
+            TraceFamily::Res => Self::res(),
+            TraceFamily::Hp => Self::hp(),
+        }
+    }
+
+    /// Scale the event count by `factor` (for quick tests or big runs),
+    /// returning the modified spec.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.num_events = ((self.num_events as f64) * factor).max(1.0) as usize;
+        self
+    }
+
+    /// Replace the seed, returning the modified spec.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the trace described by this spec.
+    pub fn generate(&self) -> Trace {
+        TraceGenerator::new(self.clone()).generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_for_all_families() {
+        for family in TraceFamily::ALL {
+            let spec = WorkloadSpec::for_family(family);
+            assert_eq!(spec.family, family);
+            assert!(spec.num_events > 0);
+            assert!(spec.concurrency > 0);
+        }
+    }
+
+    #[test]
+    fn scaled_multiplies_events() {
+        let spec = WorkloadSpec::ins();
+        let half = spec.clone().scaled(0.5);
+        assert_eq!(half.num_events, spec.num_events / 2);
+    }
+
+    #[test]
+    fn with_seed_replaces_seed() {
+        let spec = WorkloadSpec::hp().with_seed(99);
+        assert_eq!(spec.seed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        let _ = WorkloadSpec::ins().scaled(0.0);
+    }
+}
