@@ -21,8 +21,13 @@ use farmer_trace::{Trace, TraceEvent};
 pub const NUM_FEATURES: usize = 5;
 
 /// Feature labels in column order.
-pub const FEATURE_LABELS: [&str; NUM_FEATURES] =
-    ["intercept", "user match", "process match", "host match", "path similarity"];
+pub const FEATURE_LABELS: [&str; NUM_FEATURES] = [
+    "intercept",
+    "user match",
+    "process match",
+    "host match",
+    "path similarity",
+];
 
 /// The fitted model.
 #[derive(Debug, Clone)]
@@ -110,7 +115,10 @@ impl AttributeRegression {
     /// # Panics
     /// Panics if fewer samples than features were accumulated.
     pub fn fit(&self) -> RegressionReport {
-        assert!(self.len() >= NUM_FEATURES, "need at least {NUM_FEATURES} samples");
+        assert!(
+            self.len() >= NUM_FEATURES,
+            "need at least {NUM_FEATURES} samples"
+        );
         // Normal equations: (XᵀX) β = Xᵀy.
         let mut xtx = [[0.0f64; NUM_FEATURES]; NUM_FEATURES];
         let mut xty = [0.0f64; NUM_FEATURES];
@@ -138,9 +146,17 @@ impl AttributeRegression {
             ss_res += (y - pred).powi(2);
             ss_tot += (y - mean_y).powi(2);
         }
-        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            0.0
+        };
 
-        RegressionReport { coefficients: beta, samples: self.len(), r_squared }
+        RegressionReport {
+            coefficients: beta,
+            samples: self.len(),
+            r_squared,
+        }
     }
 }
 
@@ -173,6 +189,7 @@ fn features(trace: &Trace, a: &TraceEvent, b: &TraceEvent) -> [f64; NUM_FEATURES
 
 /// Solve `A x = b` for small dense systems via Gaussian elimination with
 /// partial pivoting.
+#[allow(clippy::needless_range_loop)] // the elimination reads row `col` while mutating row `row`
 pub fn solve(
     mut a: [[f64; NUM_FEATURES]; NUM_FEATURES],
     mut b: [f64; NUM_FEATURES],
@@ -251,7 +268,9 @@ mod tests {
         let mut reg = AttributeRegression::new();
         let mut lcg = 12345u64;
         let mut rand01 = move || {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((lcg >> 33) as f64) / ((1u64 << 31) as f64)
         };
         for _ in 0..2000 {
@@ -266,7 +285,11 @@ mod tests {
             reg.push_sample(x, y);
         }
         let fit = reg.fit();
-        assert!((fit.coefficients[0] - 0.1).abs() < 0.02, "{:?}", fit.coefficients);
+        assert!(
+            (fit.coefficients[0] - 0.1).abs() < 0.02,
+            "{:?}",
+            fit.coefficients
+        );
         assert!((fit.coefficients[1] - 0.5).abs() < 0.02);
         assert!(fit.coefficients[2].abs() < 0.02);
         assert!(fit.coefficients[3].abs() < 0.02);

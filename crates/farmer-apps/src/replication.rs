@@ -259,7 +259,7 @@ mod tests {
         }
         let files: Vec<FileId> = (0..3).map(FileId::new).collect();
         mgr.backup_unguarded(&files, Some(1)); // crash after one copy
-        // Group is now internally inconsistent: member 0 at v1, others v0.
+                                               // Group is now internally inconsistent: member 0 at v1, others v0.
         let mut expected = FxHashMap::default();
         for f in 0..3u32 {
             expected.insert(f, 1u64);
@@ -283,7 +283,11 @@ mod tests {
         }
         mgr.recover(FileId::new(1)); // recovering any member restores all
         for f in 0..3u32 {
-            assert_eq!(mgr.primary_version(FileId::new(f)), 1, "group rolled back together");
+            assert_eq!(
+                mgr.primary_version(FileId::new(f)),
+                1,
+                "group rolled back together"
+            );
         }
     }
 

@@ -62,7 +62,11 @@ pub struct PropagationConfig {
 
 impl Default for PropagationConfig {
     fn default() -> Self {
-        PropagationConfig { min_degree: 0.4, max_hops: 2, min_strength: 0.25 }
+        PropagationConfig {
+            min_degree: 0.4,
+            max_hops: 2,
+            min_strength: 0.25,
+        }
     }
 }
 
@@ -88,7 +92,10 @@ impl SecurityPolicy {
             for _hop in 0..cfg.max_hops {
                 let mut next = Vec::new();
                 for (file, strength) in frontier {
-                    for c in farmer.correlators_with_threshold(file, cfg.min_degree).iter() {
+                    for c in farmer
+                        .correlators_with_threshold(file, cfg.min_degree)
+                        .iter()
+                    {
                         let s = strength * c.degree;
                         if s < cfg.min_strength {
                             continue;
@@ -114,7 +121,11 @@ impl SecurityPolicy {
         for v in effective.values_mut() {
             v.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
-        SecurityPolicy { effective, rules, cfg }
+        SecurityPolicy {
+            effective,
+            rules,
+            cfg,
+        }
     }
 
     /// Number of files the policy touches after propagation.
@@ -153,10 +164,7 @@ impl SecurityPolicy {
 
     /// Enforce the policy over a whole event stream; returns
     /// (denied, audited, allowed) counts.
-    pub fn enforce<'a>(
-        &self,
-        events: impl IntoIterator<Item = &'a TraceEvent>,
-    ) -> (u64, u64, u64) {
+    pub fn enforce<'a>(&self, events: impl IntoIterator<Item = &'a TraceEvent>) -> (u64, u64, u64) {
         let mut denied = 0;
         let mut audited = 0;
         let mut allowed = 0;
@@ -215,11 +223,21 @@ mod tests {
     }
 
     fn deny_rule(file: u32) -> AccessRule {
-        AccessRule { file: FileId::new(file), subject: None, action: RuleAction::Deny }
+        AccessRule {
+            file: FileId::new(file),
+            subject: None,
+            action: RuleAction::Deny,
+        }
     }
 
     fn ev(file: u32, uid: u32) -> TraceEvent {
-        TraceEvent::synthetic(0, FileId::new(file), UserId::new(uid), ProcId::new(1), HostId::new(1))
+        TraceEvent::synthetic(
+            0,
+            FileId::new(file),
+            UserId::new(uid),
+            ProcId::new(1),
+            HostId::new(1),
+        )
     }
 
     #[test]
@@ -227,7 +245,10 @@ mod tests {
         let farmer = mined();
         let policy =
             SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
-        assert!(matches!(policy.check(&ev(0, 1)), AccessDecision::Deny { .. }));
+        assert!(matches!(
+            policy.check(&ev(0, 1)),
+            AccessDecision::Deny { .. }
+        ));
     }
 
     #[test]
@@ -235,9 +256,16 @@ mod tests {
         let farmer = mined();
         let policy =
             SecurityPolicy::compile(&farmer, vec![deny_rule(0)], PropagationConfig::default());
-        assert!(policy.covered_files() >= 2, "covered {}", policy.covered_files());
+        assert!(
+            policy.covered_files() >= 2,
+            "covered {}",
+            policy.covered_files()
+        );
         match policy.check(&ev(1, 1)) {
-            AccessDecision::Deny { origin, strength_millis } => {
+            AccessDecision::Deny {
+                origin,
+                strength_millis,
+            } => {
                 assert_eq!(origin, FileId::new(0));
                 assert!(strength_millis < 1000, "propagated strength must decay");
             }
@@ -262,23 +290,35 @@ mod tests {
             action: RuleAction::Deny,
         };
         let policy = SecurityPolicy::compile(&farmer, vec![rule], PropagationConfig::default());
-        assert!(matches!(policy.check(&ev(0, 5)), AccessDecision::Deny { .. }));
+        assert!(matches!(
+            policy.check(&ev(0, 5)),
+            AccessDecision::Deny { .. }
+        ));
         assert_eq!(policy.check(&ev(0, 1)), AccessDecision::Allow);
     }
 
     #[test]
     fn audit_rules_audit() {
         let farmer = mined();
-        let rule =
-            AccessRule { file: FileId::new(0), subject: None, action: RuleAction::Audit };
+        let rule = AccessRule {
+            file: FileId::new(0),
+            subject: None,
+            action: RuleAction::Audit,
+        };
         let policy = SecurityPolicy::compile(&farmer, vec![rule], PropagationConfig::default());
-        assert!(matches!(policy.check(&ev(0, 1)), AccessDecision::Audit { .. }));
+        assert!(matches!(
+            policy.check(&ev(0, 1)),
+            AccessDecision::Audit { .. }
+        ));
     }
 
     #[test]
     fn hop_limit_bounds_reach() {
         let farmer = mined();
-        let tight = PropagationConfig { max_hops: 0, ..Default::default() };
+        let tight = PropagationConfig {
+            max_hops: 0,
+            ..Default::default()
+        };
         let policy = SecurityPolicy::compile(&farmer, vec![deny_rule(0)], tight);
         assert_eq!(policy.covered_files(), 1, "0 hops = origin only");
     }

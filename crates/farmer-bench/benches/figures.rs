@@ -16,14 +16,18 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig1_successor_probability", |b| {
         b.iter(|| black_box(ex::fig1(SCALE).len()))
     });
-    g.bench_function("table2_dpa_ipa", |b| b.iter(|| black_box(ex::table2().len())));
+    g.bench_function("table2_dpa_ipa", |b| {
+        b.iter(|| black_box(ex::table2().len()))
+    });
     g.bench_function("fig7_hit_ratio_comparison", |b| {
         b.iter(|| black_box(ex::fig7(SCALE).len()))
     });
     g.bench_function("table3_prefetch_accuracy", |b| {
         b.iter(|| black_box(ex::table3(SCALE)))
     });
-    g.bench_function("fig8_response_time", |b| b.iter(|| black_box(ex::fig8(SCALE).len())));
+    g.bench_function("fig8_response_time", |b| {
+        b.iter(|| black_box(ex::fig8(SCALE).len()))
+    });
     g.bench_function("table4_space_overhead", |b| {
         b.iter(|| black_box(ex::table4(SCALE).len()))
     });

@@ -22,14 +22,22 @@ fn main() {
     replay.time_scale *= 0.8; // heavier (but stable) load makes scaling visible
 
     let mut t = TextTable::new(&[
-        "servers", "partition", "predictor", "avg resp", "hit", "imbalance",
+        "servers",
+        "partition",
+        "predictor",
+        "avg resp",
+        "hit",
+        "imbalance",
     ]);
     for &servers in &[1usize, 2, 4, 8] {
         for partition in [Partition::Hash, Partition::Dev] {
-            let cfg = ClusterConfig { num_servers: servers, replay, partition };
+            let cfg = ClusterConfig {
+                num_servers: servers,
+                replay,
+                partition,
+            };
             let lru = replay_cluster(&trace, || Box::new(LruOnly), cfg);
-            let fpa =
-                replay_cluster(&trace, || Box::new(FpaPredictor::for_trace(&trace)), cfg);
+            let fpa = replay_cluster(&trace, || Box::new(FpaPredictor::for_trace(&trace)), cfg);
             for (name, r) in [("LRU", &lru), ("FARMER", &fpa)] {
                 t.row(vec![
                     servers.to_string(),

@@ -12,7 +12,14 @@ fn main() {
     let scale = scale_from_args();
     println!("Figure 7: cache hit ratio comparison (scale {scale})\n");
     let rows = fig7(scale);
-    let mut t = TextTable::new(&["trace", "LRU", "Nexus", "FPA", "FPA-Nexus (pts)", "paper (pts)"]);
+    let mut t = TextTable::new(&[
+        "trace",
+        "LRU",
+        "Nexus",
+        "FPA",
+        "FPA-Nexus (pts)",
+        "paper (pts)",
+    ]);
     for r in &rows {
         let delta = 100.0 * (r.fpa - r.nexus);
         let paper = FIG7_IMPROVEMENT_PTS

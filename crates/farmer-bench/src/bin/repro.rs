@@ -17,7 +17,10 @@ use farmer_bench::scale_from_args;
 use farmer_trace::TraceFamily;
 
 fn section(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 fn main() {
@@ -51,7 +54,11 @@ fn main() {
             let pts: Vec<String> = s.points.iter().map(|&(_, h)| pct(h)).collect();
             println!("  {:<5} p={:<3} {}", family.name(), s.p, pts.join(" "));
         }
-        println!("  {:<5} best p = {best} (paper: {})", family.name(), paper::FIG3_BEST_P);
+        println!(
+            "  {:<5} best p = {best} (paper: {})",
+            family.name(),
+            paper::FIG3_BEST_P
+        );
     }
 
     section("Table 5: hit ratio per attribute combination");
@@ -68,7 +75,10 @@ fn main() {
     for (thr, resp) in ex::fig6(scale) {
         println!("  max_strength {thr:.1}  ->  {}", ms(resp));
     }
-    println!("  paper shape: flat below {}, rising above", paper::FIG6_KNEE);
+    println!(
+        "  paper shape: flat below {}, rising above",
+        paper::FIG6_KNEE
+    );
 
     section("Figure 7: cache hit ratio comparison");
     for r in ex::fig7(scale) {
@@ -132,7 +142,11 @@ fn main() {
         pct(ex::reduction_p0_matches_nexus(scale))
     );
     let (dpa, ipa) = ex::ablation_dpa_vs_ipa(scale);
-    println!("  DPA hit {} vs IPA hit {} (paper selects IPA)", pct(dpa), pct(ipa));
+    println!(
+        "  DPA hit {} vs IPA hit {} (paper selects IPA)",
+        pct(dpa),
+        pct(ipa)
+    );
     let (scattered, grouped) = ex::layout_experiment(scale);
     println!(
         "  layout: {} -> {} seeks ({:.0}% saved)",

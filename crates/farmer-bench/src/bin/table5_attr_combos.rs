@@ -24,6 +24,9 @@ fn main() {
         }
         println!("{} trace:", family.name());
         println!("{}", t.render());
-        println!("spread: {:.1} points (paper: 0.1–13 points)\n", 100.0 * (hi - lo));
+        println!(
+            "spread: {:.1} points (paper: 0.1–13 points)\n",
+            100.0 * (hi - lo)
+        );
     }
 }

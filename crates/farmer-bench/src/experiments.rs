@@ -78,8 +78,22 @@ pub fn table2() -> Vec<Table2Row> {
         .into_iter()
         .map(|(label, x, y)| Table2Row {
             pair: label,
-            dpa: similarity(&reqs[x], Some(&paths[x]), &reqs[y], Some(&paths[y]), combo, PathMode::Dpa),
-            ipa: similarity(&reqs[x], Some(&paths[x]), &reqs[y], Some(&paths[y]), combo, PathMode::Ipa),
+            dpa: similarity(
+                &reqs[x],
+                Some(&paths[x]),
+                &reqs[y],
+                Some(&paths[y]),
+                combo,
+                PathMode::Dpa,
+            ),
+            ipa: similarity(
+                &reqs[x],
+                Some(&paths[x]),
+                &reqs[y],
+                Some(&paths[y]),
+                combo,
+                PathMode::Ipa,
+            ),
         })
         .collect()
 }
@@ -117,7 +131,11 @@ pub fn fig3(scale: f64) -> Vec<Fig3Series> {
                 let report = simulate(&trace, &mut fpa, sim_cfg);
                 points.push((thr, report.hit_ratio()));
             }
-            out.push(Fig3Series { family: fam, p, points });
+            out.push(Fig3Series {
+                family: fam,
+                p,
+                points,
+            });
         }
     }
     out
@@ -173,7 +191,10 @@ pub fn table5(family: TraceFamily, scale: f64) -> Vec<Table5Row> {
             let cfg = farmer_config_for(&trace).with_combo(combo);
             let mut fpa = FpaPredictor::new(cfg);
             let report = simulate(&trace, &mut fpa, sim_cfg);
-            Table5Row { combo: combo.to_string(), hit_ratio: report.hit_ratio() }
+            Table5Row {
+                combo: combo.to_string(),
+                hit_ratio: report.hit_ratio(),
+            }
         })
         .collect()
 }
@@ -263,8 +284,7 @@ pub struct Fig8Row {
 }
 
 /// The traces Figure 8 reports (LLNL, RES, HP).
-pub const FIG8_FAMILIES: [TraceFamily; 3] =
-    [TraceFamily::Llnl, TraceFamily::Res, TraceFamily::Hp];
+pub const FIG8_FAMILIES: [TraceFamily; 3] = [TraceFamily::Llnl, TraceFamily::Res, TraceFamily::Hp];
 
 /// Figure 8: average metadata response time, FPA vs Nexus vs LRU.
 pub fn fig8(scale: f64) -> Vec<Fig8Row> {
@@ -325,7 +345,10 @@ pub fn reduction_p0_matches_nexus(scale: f64) -> f64 {
     let mut total = 0usize;
     for fid in 0..trace.num_files().min(4000) {
         let file = farmer_trace::FileId::new(fid as u32);
-        let f_top = farmer.correlators_with_threshold(file, 0.0).head().map(|c| c.file);
+        let f_top = farmer
+            .correlators_with_threshold(file, 0.0)
+            .head()
+            .map(|c| c.file);
         let n_top = nexus.successors(file).first().map(|&(f, _)| f);
         if let (Some(a), Some(b)) = (f_top, n_top) {
             total += 1;

@@ -47,13 +47,14 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checks transcribed paper values
     fn constants_sane() {
         assert!(TABLE3_FARMER_ACCURACY > TABLE3_NEXUS_ACCURACY);
         assert!(FIG8_VS_LRU_MAX > FIG8_VS_NEXUS_MAX);
         assert_eq!(TABLE4_SPACE_MB.len(), 4);
         for (_, dpa, ipa) in TABLE2 {
-            assert!(dpa >= 0.0 && dpa <= 1.0);
-            assert!(ipa >= 0.0 && ipa <= 1.0);
+            assert!((0.0..=1.0).contains(&dpa));
+            assert!((0.0..=1.0).contains(&ipa));
         }
     }
 

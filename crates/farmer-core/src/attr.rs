@@ -144,12 +144,20 @@ impl AttrCombo {
     }
 
     /// The Table 5 base for path-bearing traces.
-    pub const HP_BASE: [AttrKind; 4] =
-        [AttrKind::User, AttrKind::Process, AttrKind::Host, AttrKind::Path];
+    pub const HP_BASE: [AttrKind; 4] = [
+        AttrKind::User,
+        AttrKind::Process,
+        AttrKind::Host,
+        AttrKind::Path,
+    ];
 
     /// The Table 5 base for pathless traces.
-    pub const INS_BASE: [AttrKind; 4] =
-        [AttrKind::User, AttrKind::Process, AttrKind::Host, AttrKind::FileId];
+    pub const INS_BASE: [AttrKind; 4] = [
+        AttrKind::User,
+        AttrKind::Process,
+        AttrKind::Host,
+        AttrKind::FileId,
+    ];
 
     /// Iterate over the kinds present, in bit order.
     pub fn iter(self) -> impl Iterator<Item = AttrKind> {
@@ -228,7 +236,9 @@ mod tests {
 
     #[test]
     fn display_lists_labels() {
-        let c = AttrCombo::EMPTY.with(AttrKind::User).with(AttrKind::Process);
+        let c = AttrCombo::EMPTY
+            .with(AttrKind::User)
+            .with(AttrKind::Process);
         assert_eq!(c.to_string(), "{User, Process}");
         assert_eq!(AttrCombo::EMPTY.to_string(), "{}");
     }

@@ -6,6 +6,7 @@
 //! prefetcher consumes: its head holds the strongest correlations, and only
 //! entries whose degree reaches `max_strength` appear at all.
 
+use farmer_trace::hash::FxHashMap;
 use farmer_trace::FileId;
 
 /// One entry of a Correlator List: a successor and its correlation degree.
@@ -85,21 +86,103 @@ impl IntoIterator for CorrelatorList {
     }
 }
 
+/// An indexed set of Correlator Lists, one per owner file.
+///
+/// This is the exchange format between a mining back-end and its consumers:
+/// the streaming engine (`farmer-stream`) exports one as a consistent
+/// snapshot, and the prefetcher (`farmer-prefetch`) serves predictions from
+/// it, swapping in fresh tables mid-simulation without re-mining.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelatorTable {
+    lists: Vec<CorrelatorList>,
+    index: FxHashMap<u32, u32>,
+}
+
+impl CorrelatorTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) the list for its owner file.
+    pub fn insert(&mut self, list: CorrelatorList) {
+        match self.index.get(&list.owner.raw()) {
+            Some(&slot) => self.lists[slot as usize] = list,
+            None => {
+                self.index.insert(list.owner.raw(), self.lists.len() as u32);
+                self.lists.push(list);
+            }
+        }
+    }
+
+    /// The list owned by `file`, if one is present.
+    pub fn get(&self, file: FileId) -> Option<&CorrelatorList> {
+        self.index
+            .get(&file.raw())
+            .map(|&slot| &self.lists[slot as usize])
+    }
+
+    /// The `k` strongest correlators of `file` (empty if absent).
+    pub fn top(&self, file: FileId, k: usize) -> &[Correlator] {
+        self.get(file).map_or(&[], |l| l.top(k))
+    }
+
+    /// Iterate over all lists (owner order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &CorrelatorList> {
+        self.lists.iter()
+    }
+
+    /// Number of owner files with a list.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True if no file has a list.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Total number of correlator entries across all lists.
+    pub fn num_entries(&self) -> usize {
+        self.lists.iter().map(CorrelatorList::len).sum()
+    }
+
+    /// Approximate heap bytes (lists + index), for space accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.lists.capacity() * std::mem::size_of::<CorrelatorList>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.entries.capacity() * std::mem::size_of::<Correlator>())
+                .sum::<usize>()
+            + self.index.len() * (std::mem::size_of::<(u32, u32)>() + 8)
+    }
+}
+
+impl FromIterator<CorrelatorList> for CorrelatorTable {
+    fn from_iter<I: IntoIterator<Item = CorrelatorList>>(iter: I) -> Self {
+        let mut table = CorrelatorTable::new();
+        for list in iter {
+            table.insert(list);
+        }
+        table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn c(file: u32, degree: f64) -> Correlator {
-        Correlator { file: FileId::new(file), degree }
+        Correlator {
+            file: FileId::new(file),
+            degree,
+        }
     }
 
     #[test]
     fn build_sorts_descending() {
-        let l = CorrelatorList::build(
-            FileId::new(0),
-            vec![c(1, 0.5), c(2, 0.9), c(3, 0.7)],
-            0.0,
-        );
+        let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.5), c(2, 0.9), c(3, 0.7)], 0.0);
         let degrees: Vec<f64> = l.iter().map(|e| e.degree).collect();
         assert_eq!(degrees, vec![0.9, 0.7, 0.5]);
         assert_eq!(l.head().unwrap().file, FileId::new(2));
@@ -107,11 +190,7 @@ mod tests {
 
     #[test]
     fn build_filters_below_threshold() {
-        let l = CorrelatorList::build(
-            FileId::new(0),
-            vec![c(1, 0.39), c(2, 0.4), c(3, 0.41)],
-            0.4,
-        );
+        let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.39), c(2, 0.4), c(3, 0.41)], 0.4);
         assert_eq!(l.len(), 2);
         assert!(l.iter().all(|e| e.degree >= 0.4));
     }
@@ -142,5 +221,43 @@ mod tests {
         let l = CorrelatorList::build(FileId::new(0), vec![c(1, 0.2), c(2, 0.8)], 0.0);
         let v: Vec<Correlator> = l.into_iter().collect();
         assert_eq!(v[0].file, FileId::new(2));
+    }
+
+    #[test]
+    fn table_insert_get_replace() {
+        let mut t = CorrelatorTable::new();
+        assert!(t.is_empty());
+        t.insert(CorrelatorList::build(FileId::new(0), vec![c(1, 0.5)], 0.0));
+        t.insert(CorrelatorList::build(FileId::new(7), vec![c(2, 0.9)], 0.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_entries(), 2);
+        assert_eq!(
+            t.get(FileId::new(7)).unwrap().head().unwrap().file,
+            FileId::new(2)
+        );
+        assert!(t.get(FileId::new(3)).is_none());
+        // Replacement keeps len stable.
+        t.insert(CorrelatorList::build(
+            FileId::new(0),
+            vec![c(3, 0.8), c(4, 0.6)],
+            0.0,
+        ));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(FileId::new(0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_top_clamps_and_defaults_empty() {
+        let t: CorrelatorTable = vec![CorrelatorList::build(
+            FileId::new(1),
+            vec![c(2, 0.9), c(3, 0.5)],
+            0.0,
+        )]
+        .into_iter()
+        .collect();
+        assert_eq!(t.top(FileId::new(1), 1).len(), 1);
+        assert_eq!(t.top(FileId::new(1), 9).len(), 2);
+        assert!(t.top(FileId::new(42), 4).is_empty());
+        assert!(t.heap_bytes() > 0);
     }
 }

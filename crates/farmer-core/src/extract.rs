@@ -47,11 +47,7 @@ pub struct Extractor;
 impl Extractor {
     /// Extract the request tuple and the file's path (if the trace records
     /// paths) for one event.
-    pub fn extract<'t>(
-        &self,
-        trace: &'t Trace,
-        e: &TraceEvent,
-    ) -> (Request, Option<&'t FilePath>) {
+    pub fn extract<'t>(&self, trace: &'t Trace, e: &TraceEvent) -> (Request, Option<&'t FilePath>) {
         (Request::from_event(e), trace.path_of(e.file))
     }
 }

@@ -108,13 +108,15 @@ impl CorrelationGraph {
             e.mass += weight;
             e.sim_sum += sim;
             e.sim_n += 1;
-            e.cached_degree =
-                miner::correlation_degree(e.sim_sum / e.sim_n as f64, miner::access_frequency(e.mass, total), p);
+            e.cached_degree = miner::correlation_degree(
+                e.sim_sum / e.sim_n as f64,
+                miner::access_frequency(e.mass, total),
+                p,
+            );
             return;
         }
 
-        let degree =
-            miner::correlation_degree(sim, miner::access_frequency(weight, total), p);
+        let degree = miner::correlation_degree(sim, miner::access_frequency(weight, total), p);
         let edge = Edge {
             to: to.raw(),
             mass: weight,
@@ -151,9 +153,17 @@ impl CorrelationGraph {
         edges.iter().map(move |e| EdgeView {
             to: FileId::new(e.to),
             mass: e.mass,
-            sim_avg: if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 },
+            sim_avg: if e.sim_n == 0 {
+                0.0
+            } else {
+                e.sim_sum / e.sim_n as f64
+            },
             degree: miner::correlation_degree(
-                if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 },
+                if e.sim_n == 0 {
+                    0.0
+                } else {
+                    e.sim_sum / e.sim_n as f64
+                },
                 miner::access_frequency(e.mass, total),
                 p,
             ),
@@ -169,9 +179,12 @@ impl CorrelationGraph {
             let total = node.total.max(1.0);
             let before = node.edges.len();
             node.edges.retain(|e| {
-                let sim = if e.sim_n == 0 { 0.0 } else { e.sim_sum / e.sim_n as f64 };
-                let deg =
-                    miner::correlation_degree(sim, miner::access_frequency(e.mass, total), p);
+                let sim = if e.sim_n == 0 {
+                    0.0
+                } else {
+                    e.sim_sum / e.sim_n as f64
+                };
+                let deg = miner::correlation_degree(sim, miner::access_frequency(e.mass, total), p);
                 deg >= floor
             });
             removed += before - node.edges.len();
@@ -197,6 +210,55 @@ impl CorrelationGraph {
                 e.cached_degree *= factor; // conservative; exact on next touch
             }
         }
+    }
+
+    /// Drop every outgoing edge of `file` and reset its access count,
+    /// releasing the edge storage. Incoming edges are untouched — pair with
+    /// [`CorrelationGraph::remove_edges_to`] (or a batched
+    /// [`CorrelationGraph::retain_edges`] sweep) for full node eviction.
+    /// Returns the number of edges removed.
+    pub fn clear_node(&mut self, file: FileId) -> usize {
+        match self.nodes.get_mut(file.index()) {
+            Some(node) => {
+                let removed = node.edges.len();
+                node.edges = Vec::new();
+                node.total = 0.0;
+                self.num_edges -= removed;
+                removed
+            }
+            None => 0,
+        }
+    }
+
+    /// Keep only edges for which `keep(from, to)` holds; one sweep over the
+    /// whole graph, so batch evictions can clean the incoming edges of many
+    /// victims at once. Returns the number of edges removed.
+    pub fn retain_edges(&mut self, mut keep: impl FnMut(FileId, FileId) -> bool) -> usize {
+        let mut removed = 0;
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let from = FileId::new(idx as u32);
+            let before = node.edges.len();
+            node.edges.retain(|e| keep(from, FileId::new(e.to)));
+            removed += before - node.edges.len();
+        }
+        self.num_edges -= removed;
+        removed
+    }
+
+    /// Drop every edge pointing at `to`. Returns the number removed.
+    pub fn remove_edges_to(&mut self, to: FileId) -> usize {
+        self.retain_edges(|_, t| t != to)
+    }
+
+    /// Number of *active* nodes: files with a positive access count or at
+    /// least one outgoing edge. This — not [`CorrelationGraph::num_nodes`],
+    /// which is a dense index bound — is the quantity a streaming memory
+    /// budget caps.
+    pub fn active_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.total > 0.0 || !n.edges.is_empty())
+            .count()
     }
 
     /// Number of nodes allocated (dense upper bound of observed file ids).
@@ -365,6 +427,61 @@ mod tests {
         g.age(1.0);
         let after = g.edges(f(0), &c).next().unwrap();
         assert_eq!(before.mass.to_bits(), after.mass.to_bits());
+    }
+
+    #[test]
+    fn clear_node_drops_outgoing_and_total() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.update_edge(f(0), f(1), 1.0, 0.5, &c);
+        g.update_edge(f(0), f(2), 1.0, 0.5, &c);
+        assert_eq!(g.clear_node(f(0)), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_accesses(f(0)), 0.0);
+        assert_eq!(g.edges(f(0), &c).count(), 0);
+        // Unknown nodes are a no-op.
+        assert_eq!(g.clear_node(f(99)), 0);
+    }
+
+    #[test]
+    fn remove_edges_to_cleans_incoming() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(0));
+        g.record_access(f(1));
+        g.update_edge(f(0), f(2), 1.0, 0.5, &c);
+        g.update_edge(f(1), f(2), 1.0, 0.5, &c);
+        g.update_edge(f(1), f(3), 1.0, 0.5, &c);
+        assert_eq!(g.remove_edges_to(f(2)), 2);
+        assert_eq!(g.num_edges(), 1);
+        let succs: Vec<u32> = g.edges(f(1), &c).map(|e| e.to.raw()).collect();
+        assert_eq!(succs, vec![3]);
+    }
+
+    #[test]
+    fn retain_edges_batch_sweep() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        for to in 1..5 {
+            g.update_edge(f(0), f(to), 1.0, 0.5, &c);
+        }
+        let removed = g.retain_edges(|_, to| to.raw() % 2 == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn active_nodes_tracks_eviction() {
+        let mut g = CorrelationGraph::new();
+        let c = cfg();
+        g.record_access(f(7));
+        g.update_edge(f(7), f(3), 1.0, 0.5, &c);
+        // Node 3 exists only as an edge target; node 7 is active.
+        assert_eq!(g.active_nodes(), 1);
+        g.clear_node(f(7));
+        assert_eq!(g.active_nodes(), 0);
+        assert!(g.num_nodes() >= 8, "dense index bound is not shrunk");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod semvec;
 
 pub use attr::{AttrCombo, AttrKind};
 pub use config::{FarmerConfig, PathMode};
-pub use correlator::{Correlator, CorrelatorList};
+pub use correlator::{Correlator, CorrelatorList, CorrelatorTable};
 pub use extract::{Extractor, Request};
 pub use graph::{CorrelationGraph, EdgeView};
 pub use model::Farmer;

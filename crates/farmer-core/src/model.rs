@@ -78,8 +78,29 @@ impl Farmer {
     /// `path` is the file's path if the front-end knows it; it is learned
     /// and cached per file on first sight.
     pub fn observe(&mut self, req: Request, path: Option<&FilePath>) {
-        self.learn_path(req.file, path);
-        self.graph.record_access(req.file);
+        self.observe_where(req, path, |_| true);
+    }
+
+    /// Observe one request under a file-ownership partition.
+    ///
+    /// This is the sharded-mining entry point (`farmer-stream`): every
+    /// partition instance receives the *full* request stream so its
+    /// look-ahead window carries the true global access order, but the
+    /// instance only accounts for files it owns — `N(file)` and the learned
+    /// path are updated only when `owns(req.file)`, and edges are mined
+    /// only from windowed predecessors with `owns(pred.file)`. The union of
+    /// the partition graphs over a disjoint ownership cover equals the
+    /// graph a single [`Farmer::observe`] loop would build.
+    pub fn observe_where(
+        &mut self,
+        req: Request,
+        path: Option<&FilePath>,
+        owns: impl Fn(FileId) -> bool,
+    ) {
+        if owns(req.file) {
+            self.learn_path(req.file, path);
+            self.graph.record_access(req.file);
+        }
 
         // Constructing + Mining: update the edge from every windowed
         // predecessor to the new request, LDA-weighted by distance and
@@ -87,6 +108,9 @@ impl Farmer {
         for (i, pred) in self.window.iter().rev().enumerate() {
             if pred.file == req.file {
                 continue; // self-transitions carry no inter-file signal
+            }
+            if !owns(pred.file) {
+                continue; // another partition instance mines this edge
             }
             let d = i + 1;
             let w = self.cfg.lda_weight(d);
@@ -101,7 +125,8 @@ impl Farmer {
                 self.cfg.combo,
                 self.cfg.path_mode,
             );
-            self.graph.update_edge(pred.file, req.file, w, sim, &self.cfg);
+            self.graph
+                .update_edge(pred.file, req.file, w, sim, &self.cfg);
         }
 
         self.window.push_back(req);
@@ -110,7 +135,9 @@ impl Farmer {
         }
 
         self.observed += 1;
-        if self.cfg.prune_interval > 0 && self.observed % self.cfg.prune_interval as u64 == 0 {
+        if self.cfg.prune_interval > 0
+            && self.observed.is_multiple_of(self.cfg.prune_interval as u64)
+        {
             if self.cfg.decay < 1.0 {
                 self.graph.age(self.cfg.decay);
             }
@@ -144,9 +171,10 @@ impl Farmer {
     pub fn correlators_with_threshold(&self, file: FileId, max_strength: f64) -> CorrelatorList {
         CorrelatorList::build(
             file,
-            self.graph
-                .edges(file, &self.cfg)
-                .map(|e| Correlator { file: e.to, degree: e.degree }),
+            self.graph.edges(file, &self.cfg).map(|e| Correlator {
+                file: e.to,
+                degree: e.degree,
+            }),
             max_strength,
         )
     }
@@ -155,6 +183,42 @@ impl Farmer {
     /// the number of edges removed.
     pub fn prune(&mut self) -> usize {
         self.graph.prune_below(self.cfg.prune_floor, &self.cfg)
+    }
+
+    /// Evict one file from the model entirely: its learned path, its node
+    /// (access count + outgoing edges), every incoming edge, and any
+    /// look-ahead-window entry referencing it. Afterwards the model behaves
+    /// as if the file had never been observed; a later access re-admits it
+    /// as a fresh file. Returns the number of edges removed.
+    pub fn forget_file(&mut self, file: FileId) -> usize {
+        self.forget_files(&[file])
+    }
+
+    /// Batched [`Farmer::forget_file`]: evicts every file in `files` with a
+    /// *single* sweep over the graph for the incoming-edge cleanup, which
+    /// is what makes streaming eviction affordable — the sweep cost is paid
+    /// once per batch instead of once per victim. Returns the number of
+    /// edges removed.
+    pub fn forget_files(&mut self, files: &[FileId]) -> usize {
+        if files.is_empty() {
+            return 0;
+        }
+        let mut victims: Vec<u32> = files.iter().map(|f| f.raw()).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        let gone = |f: FileId| victims.binary_search(&f.raw()).is_ok();
+
+        let mut removed = 0;
+        for &raw in &victims {
+            let file = FileId::new(raw);
+            if let Some(p) = self.paths.get_mut(file.index()) {
+                *p = None;
+            }
+            removed += self.graph.clear_node(file);
+        }
+        removed += self.graph.retain_edges(|_, to| !gone(to));
+        self.window.retain(|r| !gone(r.file));
+        removed
     }
 
     /// Approximate resident heap bytes of the model: graph, learned paths
@@ -166,9 +230,7 @@ impl Farmer {
             .map(|p| p.as_ref().map_or(0, FilePath::heap_bytes))
             .sum::<usize>()
             + self.paths.capacity() * std::mem::size_of::<Option<FilePath>>();
-        self.graph.heap_bytes()
-            + paths
-            + self.window.capacity() * std::mem::size_of::<Request>()
+        self.graph.heap_bytes() + paths + self.window.capacity() * std::mem::size_of::<Request>()
     }
 
     fn learn_path(&mut self, file: FileId, path: Option<&FilePath>) {
@@ -291,7 +353,11 @@ mod tests {
         f.observe(req(1, 1, 1, 1), Some(&pb));
         let l = f.correlators_with_threshold(FileId::new(0), 0.0);
         // Path similarity contributes: same dir -> sim well above scalar-only.
-        assert!(l.head().unwrap().degree > 0.8, "degree {}", l.head().unwrap().degree);
+        assert!(
+            l.head().unwrap().degree > 0.8,
+            "degree {}",
+            l.head().unwrap().degree
+        );
     }
 
     #[test]
@@ -346,7 +412,126 @@ mod tests {
                 .file
         };
         assert_eq!(run(0.5), FileId::new(2), "decayed model follows the shift");
-        assert_eq!(run(1.0), FileId::new(1), "undecayed model stays with history");
+        assert_eq!(
+            run(1.0),
+            FileId::new(1),
+            "undecayed model stays with history"
+        );
+    }
+
+    #[test]
+    fn forget_file_erases_every_trace_of_it() {
+        let mut f = Farmer::with_defaults();
+        for _ in 0..5 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None);
+            f.observe(req(2, 1, 1, 1), None);
+        }
+        assert!(!f.correlators_with_threshold(FileId::new(0), 0.0).is_empty());
+        f.forget_file(FileId::new(1));
+        // No outgoing edges, no access count, and no incoming edges.
+        assert!(f.correlators_with_threshold(FileId::new(1), 0.0).is_empty());
+        assert_eq!(f.graph().total_accesses(FileId::new(1)), 0.0);
+        let cfg = f.config().clone();
+        for file in [0u32, 2] {
+            assert!(
+                f.graph()
+                    .edges(FileId::new(file), &cfg)
+                    .all(|e| e.to != FileId::new(1)),
+                "stale incoming edge from f{file}"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_files_batch_matches_sequential() {
+        let build = || {
+            let mut f = Farmer::with_defaults();
+            for round in 0..4 {
+                for file in 0..6 {
+                    f.observe(req(file, round, 1, 1), None);
+                }
+            }
+            f
+        };
+        let mut batched = build();
+        let mut sequential = build();
+        let victims = [FileId::new(1), FileId::new(4)];
+        let removed_batch = batched.forget_files(&victims);
+        let removed_seq: usize = victims.iter().map(|&v| sequential.forget_file(v)).sum();
+        assert_eq!(removed_batch, removed_seq);
+        assert_eq!(batched.graph().num_edges(), sequential.graph().num_edges());
+        assert_eq!(
+            batched.graph().active_nodes(),
+            sequential.graph().active_nodes()
+        );
+    }
+
+    #[test]
+    fn forgotten_file_readmits_as_fresh() {
+        let mut f = Farmer::with_defaults();
+        for _ in 0..10 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None);
+        }
+        f.forget_file(FileId::new(1));
+        // Re-admission: the pair builds back up from zero. The window kept
+        // its three file-0 entries ([1,0,1,0,1] minus the victims, plus the
+        // fresh 0), so the rebuilt mass is 1.0 + 0.9 + 0.8 — not the ~19
+        // the ten alternating rounds had accumulated before the eviction.
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(1, 1, 1, 1), None);
+        let cfg = f.config().clone();
+        let mass = f
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .find(|e| e.to == FileId::new(1))
+            .map(|e| e.mass)
+            .unwrap_or(0.0);
+        assert!((mass - 2.7).abs() < 1e-12, "mass restarted at {mass}");
+    }
+
+    #[test]
+    fn partitioned_union_equals_batch() {
+        // Two ownership partitions (even/odd file ids) fed the same stream
+        // must together hold exactly the edges of the unpartitioned model.
+        let stream: Vec<Request> = (0..200)
+            .map(|i| req((i * 7) % 9, i % 3, 1, i % 2))
+            .collect();
+        let mut whole = Farmer::with_defaults();
+        let mut even = Farmer::with_defaults();
+        let mut odd = Farmer::with_defaults();
+        for r in &stream {
+            whole.observe(*r, None);
+            even.observe_where(*r, None, |f| f.raw() % 2 == 0);
+            odd.observe_where(*r, None, |f| f.raw() % 2 == 1);
+        }
+        let cfg = whole.config().clone();
+        for file in 0..9u32 {
+            let fid = FileId::new(file);
+            let part = if file % 2 == 0 { &even } else { &odd };
+            let mut want: Vec<_> = whole
+                .graph()
+                .edges(fid, &cfg)
+                .map(|e| (e.to.raw(), e.mass, e.degree))
+                .collect();
+            let mut got: Vec<_> = part
+                .graph()
+                .edges(fid, &cfg)
+                .map(|e| (e.to.raw(), e.mass, e.degree))
+                .collect();
+            want.sort_by_key(|a| a.0);
+            got.sort_by_key(|a| a.0);
+            assert_eq!(got.len(), want.len(), "edge count diverged for f{file}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0);
+                assert!((g.1 - w.1).abs() < 1e-12, "mass diverged for f{file}");
+                assert!((g.2 - w.2).abs() < 1e-12, "degree diverged for f{file}");
+            }
+            // The non-owner partition holds nothing for this file.
+            let other = if file % 2 == 0 { &odd } else { &even };
+            assert_eq!(other.graph().edges(fid, &cfg).count(), 0);
+        }
     }
 
     #[test]

@@ -113,11 +113,7 @@ mod tests {
             i.parse("/home/user1/paper/b"),
             i.parse("/home/user2/c"),
         ];
-        let reqs = vec![
-            req(0, 1, 1, 1),
-            req(1, 1, 2, 1),
-            req(2, 2, 3, 2),
-        ];
+        let reqs = vec![req(0, 1, 1, 1), req(1, 1, 2, 1), req(2, 2, 3, 2)];
         (reqs, paths, i)
     }
 
@@ -140,7 +136,14 @@ mod tests {
     fn table2_dpa_a_vs_b() {
         // sim(A,B) = 5/7 under DPA.
         let (r, p, _i) = table1();
-        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), combo(), PathMode::Dpa);
+        let s = similarity(
+            &r[0],
+            Some(&p[0]),
+            &r[1],
+            Some(&p[1]),
+            combo(),
+            PathMode::Dpa,
+        );
         assert!((s - 5.0 / 7.0).abs() < 1e-12, "got {s}");
     }
 
@@ -148,8 +151,22 @@ mod tests {
     fn table2_dpa_b_vs_c_and_a_vs_c() {
         // sim(B,C) = sim(A,C) = 1/7 under DPA.
         let (r, p, _i) = table1();
-        let s_bc = similarity(&r[1], Some(&p[1]), &r[2], Some(&p[2]), combo(), PathMode::Dpa);
-        let s_ac = similarity(&r[0], Some(&p[0]), &r[2], Some(&p[2]), combo(), PathMode::Dpa);
+        let s_bc = similarity(
+            &r[1],
+            Some(&p[1]),
+            &r[2],
+            Some(&p[2]),
+            combo(),
+            PathMode::Dpa,
+        );
+        let s_ac = similarity(
+            &r[0],
+            Some(&p[0]),
+            &r[2],
+            Some(&p[2]),
+            combo(),
+            PathMode::Dpa,
+        );
         assert!((s_bc - 1.0 / 7.0).abs() < 1e-12, "got {s_bc}");
         assert!((s_ac - 1.0 / 7.0).abs() < 1e-12, "got {s_ac}");
     }
@@ -158,7 +175,14 @@ mod tests {
     fn table2_ipa_a_vs_b() {
         // sim(A,B) = 2.75/4 under IPA (2 scalar matches + 0.75 path).
         let (r, p, _i) = table1();
-        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), combo(), PathMode::Ipa);
+        let s = similarity(
+            &r[0],
+            Some(&p[0]),
+            &r[1],
+            Some(&p[1]),
+            combo(),
+            PathMode::Ipa,
+        );
         assert!((s - 2.75 / 4.0).abs() < 1e-12, "got {s}");
     }
 
@@ -166,8 +190,22 @@ mod tests {
     fn table2_ipa_vs_c() {
         // sim(A,C) = sim(B,C) = 0.25/4 under IPA.
         let (r, p, _i) = table1();
-        let s_ac = similarity(&r[0], Some(&p[0]), &r[2], Some(&p[2]), combo(), PathMode::Ipa);
-        let s_bc = similarity(&r[1], Some(&p[1]), &r[2], Some(&p[2]), combo(), PathMode::Ipa);
+        let s_ac = similarity(
+            &r[0],
+            Some(&p[0]),
+            &r[2],
+            Some(&p[2]),
+            combo(),
+            PathMode::Ipa,
+        );
+        let s_bc = similarity(
+            &r[1],
+            Some(&p[1]),
+            &r[2],
+            Some(&p[2]),
+            combo(),
+            PathMode::Ipa,
+        );
         assert!((s_ac - 0.25 / 4.0).abs() < 1e-12, "got {s_ac}");
         assert!((s_bc - 0.25 / 4.0).abs() < 1e-12, "got {s_bc}");
     }
@@ -211,7 +249,14 @@ mod tests {
     #[test]
     fn empty_combo_gives_zero() {
         let (r, p, _i) = table1();
-        let s = similarity(&r[0], Some(&p[0]), &r[1], Some(&p[1]), AttrCombo::EMPTY, PathMode::Ipa);
+        let s = similarity(
+            &r[0],
+            Some(&p[0]),
+            &r[1],
+            Some(&p[1]),
+            AttrCombo::EMPTY,
+            PathMode::Ipa,
+        );
         assert_eq!(s, 0.0);
     }
 

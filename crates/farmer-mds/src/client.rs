@@ -26,7 +26,9 @@ impl ClientTier {
     pub fn new(num_hosts: usize, capacity: usize, local_hit_us: u64) -> Self {
         assert!(num_hosts > 0, "need at least one host");
         ClientTier {
-            caches: (0..num_hosts).map(|_| MetadataCache::new(capacity)).collect(),
+            caches: (0..num_hosts)
+                .map(|_| MetadataCache::new(capacity))
+                .collect(),
             local_hit_us,
         }
     }

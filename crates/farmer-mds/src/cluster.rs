@@ -101,7 +101,9 @@ pub fn replay_cluster(
             continue;
         }
         let shard = match cfg.partition {
-            Partition::Hash => (fx_hash_u64(event.file.raw() as u64) % cfg.num_servers as u64) as usize,
+            Partition::Hash => {
+                (fx_hash_u64(event.file.raw() as u64) % cfg.num_servers as u64) as usize
+            }
             Partition::Dev => (event.dev.raw() as usize) % cfg.num_servers,
         };
         let mut e: TraceEvent = *event;
@@ -119,7 +121,12 @@ pub fn replay_cluster(
         hits += cs.hits;
         demands += cs.demand_accesses;
     }
-    ClusterReport { latency, per_server_demands, hits, demands }
+    ClusterReport {
+        latency,
+        per_server_demands,
+        hits,
+        demands,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +148,11 @@ mod tests {
     fn all_demands_are_served() {
         let trace = WorkloadSpec::hp().scaled(0.05).generate();
         let r = replay_cluster(&trace, || Box::new(LruOnly), cfg(4, Partition::Hash));
-        let demands = trace.events.iter().filter(|e| e.op.is_metadata_demand()).count();
+        let demands = trace
+            .events
+            .iter()
+            .filter(|e| e.op.is_metadata_demand())
+            .count();
         assert_eq!(r.demands as usize, demands);
         assert_eq!(r.per_server_demands.iter().sum::<u64>() as usize, demands);
     }
@@ -175,11 +186,7 @@ mod tests {
         let trace = WorkloadSpec::hp().scaled(0.1).generate();
         let c = cfg(4, Partition::Hash);
         let lru = replay_cluster(&trace, || Box::new(LruOnly), c);
-        let fpa = replay_cluster(
-            &trace,
-            || Box::new(FpaPredictor::for_trace(&trace)),
-            c,
-        );
+        let fpa = replay_cluster(&trace, || Box::new(FpaPredictor::for_trace(&trace)), c);
         assert!(
             fpa.avg_response_ms() < lru.avg_response_ms(),
             "FPA {:.3} vs LRU {:.3}",
@@ -195,10 +202,7 @@ mod tests {
         let r = replay_cluster(&trace, || Box::new(LruOnly), cfg(4, Partition::Dev));
         // Dev routing is coarser, so some imbalance is expected — but every
         // request must still land somewhere.
-        assert_eq!(
-            r.per_server_demands.iter().sum::<u64>(),
-            r.demands
-        );
+        assert_eq!(r.per_server_demands.iter().sum::<u64>(), r.demands);
     }
 
     #[test]

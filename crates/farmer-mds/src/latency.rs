@@ -75,7 +75,13 @@ impl Default for LatencyStats {
 impl LatencyStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        LatencyStats { count: 0, sum_us: 0, max_us: 0, min_us: u64::MAX, buckets: [0; 36] }
+        LatencyStats {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            min_us: u64::MAX,
+            buckets: [0; 36],
+        }
     }
 
     /// Record one response time in microseconds.
@@ -200,7 +206,7 @@ mod tests {
         let p99 = s.percentile_us(0.99);
         assert!(p50 <= p95 && p95 <= p99);
         // p50 of uniform 1..10k sits near 5k; log buckets give [4096, 8192].
-        assert!(p50 >= 4096 && p50 <= 8192, "p50 = {p50}");
+        assert!((4096..=8192).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct LayoutConfig {
 
 impl Default for LayoutConfig {
     fn default() -> Self {
-        LayoutConfig { min_degree: 0.4, max_group: 8 }
+        LayoutConfig {
+            min_degree: 0.4,
+            max_group: 8,
+        }
     }
 }
 
@@ -77,7 +80,11 @@ pub fn plan_layout(farmer: &Farmer, trace: &Trace, cfg: LayoutConfig) -> Layout 
         }
     }
 
-    Layout { group_of, num_groups, grouped_files }
+    Layout {
+        group_of,
+        num_groups,
+        grouped_files,
+    }
 }
 
 /// Replay the trace's data reads against an OSD cluster, returning the
@@ -88,7 +95,11 @@ pub fn replay_reads(trace: &Trace, layout: Option<&Layout>, osd_cfg: OsdConfig) 
         cluster.set_layout(l.group_of.clone());
     }
     for e in &trace.events {
-        let bytes = if e.bytes > 0 { e.bytes } else { trace.meta_of(e.file).size.min(65536) };
+        let bytes = if e.bytes > 0 {
+            e.bytes
+        } else {
+            trace.meta_of(e.file).size.min(65536)
+        };
         cluster.read(e.file, bytes);
     }
     cluster.stats()
@@ -122,7 +133,10 @@ mod tests {
                 );
             }
         }
-        assert!(layout.num_groups > 0, "correlated namespace should form groups");
+        assert!(
+            layout.num_groups > 0,
+            "correlated namespace should form groups"
+        );
         assert!(layout.grouped_files >= 2 * layout.num_groups as usize);
     }
 
@@ -130,7 +144,10 @@ mod tests {
     fn groups_respect_size_cap() {
         let trace = WorkloadSpec::hp().scaled(0.1).generate();
         let farmer = mined(&trace);
-        let cfg = LayoutConfig { min_degree: 0.3, max_group: 4 };
+        let cfg = LayoutConfig {
+            min_degree: 0.3,
+            max_group: 4,
+        };
         let layout = plan_layout(&farmer, &trace, cfg);
         let mut sizes = std::collections::HashMap::new();
         for g in layout.group_of.iter().flatten() {
@@ -164,8 +181,22 @@ mod tests {
     fn higher_threshold_groups_fewer_files() {
         let trace = WorkloadSpec::hp().scaled(0.05).generate();
         let farmer = mined(&trace);
-        let loose = plan_layout(&farmer, &trace, LayoutConfig { min_degree: 0.2, max_group: 8 });
-        let strict = plan_layout(&farmer, &trace, LayoutConfig { min_degree: 0.8, max_group: 8 });
+        let loose = plan_layout(
+            &farmer,
+            &trace,
+            LayoutConfig {
+                min_degree: 0.2,
+                max_group: 8,
+            },
+        );
+        let strict = plan_layout(
+            &farmer,
+            &trace,
+            LayoutConfig {
+                min_degree: 0.8,
+                max_group: 8,
+            },
+        );
         assert!(strict.grouped_files <= loose.grouped_files);
     }
 }

@@ -22,7 +22,11 @@ pub struct OsdConfig {
 
 impl Default for OsdConfig {
     fn default() -> Self {
-        OsdConfig { num_osds: 8, seek_us: 8000, transfer_us_per_kib: 25 }
+        OsdConfig {
+            num_osds: 8,
+            seek_us: 8000,
+            transfer_us_per_kib: 25,
+        }
     }
 }
 
@@ -123,7 +127,7 @@ mod tests {
 
     #[test]
     fn scattered_reads_pay_seeks() {
-        let mut c = OsdCluster::new(OsdConfig::default(), 16);
+        let c = OsdCluster::new(OsdConfig::default(), 16);
         // All files on OSD 0 (num_osds=1 makes the locality state shared).
         let mut cfg = OsdConfig::default();
         cfg.num_osds = 1;
@@ -141,8 +145,8 @@ mod tests {
         cfg.num_osds = 1;
         let mut c = OsdCluster::new(cfg, 16);
         let mut layout = vec![None; 16];
-        for i in 0..4 {
-            layout[i] = Some(7);
+        for slot in layout.iter_mut().take(4) {
+            *slot = Some(7);
         }
         c.set_layout(layout);
         for i in 0..4 {

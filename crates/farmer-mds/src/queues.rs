@@ -90,7 +90,10 @@ mod tests {
     use super::*;
 
     fn req(file: u32, t: u64) -> PrefetchRequest {
-        PrefetchRequest { file: FileId::new(file), enqueued_at_us: t }
+        PrefetchRequest {
+            file: FileId::new(file),
+            enqueued_at_us: t,
+        }
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl ReplayConfig {
         };
         let mut mds = MdsConfig::default();
         mds.cache_capacity = cache_capacity;
-        ReplayConfig { mds, time_scale, ..Default::default() }
+        ReplayConfig {
+            mds,
+            time_scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -167,7 +171,11 @@ mod tests {
     fn replay_counts_all_demands() {
         let trace = WorkloadSpec::hp().scaled(0.02).generate();
         let r = replay(&trace, Box::new(LruOnly), ReplayConfig::default());
-        let demands = trace.events.iter().filter(|e| e.op.is_metadata_demand()).count();
+        let demands = trace
+            .events
+            .iter()
+            .filter(|e| e.op.is_metadata_demand())
+            .count();
         assert_eq!(r.latency.count() as usize, demands);
         assert!(r.avg_response_ms() > 0.0);
     }
@@ -248,7 +256,11 @@ mod tests {
     #[test]
     fn utilization_bounded() {
         let trace = WorkloadSpec::ins().scaled(0.05).generate();
-        let r = replay(&trace, Box::new(LruOnly), ReplayConfig::for_family(trace.family));
+        let r = replay(
+            &trace,
+            Box::new(LruOnly),
+            ReplayConfig::for_family(trace.family),
+        );
         assert!(r.utilization() > 0.0);
         assert!(r.utilization() <= 1.05, "utilization {}", r.utilization());
     }

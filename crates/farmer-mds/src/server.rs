@@ -156,7 +156,10 @@ impl MdsServer {
         let candidates = self.predictor.on_access(trace, event);
         for file in candidates.into_iter().take(self.cfg.prefetch_limit) {
             if file != event.file && !self.cache.contains(file) {
-                self.prefetch_q.push(PrefetchRequest { file, enqueued_at_us: completion });
+                self.prefetch_q.push(PrefetchRequest {
+                    file,
+                    enqueued_at_us: completion,
+                });
             }
         }
         response
@@ -261,7 +264,10 @@ mod tests {
             mds.demand(&trace, e);
         }
         let c = mds.counters();
-        assert!(c.prefetches_serviced > 0, "idle gaps should service prefetches");
+        assert!(
+            c.prefetches_serviced > 0,
+            "idle gaps should service prefetches"
+        );
         // Utilization sanity: busy time can't exceed the simulated horizon
         // plus one final service.
         let horizon = trace.events.last().unwrap().timestamp_us;

@@ -120,7 +120,12 @@ impl RecentPopularity {
     /// Predict only when a successor appears ≥ `j` times in the last `k`.
     pub fn new(j: usize, k: usize) -> Self {
         assert!(j >= 1 && k >= j, "need 1 <= j <= k");
-        RecentPopularity { j, k, last_file: None, recent: FxHashMap::default() }
+        RecentPopularity {
+            j,
+            k,
+            last_file: None,
+            recent: FxHashMap::default(),
+        }
     }
 }
 

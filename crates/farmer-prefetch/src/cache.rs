@@ -164,7 +164,11 @@ impl MetadataCache {
         if self.lru.len() >= self.capacity {
             self.evict_one();
         }
-        let slot = self.lru.push_front(Entry { file, origin, used: false });
+        let slot = self.lru.push_front(Entry {
+            file,
+            origin,
+            used: false,
+        });
         self.index.insert(file.raw(), slot);
     }
 

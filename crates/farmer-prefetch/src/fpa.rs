@@ -9,17 +9,34 @@
 //! comparing the correlation degree with a valid correlation degree
 //! threshold max_strength".
 
-use farmer_core::{Farmer, FarmerConfig};
+use farmer_core::{CorrelatorTable, Farmer, FarmerConfig};
 use farmer_trace::{FileId, Trace, TraceEvent};
 
 use crate::predictor::Predictor;
 
 /// The FARMER-enabled prefetcher.
+///
+/// Two operating modes:
+///
+/// * **Self-mining** (the default): every access is observed by the
+///   embedded [`Farmer`] and predictions come from its live correlator
+///   lists — the paper's single-node deployment.
+/// * **Externally mined**: [`FpaPredictor::refresh`] installs a
+///   [`CorrelatorTable`] produced elsewhere (typically a `farmer-stream`
+///   snapshot of the sharded online miner). Predictions are then served
+///   from the table, local mining is skipped (the mining cost lives on the
+///   mining tier), and each later `refresh` swaps in a newer view — the
+///   predictor follows the evolving workload *mid-simulation* without
+///   re-mining or restart.
 #[derive(Debug)]
 pub struct FpaPredictor {
     farmer: Farmer,
     /// Upper bound on candidates proposed per access (prefetch group size).
     pub group_limit: usize,
+    /// Externally mined correlator state; `Some` switches serving to it.
+    external: Option<CorrelatorTable>,
+    /// Stream position (events) of the installed table, for diagnostics.
+    external_events: u64,
 }
 
 impl FpaPredictor {
@@ -32,6 +49,8 @@ impl FpaPredictor {
         FpaPredictor {
             farmer: Farmer::new(cfg),
             group_limit: Self::DEFAULT_GROUP_LIMIT,
+            external: None,
+            external_events: 0,
         }
     }
 
@@ -57,6 +76,30 @@ impl FpaPredictor {
     pub fn farmer(&self) -> &Farmer {
         &self.farmer
     }
+
+    /// Install (or replace) an externally mined correlator table; see the
+    /// type-level docs for the serving-mode switch this implies.
+    /// `as_of_events` records which stream prefix the table reflects.
+    pub fn refresh(&mut self, table: CorrelatorTable, as_of_events: u64) {
+        self.external = Some(table);
+        self.external_events = as_of_events;
+    }
+
+    /// Drop the external table and return to self-mining.
+    pub fn clear_external(&mut self) {
+        self.external = None;
+        self.external_events = 0;
+    }
+
+    /// The installed external table, if any.
+    pub fn external(&self) -> Option<&CorrelatorTable> {
+        self.external.as_ref()
+    }
+
+    /// Stream position of the installed table (0 when self-mining).
+    pub fn external_events(&self) -> u64 {
+        self.external_events
+    }
 }
 
 impl Predictor for FpaPredictor {
@@ -65,6 +108,13 @@ impl Predictor for FpaPredictor {
     }
 
     fn on_access(&mut self, trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+        if let Some(table) = &self.external {
+            return table
+                .top(event.file, self.group_limit)
+                .iter()
+                .map(|c| c.file)
+                .collect();
+        }
         self.farmer.observe_event(trace, event);
         self.farmer
             .correlators(event.file)
@@ -76,6 +126,10 @@ impl Predictor for FpaPredictor {
 
     fn memory_bytes(&self) -> usize {
         self.farmer.memory_bytes()
+            + self
+                .external
+                .as_ref()
+                .map_or(0, CorrelatorTable::heap_bytes)
     }
 }
 
@@ -123,6 +177,71 @@ mod tests {
         for e in trace.events.iter().take(5000) {
             fpa.on_access(&trace, e);
         }
+        assert!(fpa.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn refresh_switches_serving_to_the_table() {
+        use farmer_core::{Correlator, CorrelatorList, CorrelatorTable};
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        // An external table that maps every access of file 0 to file 42.
+        let table: CorrelatorTable = vec![CorrelatorList::build(
+            FileId::new(0),
+            vec![Correlator {
+                file: FileId::new(42),
+                degree: 0.9,
+            }],
+            0.0,
+        )]
+        .into_iter()
+        .collect();
+        fpa.refresh(table, 1234);
+        assert_eq!(fpa.external_events(), 1234);
+        let e0 = trace
+            .events
+            .iter()
+            .find(|e| e.file == FileId::new(0))
+            .copied()
+            .unwrap_or_else(|| trace.events[0]);
+        let preds = fpa.on_access(&trace, &e0);
+        if e0.file == FileId::new(0) {
+            assert_eq!(preds, vec![FileId::new(42)]);
+        } else {
+            assert!(preds.is_empty(), "unknown file must predict nothing");
+        }
+        // Serving from the table does not mine locally.
+        assert_eq!(fpa.farmer().observed(), 0);
+        // Dropping the table returns to self-mining.
+        fpa.clear_external();
+        fpa.on_access(&trace, &trace.events[0]);
+        assert_eq!(fpa.farmer().observed(), 1);
+    }
+
+    #[test]
+    fn successive_refreshes_follow_the_miner() {
+        use farmer_core::{Correlator, CorrelatorList, CorrelatorTable};
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let make = |to: u32| -> CorrelatorTable {
+            vec![CorrelatorList::build(
+                FileId::new(0),
+                vec![Correlator {
+                    file: FileId::new(to),
+                    degree: 0.8,
+                }],
+                0.0,
+            )]
+            .into_iter()
+            .collect()
+        };
+        let mut e0 = trace.events[0];
+        e0.file = FileId::new(0);
+        fpa.refresh(make(7), 100);
+        assert_eq!(fpa.on_access(&trace, &e0), vec![FileId::new(7)]);
+        fpa.refresh(make(8), 200);
+        assert_eq!(fpa.on_access(&trace, &e0), vec![FileId::new(8)]);
+        assert_eq!(fpa.external_events(), 200);
         assert!(fpa.memory_bytes() > 0);
     }
 

@@ -70,11 +70,19 @@ impl<T> LruList<T> {
     pub fn push_front(&mut self, value: T) -> u32 {
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Node { prev: NIL, next: self.head, value: Some(value) };
+                self.nodes[i as usize] = Node {
+                    prev: NIL,
+                    next: self.head,
+                    value: Some(value),
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { prev: NIL, next: self.head, value: Some(value) });
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: self.head,
+                    value: Some(value),
+                });
                 (self.nodes.len() - 1) as Idx
             }
         };
@@ -151,12 +159,17 @@ impl<T> LruList<T> {
 
     /// Mutable access to a live slot's value.
     pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
-        self.nodes.get_mut(idx as usize).and_then(|n| n.value.as_mut())
+        self.nodes
+            .get_mut(idx as usize)
+            .and_then(|n| n.value.as_mut())
     }
 
     /// Iterate front (most-recent) to back (least-recent).
     pub fn iter(&self) -> LruIter<'_, T> {
-        LruIter { list: self, cur: self.head }
+        LruIter {
+            list: self,
+            cur: self.head,
+        }
     }
 
     /// Detach `idx` from its neighbours (does not free the slot).

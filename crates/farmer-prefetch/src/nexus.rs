@@ -93,7 +93,10 @@ impl NexusPredictor {
             if let Some(e) = list.iter_mut().find(|e| e.to == file) {
                 e.weight += w;
             } else if list.len() < self.max_successors {
-                list.push(Edge { to: file, weight: w });
+                list.push(Edge {
+                    to: file,
+                    weight: w,
+                });
             } else {
                 // Replace the weakest successor if the newcomer beats it.
                 let (idx, min_w) = list
@@ -103,7 +106,10 @@ impl NexusPredictor {
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("cap >= 1");
                 if w > min_w {
-                    list[idx] = Edge { to: file, weight: w };
+                    list[idx] = Edge {
+                        to: file,
+                        weight: w,
+                    };
                 }
             }
         }
@@ -130,8 +136,8 @@ impl Predictor for NexusPredictor {
 
     fn memory_bytes(&self) -> usize {
         self.edges
-            .iter()
-            .map(|(_, v)| v.capacity() * std::mem::size_of::<Edge>() + 16)
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<Edge>() + 16)
             .sum::<usize>()
             + self.history.capacity() * 4
     }
@@ -197,7 +203,11 @@ mod tests {
         n.on_access(&t, &ev(0, 0));
         n.on_access(&t, &ev(1, 1)); // single weak observation
         let cands = n.on_access(&t, &ev(2, 0));
-        assert_eq!(cands, vec![FileId::new(1)], "Nexus prefetches without filtering");
+        assert_eq!(
+            cands,
+            vec![FileId::new(1)],
+            "Nexus prefetches without filtering"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl ProbabilityGraph {
     /// Fully parameterized constructor.
     pub fn new(window: usize, min_chance: f64, group_limit: usize) -> Self {
         assert!(window >= 1, "window must be positive");
-        assert!((0.0..=1.0).contains(&min_chance), "chance must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&min_chance),
+            "chance must be a probability"
+        );
         ProbabilityGraph {
             window,
             min_chance,
@@ -55,9 +58,7 @@ impl ProbabilityGraph {
     /// Estimated probability that `to` follows `from` within the window.
     pub fn chance(&self, from: FileId, to: FileId) -> f64 {
         match self.nodes.get(&from.raw()) {
-            Some(n) if n.total > 0 => {
-                *n.succ.get(&to.raw()).unwrap_or(&0) as f64 / n.total as f64
-            }
+            Some(n) if n.total > 0 => *n.succ.get(&to.raw()).unwrap_or(&0) as f64 / n.total as f64,
             _ => 0.0,
         }
     }
@@ -120,7 +121,13 @@ mod tests {
     use farmer_trace::{HostId, ProcId, UserId, WorkloadSpec};
 
     fn ev(seq: u64, file: u32) -> TraceEvent {
-        TraceEvent::synthetic(seq, FileId::new(file), UserId::new(0), ProcId::new(1), HostId::new(0))
+        TraceEvent::synthetic(
+            seq,
+            FileId::new(file),
+            UserId::new(0),
+            ProcId::new(1),
+            HostId::new(0),
+        )
     }
 
     fn t() -> Trace {

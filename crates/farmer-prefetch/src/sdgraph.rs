@@ -92,7 +92,13 @@ impl Predictor for SdGraph {
         };
         let mut cands: Vec<(u32, f64, u32)> = rels
             .iter()
-            .map(|(&f, r)| (f, r.sum_distance as f64 / r.observations.max(1) as f64, r.observations))
+            .map(|(&f, r)| {
+                (
+                    f,
+                    r.sum_distance as f64 / r.observations.max(1) as f64,
+                    r.observations,
+                )
+            })
             .collect();
         // Closest average distance first; more observations break ties.
         cands.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.2.cmp(&a.2)));
@@ -118,7 +124,13 @@ mod tests {
     use farmer_trace::{HostId, ProcId, UserId, WorkloadSpec};
 
     fn ev(seq: u64, file: u32) -> TraceEvent {
-        TraceEvent::synthetic(seq, FileId::new(file), UserId::new(0), ProcId::new(1), HostId::new(0))
+        TraceEvent::synthetic(
+            seq,
+            FileId::new(file),
+            UserId::new(0),
+            ProcId::new(1),
+            HostId::new(0),
+        )
     }
 
     fn t() -> Trace {
@@ -188,7 +200,10 @@ mod tests {
         let cfg = SimConfig::for_family(trace.family);
         let sd = simulate(&trace, &mut SdGraph::classic(), cfg);
         let fpa = simulate(&trace, &mut FpaPredictor::for_trace(&trace), cfg);
-        assert!(sd.stats.prefetches_issued > 0, "SD graph must actually prefetch");
+        assert!(
+            sd.stats.prefetches_issued > 0,
+            "SD graph must actually prefetch"
+        );
         assert!(
             fpa.hit_ratio() > sd.hit_ratio(),
             "FPA {:.3} must beat sequence-only SD graph {:.3}",

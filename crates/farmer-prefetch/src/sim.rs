@@ -32,7 +32,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { cache_capacity: 512, prefetch_limit: 4 }
+        SimConfig {
+            cache_capacity: 512,
+            prefetch_limit: 4,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl SimConfig {
             TraceFamily::Res => 128,
             TraceFamily::Hp => 256,
         };
-        SimConfig { cache_capacity, prefetch_limit: 4 }
+        SimConfig {
+            cache_capacity,
+            prefetch_limit: 4,
+        }
     }
 }
 

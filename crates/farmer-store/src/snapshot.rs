@@ -103,7 +103,7 @@ mod tests {
             file: FileId::new(file),
             size,
             dev: file % 3,
-            read_only: file % 2 == 0,
+            read_only: file.is_multiple_of(2),
             group: None,
         }
     }
@@ -116,17 +116,26 @@ mod tests {
         }
         s.put_correlators(
             FileId::new(1),
-            &[CorrelatorRecord { file: FileId::new(2), degree: 0.75 }],
+            &[CorrelatorRecord {
+                file: FileId::new(2),
+                degree: 0.75,
+            }],
         );
         let image = s.snapshot();
         let mut restored = MetaStore::restore(&image).expect("restore");
         assert_eq!(restored.metadata_len(), 500);
         for i in (0..500).step_by(37) {
-            assert_eq!(restored.get_metadata(FileId::new(i)).0, Some(rec(i, i as u64 * 10)));
+            assert_eq!(
+                restored.get_metadata(FileId::new(i)).0,
+                Some(rec(i, i as u64 * 10))
+            );
         }
         assert_eq!(
             restored.get_correlators(FileId::new(1)),
-            Some(vec![CorrelatorRecord { file: FileId::new(2), degree: 0.75 }])
+            Some(vec![CorrelatorRecord {
+                file: FileId::new(2),
+                degree: 0.75
+            }])
         );
     }
 
@@ -140,8 +149,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(MetaStore::restore(b"NOTASNAP"), Err(SnapshotError::BadMagic)));
-        assert!(matches!(MetaStore::restore(b""), Err(SnapshotError::BadMagic)));
+        assert!(matches!(
+            MetaStore::restore(b"NOTASNAP"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            MetaStore::restore(b""),
+            Err(SnapshotError::BadMagic)
+        ));
     }
 
     #[test]
@@ -152,7 +167,10 @@ mod tests {
         }
         let image = s.snapshot();
         let cut = &image[..image.len() / 2];
-        assert!(matches!(MetaStore::restore(cut), Err(SnapshotError::Decode(_))));
+        assert!(matches!(
+            MetaStore::restore(cut),
+            Err(SnapshotError::Decode(_))
+        ));
     }
 
     proptest! {

@@ -204,7 +204,11 @@ impl MetaStore {
 
     /// Rebuild a store from restored trees (snapshot machinery).
     pub(crate) fn from_tables(metadata: BTree, correlators: BTree) -> MetaStore {
-        MetaStore { metadata, correlators, stats: IoStats::default() }
+        MetaStore {
+            metadata,
+            correlators,
+            stats: IoStats::default(),
+        }
     }
 
     fn sync_io(&mut self) {
@@ -225,8 +229,8 @@ mod tests {
             file: FileId::new(file),
             size,
             dev: file % 4,
-            read_only: file % 2 == 0,
-            group: (file % 3 == 0).then_some(file / 3),
+            read_only: file.is_multiple_of(2),
+            group: file.is_multiple_of(3).then_some(file / 3),
         }
     }
 
@@ -269,8 +273,14 @@ mod tests {
     fn correlator_lists_roundtrip() {
         let mut s = MetaStore::new();
         let list = vec![
-            CorrelatorRecord { file: FileId::new(2), degree: 0.9 },
-            CorrelatorRecord { file: FileId::new(3), degree: 0.5 },
+            CorrelatorRecord {
+                file: FileId::new(2),
+                degree: 0.9,
+            },
+            CorrelatorRecord {
+                file: FileId::new(3),
+                degree: 0.5,
+            },
         ];
         s.put_correlators(FileId::new(1), &list);
         assert_eq!(s.get_correlators(FileId::new(1)), Some(list));

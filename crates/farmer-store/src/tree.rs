@@ -86,7 +86,11 @@ impl BTree {
             len: 0,
             io: TreeIo::default(),
         };
-        t.root = t.alloc(Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: NIL });
+        t.root = t.alloc(Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            next: NIL,
+        });
         t
     }
 
@@ -147,7 +151,10 @@ impl BTree {
         let (inserted, split) = self.insert_rec(self.root, key, value);
         if let Some((sep, right)) = split {
             let old_root = self.root;
-            self.root = self.alloc(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
         }
         if inserted {
             self.len += 1;
@@ -207,7 +214,10 @@ impl BTree {
 
     /// All keys in order (test/diagnostic helper).
     pub fn keys(&mut self) -> Vec<u64> {
-        self.range(0, u64::MAX).into_iter().map(|(k, _)| k).collect()
+        self.range(0, u64::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
     }
 
     /// Approximate resident bytes (slab + values).
@@ -363,8 +373,11 @@ impl BTree {
         let right_vals = vals.split_off(mid);
         let old_next = *next;
         let sep = right_keys[0];
-        let right =
-            self.alloc(Node::Leaf { keys: right_keys, vals: right_vals, next: old_next });
+        let right = self.alloc(Node::Leaf {
+            keys: right_keys,
+            vals: right_vals,
+            next: old_next,
+        });
         let Node::Leaf { next, .. } = &mut self.nodes[node as usize] else {
             unreachable!();
         };
@@ -382,7 +395,10 @@ impl BTree {
         let right_keys = keys.split_off(mid + 1);
         keys.pop(); // drop the separator: it moves up
         let right_children = children.split_off(mid + 1);
-        let right = self.alloc(Node::Internal { keys: right_keys, children: right_children });
+        let right = self.alloc(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
         self.io.page_writes += 1;
         (sep, right)
     }
@@ -395,7 +411,11 @@ impl BTree {
                 self.free.push(i as u32);
             }
         }
-        self.root = self.alloc(Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: NIL });
+        self.root = self.alloc(Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            next: NIL,
+        });
     }
 }
 
@@ -482,7 +502,7 @@ mod tests {
         }
         let d = t.depth();
         // order 4 -> between log_5(1000) ~ 4.3 and log_2(1000) ~ 10.
-        assert!(d >= 4 && d <= 11, "depth {d}");
+        assert!((4..=11).contains(&d), "depth {d}");
         t.check_invariants().unwrap();
     }
 

@@ -1,0 +1,379 @@
+//! The bounded-memory streaming miner: one shard's engine.
+//!
+//! [`StreamMiner`] wraps a [`Farmer`] and enforces a hard budget on the
+//! state the miner may retain, using the two mechanisms tiered-storage and
+//! metadata-analytics systems rely on for per-file state at scale:
+//!
+//! * **Space-Saving-style heavy-hitter retention** — every *owned* file
+//!   carries an access counter. When a new file arrives at a full table,
+//!   the lowest-count files are evicted (in amortizing batches) and the
+//!   newcomer inherits the smallest evicted count as its starting value —
+//!   the classic Space-Saving over-count bound, which guarantees genuinely
+//!   hot files are never displaced by a parade of cold ones.
+//! * **Exponential decay** — counters are periodically multiplied by
+//!   `count_decay < 1`, so retention ranks files by *recent* heat rather
+//!   than all-time totals, and the wrapped miner's own `decay`/`prune`
+//!   configuration ages edge masses the same way.
+//!
+//! Eviction is *complete*: a victim's access count, learned path, node,
+//! incoming edges and window entries all go (via [`Farmer::forget_files`]),
+//! so a later access re-admits it as a brand-new file. The invariants the
+//! property tests pin down:
+//!
+//! * active graph nodes ≤ `node_cap`,
+//! * live edges ≤ `node_cap × max_successors`,
+//!
+//! for *any* input stream, however long and however many distinct files.
+//!
+//! **Scope of the bound.** The cap governs the *heavy* per-file state —
+//! edges, paths, counters, access totals, which dominate resident memory
+//! and are what [`StreamMiner::state_bytes`] reports. The correlation
+//! graph's dense index spine (one empty slot per file id ever observed,
+//! ~56 bytes) is *not* reclaimed on eviction and grows with the id
+//! universe. File ids in this workspace are dense per namespace by
+//! construction ([`farmer_trace::ids::Interner`]), so the spine is
+//! bounded by the namespace size, not the stream length; a deployment
+//! over an open-ended universe must recycle ids at the interning layer
+//! (or the graph needs sparse/slotted node storage — a known follow-up,
+//! see ROADMAP).
+
+use farmer_core::{CorrelatorList, Farmer, Request};
+use farmer_trace::hash::{fx_hash_u64, FxHashMap};
+use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
+
+use crate::snapshot::ShardSnapshot;
+use crate::StreamConfig;
+
+/// Does `shard_id` (of `num_shards`) own `file`? Mirrors the Fx-hash
+/// namespace routing of `farmer-mds::cluster`'s [`Partition::Hash`].
+#[inline]
+pub fn owns_file(file: FileId, shard_id: usize, num_shards: usize) -> bool {
+    num_shards <= 1 || (fx_hash_u64(u64::from(file.raw())) as usize) % num_shards == shard_id
+}
+
+/// One shard's bounded-memory online miner.
+#[derive(Debug)]
+pub struct StreamMiner {
+    cfg: StreamConfig,
+    farmer: Farmer,
+    shard_id: usize,
+    num_shards: usize,
+    /// Space-Saving access counters for the owned, currently-tracked files.
+    counts: FxHashMap<u32, f64>,
+    /// Count inherited by newcomers (the smallest count evicted so far):
+    /// the Space-Saving over-estimation floor.
+    count_floor: f64,
+    events_seen: u64,
+    owned_events: u64,
+    evictions: u64,
+}
+
+impl StreamMiner {
+    /// A standalone (unsharded) miner: owns every file.
+    pub fn new(cfg: StreamConfig) -> Self {
+        Self::for_shard(cfg, 0, 1)
+    }
+
+    /// The miner for `shard_id` of `num_shards`; it accounts only for files
+    /// it owns, but expects to receive the *full* event stream so its
+    /// look-ahead window carries the global access order.
+    pub fn for_shard(cfg: StreamConfig, shard_id: usize, num_shards: usize) -> Self {
+        assert!(shard_id < num_shards, "shard_id out of range");
+        let farmer = Farmer::new(cfg.farmer.clone());
+        StreamMiner {
+            cfg,
+            farmer,
+            shard_id,
+            num_shards,
+            counts: FxHashMap::default(),
+            count_floor: 0.0,
+            events_seen: 0,
+            owned_events: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Does this miner own `file`?
+    #[inline]
+    pub fn owns(&self, file: FileId) -> bool {
+        owns_file(file, self.shard_id, self.num_shards)
+    }
+
+    /// Ingest one request. `path` (when the front-end knows it) must be
+    /// supplied on every call, exactly as [`Farmer::observe`] expects.
+    pub fn ingest(&mut self, req: Request, path: Option<&FilePath>) {
+        self.events_seen += 1;
+        if self.owns(req.file) {
+            self.owned_events += 1;
+            self.admit(req.file);
+        }
+        let (shard_id, num_shards) = (self.shard_id, self.num_shards);
+        self.farmer
+            .observe_where(req, path, |f| owns_file(f, shard_id, num_shards));
+
+        if self.cfg.decay_interval > 0
+            && self.events_seen.is_multiple_of(self.cfg.decay_interval)
+            && self.cfg.count_decay < 1.0
+        {
+            for c in self.counts.values_mut() {
+                *c *= self.cfg.count_decay;
+            }
+            self.count_floor *= self.cfg.count_decay;
+        }
+    }
+
+    /// Convenience: ingest a trace event (runs the Stage-1 extractor).
+    pub fn ingest_event(&mut self, trace: &Trace, e: &TraceEvent) {
+        let req = Request::from_event(e);
+        self.ingest(req, trace.path_of(e.file));
+    }
+
+    /// Bump `file`'s counter, admitting (and evicting) as needed.
+    fn admit(&mut self, file: FileId) {
+        if let Some(c) = self.counts.get_mut(&file.raw()) {
+            *c += 1.0;
+            return;
+        }
+        if self.counts.len() >= self.cfg.node_cap {
+            self.evict_batch();
+        }
+        self.counts.insert(file.raw(), self.count_floor + 1.0);
+    }
+
+    /// Evict the lowest-count files in one amortizing sweep and raise the
+    /// Space-Saving floor to the largest count evicted.
+    fn evict_batch(&mut self) {
+        let batch = self.cfg.effective_evict_batch().min(self.counts.len());
+        if batch == 0 {
+            return;
+        }
+        let mut entries: Vec<(u32, f64)> = self.counts.iter().map(|(&f, &c)| (f, c)).collect();
+        entries.select_nth_unstable_by(batch - 1, |a, b| a.1.total_cmp(&b.1));
+        let victims: Vec<FileId> = entries[..batch]
+            .iter()
+            .map(|&(f, _)| FileId::new(f))
+            .collect();
+        let evicted_max = entries[..batch]
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(self.count_floor, f64::max);
+        for v in &victims {
+            self.counts.remove(&v.raw());
+        }
+        self.farmer.forget_files(&victims);
+        self.count_floor = evicted_max;
+        self.evictions += batch as u64;
+    }
+
+    /// A consistent snapshot of this shard's state: every tracked owned
+    /// file's Correlator List (empty lists omitted) plus counters.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let mut lists: Vec<CorrelatorList> = self
+            .counts
+            .keys()
+            .filter_map(|&raw| {
+                let list = self.farmer.correlators(FileId::new(raw));
+                (!list.is_empty()).then_some(list)
+            })
+            .collect();
+        lists.sort_by_key(|l| l.owner.raw());
+        ShardSnapshot {
+            shard_id: self.shard_id,
+            lists,
+            events_seen: self.events_seen,
+            owned_events: self.owned_events,
+            tracked_files: self.counts.len(),
+            evictions: self.evictions,
+            state_bytes: self.state_bytes(),
+        }
+    }
+
+    /// The wrapped model (diagnostics, tests).
+    pub fn farmer(&self) -> &Farmer {
+        &self.farmer
+    }
+
+    /// Number of currently tracked (owned, live) files. Never exceeds the
+    /// configured `node_cap`.
+    pub fn tracked_files(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total events ingested (owned or not).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Events whose file this shard owns.
+    pub fn owned_events(&self) -> u64 {
+        self.owned_events
+    }
+
+    /// Total files evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate resident heap bytes: the wrapped model plus the
+    /// counter table.
+    pub fn state_bytes(&self) -> usize {
+        self.farmer.memory_bytes() + self.counts.len() * (std::mem::size_of::<(u32, f64)>() + 8)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::{DevId, HostId, ProcId, UserId, WorkloadSpec};
+
+    fn req(file: u32, uid: u32) -> Request {
+        Request {
+            file: FileId::new(file),
+            uid: UserId::new(uid),
+            pid: ProcId::new(uid),
+            host: HostId::new(0),
+            dev: DevId::new(0),
+        }
+    }
+
+    fn small_cfg(cap: usize) -> StreamConfig {
+        StreamConfig::default().with_node_cap(cap)
+    }
+
+    #[test]
+    fn cap_is_never_exceeded() {
+        let cap = 16;
+        let mut m = StreamMiner::new(small_cfg(cap));
+        for i in 0..5_000u32 {
+            m.ingest(req(i % 400, i % 7), None);
+            assert!(
+                m.tracked_files() <= cap,
+                "tracked {} > cap",
+                m.tracked_files()
+            );
+            assert!(m.farmer().graph().active_nodes() <= cap);
+            let max_edges = cap * m.config().farmer.max_successors;
+            assert!(m.farmer().graph().num_edges() <= max_edges);
+        }
+        assert!(m.evictions() > 0, "400 distinct files must force evictions");
+    }
+
+    #[test]
+    fn heavy_hitters_survive_cold_parade() {
+        // Two hot files interleaved with a stream of one-shot cold files:
+        // Space-Saving retention must keep the hot pair tracked throughout.
+        let mut m = StreamMiner::new(small_cfg(8));
+        for cold in 100u32..2_100 {
+            m.ingest(req(0, 1), None);
+            m.ingest(req(1, 1), None);
+            m.ingest(req(cold, 1), None);
+        }
+        let snap = m.snapshot();
+        let hot = snap.lists.iter().find(|l| l.owner == FileId::new(0));
+        assert!(hot.is_some(), "hot file evicted by cold parade");
+        assert!(m.tracked_files() <= 8);
+    }
+
+    #[test]
+    fn eviction_is_complete_and_readmission_works() {
+        let mut m = StreamMiner::new(small_cfg(4));
+        // Build up correlations among files 0..4, then flood with new ones.
+        for _ in 0..50 {
+            for f in 0..4 {
+                m.ingest(req(f, 1), None);
+            }
+        }
+        for f in 10..200u32 {
+            for _ in 0..20 {
+                m.ingest(req(f, 2), None);
+                m.ingest(req(f + 1000, 2), None);
+            }
+        }
+        // The early files are gone entirely from graph + counters.
+        assert!(m.tracked_files() <= 4);
+        assert!(m.farmer().graph().active_nodes() <= 4);
+        // Re-admission of an evicted file works and is fresh.
+        m.ingest(req(0, 1), None);
+        assert!(m.counts.contains_key(&0));
+    }
+
+    #[test]
+    fn unsharded_miner_matches_batch_farmer() {
+        // With a cap no stream can hit, the stream engine is just Farmer.
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let cfg = StreamConfig::default().with_node_cap(1 << 20);
+        let mut m = StreamMiner::new(cfg.clone());
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        let batch = Farmer::mine_trace(&trace, cfg.farmer.clone());
+        assert_eq!(m.farmer().graph().num_edges(), batch.graph().num_edges());
+        for f in 0..trace.num_files() as u32 {
+            let a = m.farmer().correlators(FileId::new(f));
+            let b = batch.correlators(FileId::new(f));
+            assert_eq!(a.len(), b.len(), "list length diverged for f{f}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.file, y.file);
+                assert!((x.degree - y.degree).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn count_decay_shifts_retention_to_recent_heat() {
+        // File 0 is hot early then never again; files 50.. are hot late.
+        // With decay, the stale hot file must eventually be evictable.
+        let mut cfg = small_cfg(4);
+        cfg.count_decay = 0.5;
+        cfg.decay_interval = 64;
+        let mut m = StreamMiner::new(cfg);
+        for _ in 0..300 {
+            m.ingest(req(0, 1), None);
+        }
+        for round in 0..400u32 {
+            for f in 50..56 {
+                m.ingest(req(f, 2), None);
+            }
+            let _ = round;
+        }
+        assert!(
+            !m.counts.contains_key(&0),
+            "stale hot file survived decayed retention"
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_owned_live_lists_only() {
+        let mut m = StreamMiner::new(small_cfg(64));
+        for _ in 0..30 {
+            m.ingest(req(1, 1), None);
+            m.ingest(req(2, 1), None);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.shard_id, 0);
+        assert_eq!(snap.events_seen, 60);
+        assert_eq!(snap.owned_events, 60);
+        assert!(snap.tracked_files >= 2);
+        assert!(snap.state_bytes > 0);
+        for l in &snap.lists {
+            assert!(!l.is_empty());
+            assert!(m.counts.contains_key(&l.owner.raw()));
+        }
+    }
+
+    #[test]
+    fn sharded_ownership_partitions_disjointly() {
+        let n = 4;
+        for f in 0..1000u32 {
+            let owners: Vec<usize> = (0..n)
+                .filter(|&s| owns_file(FileId::new(f), s, n))
+                .collect();
+            assert_eq!(owners.len(), 1, "file {f} owned by {owners:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The shard layer: N miner shards behind bounded channels.
+//!
+//! [`ShardedMiner`] is the parallel front of the streaming subsystem. It
+//! mirrors the namespace partitioning of `farmer-mds::cluster`
+//! (`Partition::Hash`, Fx-hash of the file id) but for *mining* instead of
+//! serving: each shard runs a [`StreamMiner`] on its own worker thread and
+//! owns a disjoint slice of the file namespace.
+//!
+//! Routing **broadcasts** every event to every shard: a shard needs the
+//! full stream so its look-ahead window reflects the true global access
+//! order (window context is what makes the shard union exactly equal the
+//! batch model — see [`farmer_core::Farmer::observe_where`]). The expensive
+//! work — similarity evaluation and edge updates, which only happen for
+//! *owned* windowed predecessors — still splits ~1/N per shard, which is
+//! where the multi-shard throughput scaling comes from.
+//!
+//! Events travel in batches (`route_batch`) over *bounded* channels
+//! (`channel_capacity` batches): a shard that falls behind eventually
+//! blocks the router — back-pressure, not unbounded queueing — so resident
+//! memory stays capped end to end.
+
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use farmer_core::Request;
+use farmer_trace::hash::FxHashMap;
+use farmer_trace::{FilePath, Trace, TraceEvent};
+
+use crate::engine::StreamMiner;
+use crate::snapshot::{ShardSnapshot, StreamSnapshot};
+use crate::StreamConfig;
+
+/// One routed request: the attribute tuple plus (for path-bearing traces)
+/// the file's path. The path is `Arc`-shared across the N per-shard copies
+/// of the broadcast, so fan-out costs one reference-count bump per shard
+/// instead of one heap allocation — this is what keeps the router off the
+/// critical path at high shard counts.
+#[derive(Debug, Clone)]
+struct EventMsg {
+    req: Request,
+    path: Option<Arc<FilePath>>,
+}
+
+/// Router → shard messages. FIFO channel order is what makes snapshots
+/// consistent: a marker enqueued after a set of batches is only answered
+/// once exactly those batches have been mined.
+enum Msg {
+    Batch(Vec<EventMsg>),
+    Snapshot(mpsc::Sender<ShardSnapshot>),
+    Flush(mpsc::Sender<()>),
+}
+
+/// A sharded, threaded, bounded-memory online miner.
+pub struct ShardedMiner {
+    cfg: StreamConfig,
+    senders: Vec<SyncSender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    pending: Vec<EventMsg>,
+    /// Per-file shared path, so routing costs one allocation per distinct
+    /// file instead of one per event (see [`ShardedMiner::route`]).
+    path_cache: FxHashMap<u32, Arc<FilePath>>,
+    routed: u64,
+}
+
+impl ShardedMiner {
+    /// Spawn `cfg.num_shards` worker threads, each owning one shard's
+    /// [`StreamMiner`] (with `cfg.node_cap` applying per shard).
+    pub fn spawn(cfg: StreamConfig) -> Self {
+        let n = cfg.num_shards.max(1);
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for shard_id in 0..n {
+            let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
+            let miner = StreamMiner::for_shard(cfg.clone(), shard_id, n);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("farmer-stream-shard-{shard_id}"))
+                    .spawn(move || shard_worker(miner, rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        ShardedMiner {
+            cfg,
+            senders,
+            handles,
+            pending: Vec::new(),
+            path_cache: FxHashMap::default(),
+            routed: 0,
+        }
+    }
+
+    /// Path-cache size at which the cache is reset (bounds router memory
+    /// on open-ended file universes at ~24 MiB of map spine).
+    const PATH_CACHE_LIMIT: usize = 1 << 20;
+
+    /// Route one request into the subsystem. Blocks only when every queue
+    /// slot is full (back-pressure).
+    pub fn route(&mut self, req: Request, path: Option<&FilePath>) {
+        // One shared allocation per distinct file, not per event: paths are
+        // learn-once per file downstream (`Farmer::learn_path`), so caching
+        // by file id is sound. The cache is cleared if it ever reaches
+        // PATH_CACHE_LIMIT so an open-ended file universe cannot grow it
+        // without bound.
+        let path = path.map(|p| {
+            if self.path_cache.len() >= Self::PATH_CACHE_LIMIT {
+                self.path_cache.clear();
+            }
+            self.path_cache
+                .entry(req.file.raw())
+                .or_insert_with(|| Arc::new(p.clone()))
+                .clone()
+        });
+        self.pending.push(EventMsg { req, path });
+        self.routed += 1;
+        if self.pending.len() >= self.cfg.route_batch.max(1) {
+            self.dispatch();
+        }
+    }
+
+    /// Convenience: route a trace event (runs the Stage-1 extraction).
+    pub fn route_event(&mut self, trace: &Trace, e: &TraceEvent) {
+        self.route(Request::from_event(e), trace.path_of(e.file));
+    }
+
+    /// Broadcast the pending batch to every shard.
+    fn dispatch(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let (last, rest) = self.senders.split_last().expect("at least one shard");
+        for tx in rest {
+            tx.send(Msg::Batch(batch.clone()))
+                .expect("shard worker died");
+        }
+        last.send(Msg::Batch(batch)).expect("shard worker died");
+    }
+
+    /// Barrier: block until every shard has mined everything routed so far.
+    pub fn flush(&mut self) {
+        self.dispatch();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(Msg::Flush(ack_tx.clone()))
+                .expect("shard worker died");
+        }
+        drop(ack_tx);
+        for _ in 0..self.senders.len() {
+            ack_rx.recv().expect("shard worker died during flush");
+        }
+    }
+
+    /// Take a consistent snapshot: the merged Correlator Lists of every
+    /// shard, reflecting exactly the events routed before this call.
+    pub fn snapshot(&mut self) -> StreamSnapshot {
+        self.dispatch();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(Msg::Snapshot(reply_tx.clone()))
+                .expect("shard worker died");
+        }
+        drop(reply_tx);
+        let parts: Vec<ShardSnapshot> = reply_rx.iter().collect();
+        assert_eq!(parts.len(), self.senders.len(), "lost a shard reply");
+        StreamSnapshot::merge(parts)
+    }
+
+    /// Number of miner shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Events routed so far (including any still buffered).
+    pub fn events_routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+}
+
+impl Drop for ShardedMiner {
+    fn drop(&mut self) {
+        // Deliver what is buffered (best-effort), then hang up: workers
+        // exit when the channel disconnects.
+        if !self.pending.is_empty() {
+            let batch = std::mem::take(&mut self.pending);
+            for tx in &self.senders {
+                let _ = tx.send(Msg::Batch(batch.clone()));
+            }
+        }
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker loop: mine batches, answer markers, exit on disconnect.
+fn shard_worker(mut miner: StreamMiner, rx: Receiver<Msg>) {
+    for msg in rx {
+        match msg {
+            Msg::Batch(events) => {
+                for ev in &events {
+                    miner.ingest(ev.req, ev.path.as_deref());
+                }
+            }
+            Msg::Snapshot(reply) => {
+                let _ = reply.send(miner.snapshot());
+            }
+            Msg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_core::{Farmer, FarmerConfig};
+    use farmer_trace::{FileId, WorkloadSpec};
+
+    #[test]
+    fn snapshot_reflects_exactly_the_routed_prefix() {
+        let trace = WorkloadSpec::ins().scaled(0.01).generate();
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(3));
+        let half = trace.len() / 2;
+        for e in trace.events.iter().take(half) {
+            m.route_event(&trace, e);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.events, half as u64);
+        assert_eq!(snap.shards, 3);
+        for e in trace.events.iter().skip(half) {
+            m.route_event(&trace, e);
+        }
+        let snap2 = m.snapshot();
+        assert_eq!(snap2.events, trace.len() as u64);
+        assert!(snap2.num_lists() >= snap.num_lists() / 2, "state collapsed");
+    }
+
+    #[test]
+    fn sharded_union_equals_batch_exactly_without_eviction() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let cfg = StreamConfig::default()
+            .with_shards(4)
+            .with_node_cap(1 << 20);
+        let mut m = ShardedMiner::spawn(cfg);
+        for e in &trace.events {
+            m.route_event(&trace, e);
+        }
+        let snap = m.snapshot();
+        let batch = Farmer::mine_trace(&trace, FarmerConfig::default());
+        for f in 0..trace.num_files() as u32 {
+            let want = batch.correlators(FileId::new(f));
+            match snap.correlators(FileId::new(f)) {
+                Some(got) => {
+                    assert_eq!(got.len(), want.len(), "list length diverged for f{f}");
+                    for (g, w) in got.iter().zip(want.iter()) {
+                        assert_eq!(g.file, w.file, "successor diverged for f{f}");
+                        assert!((g.degree - w.degree).abs() < 1e-12);
+                    }
+                }
+                None => assert!(want.is_empty(), "missing list for f{f}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_channels_do_not_deadlock() {
+        let trace = WorkloadSpec::res().scaled(0.01).generate();
+        let mut cfg = StreamConfig::default().with_shards(2);
+        cfg.channel_capacity = 1;
+        cfg.route_batch = 8;
+        let mut m = ShardedMiner::spawn(cfg);
+        for e in trace.stream().take(3 * trace.len()) {
+            m.route_event(&trace, &e);
+        }
+        m.flush();
+        assert_eq!(m.events_routed(), 3 * trace.len() as u64);
+    }
+
+    #[test]
+    fn drop_with_buffered_events_joins_cleanly() {
+        let trace = WorkloadSpec::ins().scaled(0.005).generate();
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(2));
+        for e in trace.events.iter().take(13) {
+            m.route_event(&trace, e); // fewer than a route batch: stays pending
+        }
+        drop(m); // must not hang or panic
+    }
+}

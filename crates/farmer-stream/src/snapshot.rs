@@ -1,0 +1,168 @@
+//! Consistent snapshots of the streaming miner's correlator state.
+//!
+//! A snapshot is the bridge from the always-running miner to its consumers
+//! (prefetchers, layout planners, security compilers): a point-in-time,
+//! read-only view of every live Correlator List. [`ShardSnapshot`] is one
+//! shard's contribution; [`StreamSnapshot::merge`] combines the disjoint
+//! per-shard views into one [`CorrelatorTable`] that
+//! `farmer-prefetch::FpaPredictor::refresh` can swap in mid-simulation.
+//!
+//! **Consistency model.** [`crate::ShardedMiner::snapshot`] first flushes
+//! its route buffers, then enqueues a snapshot marker on every shard's
+//! FIFO inbox. Each shard answers after processing exactly the events
+//! routed before the marker, so the merged view corresponds to one precise
+//! prefix of the input stream — a consistent cut, not a racy sample.
+
+use farmer_core::{CorrelatorList, CorrelatorTable};
+use farmer_trace::FileId;
+
+/// One shard's point-in-time state.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Which shard produced this.
+    pub shard_id: usize,
+    /// Correlator Lists of the shard's live owned files (empty lists
+    /// omitted), sorted by owner id.
+    pub lists: Vec<CorrelatorList>,
+    /// Events this shard has ingested (the routed prefix length).
+    pub events_seen: u64,
+    /// Events whose file this shard owns.
+    pub owned_events: u64,
+    /// Files currently tracked (≤ the configured `node_cap`).
+    pub tracked_files: usize,
+    /// Files evicted since the shard started.
+    pub evictions: u64,
+    /// Approximate resident heap bytes of the shard's miner state.
+    pub state_bytes: usize,
+}
+
+/// The merged, consistent view across all shards.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSnapshot {
+    /// Every live Correlator List, indexed by owner (owners are disjoint
+    /// across shards, so the merge is a plain union).
+    pub table: CorrelatorTable,
+    /// The stream prefix this snapshot reflects (events routed before the
+    /// snapshot was taken).
+    pub events: u64,
+    /// Shards that contributed.
+    pub shards: usize,
+    /// Total files tracked across shards.
+    pub tracked_files: usize,
+    /// Total evictions across shards.
+    pub evictions: u64,
+    /// Total resident heap bytes across shards.
+    pub state_bytes: usize,
+}
+
+impl StreamSnapshot {
+    /// Merge per-shard snapshots (any order) into the global view.
+    ///
+    /// Panics if two shards claim the same owner file — that would mean
+    /// the ownership partition is broken, and silently keeping either
+    /// list would corrupt downstream consumers.
+    pub fn merge(parts: impl IntoIterator<Item = ShardSnapshot>) -> StreamSnapshot {
+        let mut snap = StreamSnapshot::default();
+        for part in parts {
+            snap.shards += 1;
+            snap.events = snap.events.max(part.events_seen);
+            snap.tracked_files += part.tracked_files;
+            snap.evictions += part.evictions;
+            snap.state_bytes += part.state_bytes;
+            for list in part.lists {
+                assert!(
+                    snap.table.get(list.owner).is_none(),
+                    "shard {} re-exported owner {} — ownership partition broken",
+                    part.shard_id,
+                    list.owner
+                );
+                snap.table.insert(list);
+            }
+        }
+        snap
+    }
+
+    /// The Correlator List of `file`, if it is live.
+    pub fn correlators(&self, file: FileId) -> Option<&CorrelatorList> {
+        self.table.get(file)
+    }
+
+    /// Number of files with a live list.
+    pub fn num_lists(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Consume the snapshot, keeping only the queryable table (what a
+    /// predictor refresh needs).
+    pub fn into_table(self) -> CorrelatorTable {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_core::Correlator;
+
+    fn list(owner: u32, to: u32, degree: f64) -> CorrelatorList {
+        CorrelatorList::build(
+            FileId::new(owner),
+            vec![Correlator {
+                file: FileId::new(to),
+                degree,
+            }],
+            0.0,
+        )
+    }
+
+    fn shard(id: usize, lists: Vec<CorrelatorList>, events: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard_id: id,
+            tracked_files: lists.len(),
+            lists,
+            events_seen: events,
+            owned_events: events / 2,
+            evictions: id as u64,
+            state_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn merge_unions_disjoint_owners() {
+        let snap = StreamSnapshot::merge(vec![
+            shard(0, vec![list(0, 1, 0.9), list(2, 3, 0.8)], 50),
+            shard(1, vec![list(1, 0, 0.7)], 50),
+        ]);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.num_lists(), 3);
+        assert_eq!(snap.events, 50);
+        assert_eq!(snap.tracked_files, 3);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.state_bytes, 200);
+        assert_eq!(
+            snap.correlators(FileId::new(1))
+                .unwrap()
+                .head()
+                .unwrap()
+                .file,
+            FileId::new(0)
+        );
+        assert!(snap.correlators(FileId::new(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ownership partition broken")]
+    fn merge_rejects_duplicate_owners() {
+        let _ = StreamSnapshot::merge(vec![
+            shard(0, vec![list(5, 1, 0.9)], 10),
+            shard(1, vec![list(5, 2, 0.8)], 10),
+        ]);
+    }
+
+    #[test]
+    fn into_table_preserves_lists() {
+        let snap = StreamSnapshot::merge(vec![shard(0, vec![list(4, 7, 0.6)], 5)]);
+        let table = snap.into_table();
+        assert_eq!(table.top(FileId::new(4), 1)[0].file, FileId::new(7));
+    }
+}

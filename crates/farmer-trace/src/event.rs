@@ -155,7 +155,13 @@ mod tests {
 
     #[test]
     fn synthetic_event_defaults() {
-        let e = TraceEvent::synthetic(5, FileId::new(1), UserId::new(2), ProcId::new(3), HostId::new(4));
+        let e = TraceEvent::synthetic(
+            5,
+            FileId::new(1),
+            UserId::new(2),
+            ProcId::new(3),
+            HostId::new(4),
+        );
         assert_eq!(e.seq, 5);
         assert_eq!(e.timestamp_us, 5);
         assert_eq!(e.op, Op::Open);

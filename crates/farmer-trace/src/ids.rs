@@ -140,8 +140,7 @@ impl Interner {
         // additionally stores a u32 value and bucket overhead.
         strings * 2
             + self.names.len() * std::mem::size_of::<Box<str>>()
-            + self.map.len()
-                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>() + 8)
+            + self.map.len() * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>() + 8)
     }
 }
 

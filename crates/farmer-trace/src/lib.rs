@@ -26,6 +26,7 @@ pub mod ids;
 pub mod parser;
 pub mod path;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod workload;
 pub mod zipf;
@@ -33,5 +34,6 @@ pub mod zipf;
 pub use event::{Op, TraceEvent};
 pub use ids::{DevId, FileId, HostId, ProcId, UserId};
 pub use path::{FilePath, PathInterner};
+pub use stream::ReplayStream;
 pub use trace::{FileMeta, Trace, TraceFamily};
 pub use workload::{TraceGenerator, WorkloadSpec};

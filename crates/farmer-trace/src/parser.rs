@@ -81,7 +81,10 @@ pub fn to_text(trace: &Trace) -> String {
 
 /// Parse the text format back into a [`Trace`].
 pub fn from_text(text: &str) -> Result<Trace, ParseError> {
-    let err = |line: usize, message: &str| ParseError { line, message: message.to_string() };
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
     let mut family: Option<TraceFamily> = None;
     let mut trace = Trace::empty(TraceFamily::Hp);
     let mut users = 0u32;
@@ -98,8 +101,8 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
         match tag {
             "family" => {
                 let name = it.next().ok_or_else(|| err(line, "missing family name"))?;
-                let f = TraceFamily::from_name(name)
-                    .ok_or_else(|| err(line, "unknown family name"))?;
+                let f =
+                    TraceFamily::from_name(name).ok_or_else(|| err(line, "unknown family name"))?;
                 family = Some(f);
                 trace.family = f;
                 trace.label = format!("{}(parsed)", f.name());
@@ -166,7 +169,10 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
     }
     trace.num_users = users;
     trace.num_hosts = hosts;
-    trace.validate().map_err(|m| ParseError { line: 0, message: m })?;
+    trace.validate().map_err(|m| ParseError {
+        line: 0,
+        message: m,
+    })?;
     Ok(trace)
 }
 
@@ -175,9 +181,15 @@ fn parse_num<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, ParseError> {
-    tok.ok_or_else(|| ParseError { line, message: format!("missing {what}") })?
-        .parse()
-        .map_err(|_| ParseError { line, message: format!("invalid {what}") })
+    tok.ok_or_else(|| ParseError {
+        line,
+        message: format!("missing {what}"),
+    })?
+    .parse()
+    .map_err(|_| ParseError {
+        line,
+        message: format!("invalid {what}"),
+    })
 }
 
 #[cfg(test)]

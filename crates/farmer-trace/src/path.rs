@@ -272,7 +272,10 @@ mod tests {
         let mut i = PathInterner::new();
         let a = mk(&mut i, "/home/user1/paper/a");
         let c = mk(&mut i, "/home/user2/c");
-        assert_eq!(a.ipa_similarity(&c).to_bits(), c.ipa_similarity(&a).to_bits());
+        assert_eq!(
+            a.ipa_similarity(&c).to_bits(),
+            c.ipa_similarity(&a).to_bits()
+        );
     }
 
     #[test]

@@ -72,10 +72,7 @@ impl StreamFilter {
             StreamFilter::Host => 3 | ((e.host.raw() as u64) << 8),
             StreamFilter::Dev => 4 | ((e.dev.raw() as u64) << 8),
             StreamFilter::Path => {
-                let comps = trace
-                    .path_of(e.file)
-                    .map(|p| p.components())
-                    .unwrap_or(&[]);
+                let comps = trace.path_of(e.file).map(|p| p.components()).unwrap_or(&[]);
                 let a = comps.first().copied().unwrap_or(u32::MAX) as u64;
                 let b = comps.get(1).copied().unwrap_or(u32::MAX) as u64;
                 5 | (a << 8) | (b << 36)
@@ -174,16 +171,22 @@ mod tests {
     fn interleaved_toy() -> Trace {
         let mut t = Trace::empty(TraceFamily::Ins);
         for _ in 0..4 {
-            t.files.push(FileMeta { path: None, dev: DevId::new(0), size: 0, read_only: true });
+            t.files.push(FileMeta {
+                path: None,
+                dev: DevId::new(0),
+                size: 0,
+                read_only: true,
+            });
         }
         // P1: 0 1 0 1 ..., P2: 2 3 2 3 ..., interleaved in a scheduler-like
         // pseudo-random order so the *merged* stream is unpredictable even
         // though each per-process stream is a perfect cycle.
-        let mut seq = 0u64;
         let mut pos = [0u32; 2];
         let mut state = 0x9e3779b97f4a7c15u64;
-        for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for seq in 0..200u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let which = ((state >> 33) & 1) as usize;
             let pid = which as u32 + 1;
             let base = which as u32 * 2;
@@ -201,7 +204,6 @@ mod tests {
                 app: TraceEvent::NO_APP,
                 bytes: 0,
             });
-            seq += 1;
         }
         t.num_users = 3;
         t.num_hosts = 1;
@@ -215,7 +217,11 @@ mod tests {
         let pid = successor_probability(&t, StreamFilter::Process);
         assert!(pid.probability > none.probability);
         // The per-process cycles are perfectly predictable after warmup.
-        assert!(pid.probability > 0.9, "pid predictability {}", pid.probability);
+        assert!(
+            pid.probability > 0.9,
+            "pid predictability {}",
+            pid.probability
+        );
     }
 
     #[test]
@@ -249,7 +255,10 @@ mod tests {
         // probability is the lowest. Check on a small HP trace.
         let t = WorkloadSpec::hp().scaled(0.05).generate();
         let rows = figure1_rows(&t);
-        let none = rows.iter().find(|r| r.filter == StreamFilter::None).unwrap();
+        let none = rows
+            .iter()
+            .find(|r| r.filter == StreamFilter::None)
+            .unwrap();
         let best_attr = rows
             .iter()
             .filter(|r| r.filter != StreamFilter::None)
@@ -266,7 +275,12 @@ mod tests {
     fn self_transitions_are_ignored() {
         // Repeated access to the same file is not an inter-file transition.
         let mut t = Trace::empty(TraceFamily::Ins);
-        t.files.push(FileMeta { path: None, dev: DevId::new(0), size: 0, read_only: true });
+        t.files.push(FileMeta {
+            path: None,
+            dev: DevId::new(0),
+            size: 0,
+            read_only: true,
+        });
         for i in 0..10 {
             t.events.push(TraceEvent::synthetic(
                 i,

@@ -1,0 +1,165 @@
+//! Streaming event sources: unbounded request streams for online mining.
+//!
+//! The FARMER paper describes mining as "an iterative process that repeats
+//! itself for each incoming request" (§3.1) — a *service*, not a batch job.
+//! The batch [`Trace`] model caps what the repo can exercise at whatever
+//! fits in memory; this module turns finite traces into unbounded request
+//! streams so the online subsystems (`farmer-stream`) can be driven with
+//! millions of events under a fixed-size working set.
+//!
+//! * [`ReplayStream`] — cyclic replay of a finite trace with monotonically
+//!   re-stamped sequence numbers and timestamps, so downstream consumers
+//!   see one continuous, ever-growing request log.
+//! * [`Trace::stream`] is the entry point (`trace.stream().take(5_000_000)`).
+
+use crate::event::TraceEvent;
+use crate::trace::Trace;
+
+/// Endless cyclic replay of a finite trace.
+///
+/// Every lap yields the trace's events in order, with `seq` rewritten to a
+/// global stream position and `timestamp_us` shifted so virtual time keeps
+/// advancing across laps (lap `k` starts one mean inter-arrival gap after
+/// lap `k-1` ended). All semantic attributes (file, user, process, host,
+/// device, app) are preserved verbatim, which makes replay laps *mineable*:
+/// correlations recur every lap exactly as the original trace exhibits
+/// them.
+#[derive(Debug, Clone)]
+pub struct ReplayStream<'t> {
+    trace: &'t Trace,
+    cursor: usize,
+    /// Global stream position (next event's `seq`).
+    seq: u64,
+    /// Virtual-time offset applied to the current lap.
+    time_offset_us: u64,
+    /// Gap inserted between laps (the trace's mean inter-arrival time).
+    lap_gap_us: u64,
+}
+
+impl<'t> ReplayStream<'t> {
+    /// A stream replaying `trace` from its beginning.
+    pub fn new(trace: &'t Trace) -> Self {
+        let span = trace.events.last().map(|e| e.timestamp_us).unwrap_or(0);
+        let lap_gap_us = if trace.events.len() > 1 {
+            (span / (trace.events.len() as u64 - 1)).max(1)
+        } else {
+            1
+        };
+        ReplayStream {
+            trace,
+            cursor: 0,
+            seq: 0,
+            time_offset_us: 0,
+            lap_gap_us,
+        }
+    }
+
+    /// The trace being replayed (path/namespace lookups).
+    pub fn trace(&self) -> &'t Trace {
+        self.trace
+    }
+
+    /// Number of full laps completed so far.
+    pub fn laps(&self) -> u64 {
+        if self.trace.is_empty() {
+            0
+        } else {
+            self.seq / self.trace.len() as u64
+        }
+    }
+}
+
+impl Iterator for ReplayStream<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let events = &self.trace.events;
+        if events.is_empty() {
+            return None;
+        }
+        if self.cursor == events.len() {
+            // Lap boundary: advance virtual time past the finished lap.
+            let lap_end = events[events.len() - 1].timestamp_us;
+            self.time_offset_us += lap_end + self.lap_gap_us;
+            self.cursor = 0;
+        }
+        let mut e = events[self.cursor];
+        e.seq = self.seq;
+        e.timestamp_us += self.time_offset_us;
+        self.cursor += 1;
+        self.seq += 1;
+        Some(e)
+    }
+}
+
+impl Trace {
+    /// An unbounded cyclic replay of this trace (see [`ReplayStream`]).
+    pub fn stream(&self) -> ReplayStream<'_> {
+        ReplayStream::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceFamily;
+    use crate::workload::WorkloadSpec;
+
+    #[test]
+    fn empty_trace_streams_nothing() {
+        let t = Trace::empty(TraceFamily::Ins);
+        assert_eq!(t.stream().next(), None);
+    }
+
+    #[test]
+    fn seq_is_globally_monotonic_across_laps() {
+        let t = WorkloadSpec::ins().scaled(0.005).generate();
+        let n = t.len();
+        let seqs: Vec<u64> = t.stream().take(3 * n).map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 3 * n);
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(*s, i as u64);
+        }
+    }
+
+    #[test]
+    fn timestamps_never_regress() {
+        let t = WorkloadSpec::hp().scaled(0.005).generate();
+        let mut last = 0u64;
+        for e in t.stream().take(2 * t.len() + 7) {
+            assert!(e.timestamp_us >= last, "time regressed at seq {}", e.seq);
+            last = e.timestamp_us;
+        }
+    }
+
+    #[test]
+    fn laps_preserve_semantic_attributes() {
+        let t = WorkloadSpec::res().scaled(0.005).generate();
+        let n = t.len();
+        let two_laps: Vec<TraceEvent> = t.stream().take(2 * n).collect();
+        for i in 0..n {
+            let (a, b) = (&two_laps[i], &two_laps[n + i]);
+            assert_eq!(a.file, b.file);
+            assert_eq!(a.uid, b.uid);
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.host, b.host);
+            assert_eq!(a.dev, b.dev);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.app, b.app);
+        }
+        let stream = t.stream();
+        let mut s = stream;
+        for _ in 0..2 * n {
+            s.next();
+        }
+        assert_eq!(s.laps(), 2);
+    }
+
+    #[test]
+    fn replay_matches_source_events_on_first_lap() {
+        let t = WorkloadSpec::ins().scaled(0.005).generate();
+        for (orig, replayed) in t.events.iter().zip(t.stream()) {
+            assert_eq!(orig, &replayed, "first lap must be the trace verbatim");
+        }
+    }
+}

@@ -23,8 +23,12 @@ pub enum TraceFamily {
 
 impl TraceFamily {
     /// All four families in the paper's usual presentation order.
-    pub const ALL: [TraceFamily; 4] =
-        [TraceFamily::Llnl, TraceFamily::Ins, TraceFamily::Res, TraceFamily::Hp];
+    pub const ALL: [TraceFamily; 4] = [
+        TraceFamily::Llnl,
+        TraceFamily::Ins,
+        TraceFamily::Res,
+        TraceFamily::Hp,
+    ];
 
     /// Paper-style display name.
     pub fn name(self) -> &'static str {
@@ -170,11 +174,22 @@ mod tests {
     use crate::ids::{FileId, HostId, ProcId, UserId};
 
     fn ev(seq: u64, file: u32) -> TraceEvent {
-        TraceEvent::synthetic(seq, FileId::new(file), UserId::new(0), ProcId::new(0), HostId::new(0))
+        TraceEvent::synthetic(
+            seq,
+            FileId::new(file),
+            UserId::new(0),
+            ProcId::new(0),
+            HostId::new(0),
+        )
     }
 
     fn meta() -> FileMeta {
-        FileMeta { path: None, dev: DevId::new(0), size: 0, read_only: true }
+        FileMeta {
+            path: None,
+            dev: DevId::new(0),
+            size: 0,
+            read_only: true,
+        }
     }
 
     #[test]

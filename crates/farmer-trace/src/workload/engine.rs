@@ -107,7 +107,14 @@ impl TraceGenerator {
                 let file = FileId::new(noise_zipf.sample(&mut rng) as u32);
                 let uid = UserId::new(rng.gen_range(0..spec.num_users.max(1)));
                 let host = HostId::new(rng.gen_range(0..spec.num_hosts.max(1)));
-                (file, Op::Stat, uid, ProcId::new(0), host, TraceEvent::NO_APP)
+                (
+                    file,
+                    Op::Stat,
+                    uid,
+                    ProcId::new(0),
+                    host,
+                    TraceEvent::NO_APP,
+                )
             } else {
                 let p = &mut slots[slot];
                 // Imperfect regularity: occasionally skip a step.
@@ -211,7 +218,9 @@ fn spawn(
     let (start, end) = ns.private_ranges[uid.index()];
     let has_private = end > start;
     let pool = &ns.user_files[uid.index()];
-    let loops = rng.gen_range(spec.loops_per_run.0..=spec.loops_per_run.1).max(1);
+    let loops = rng
+        .gen_range(spec.loops_per_run.0..=spec.loops_per_run.1)
+        .max(1);
     let pid = ProcId::new(*next_pid);
     *next_pid += 1;
 
@@ -223,8 +232,9 @@ fn spawn(
                 .gen_range(spec.files_per_app.0..=spec.files_per_app.1)
                 .min(pool.len())
                 .max(1);
-            let inline_seq: Vec<FileId> =
-                (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let inline_seq: Vec<FileId> = (0..len)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
             let seq_len = inline_seq.len();
             return Proc {
                 pid,
@@ -298,10 +308,30 @@ mod tests {
 
     #[test]
     fn ins_res_have_no_paths_llnl_hp_do() {
-        assert!(WorkloadSpec::ins().scaled(0.02).generate().files.iter().all(|f| f.path.is_none()));
-        assert!(WorkloadSpec::res().scaled(0.02).generate().files.iter().all(|f| f.path.is_none()));
-        assert!(WorkloadSpec::hp().scaled(0.02).generate().files.iter().all(|f| f.path.is_some()));
-        assert!(WorkloadSpec::llnl().scaled(0.01).generate().files.iter().all(|f| f.path.is_some()));
+        assert!(WorkloadSpec::ins()
+            .scaled(0.02)
+            .generate()
+            .files
+            .iter()
+            .all(|f| f.path.is_none()));
+        assert!(WorkloadSpec::res()
+            .scaled(0.02)
+            .generate()
+            .files
+            .iter()
+            .all(|f| f.path.is_none()));
+        assert!(WorkloadSpec::hp()
+            .scaled(0.02)
+            .generate()
+            .files
+            .iter()
+            .all(|f| f.path.is_some()));
+        assert!(WorkloadSpec::llnl()
+            .scaled(0.01)
+            .generate()
+            .files
+            .iter()
+            .all(|f| f.path.is_some()));
     }
 
     #[test]
@@ -309,7 +339,11 @@ mod tests {
         let trace = WorkloadSpec::ins().scaled(0.05).generate();
         // Many distinct pids should appear (process turnover).
         let pids: FxHashSet<u32> = trace.events.iter().map(|e| e.pid.raw()).collect();
-        assert!(pids.len() > 10, "expected process turnover, got {}", pids.len());
+        assert!(
+            pids.len() > 10,
+            "expected process turnover, got {}",
+            pids.len()
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Namespace {
         // Shared tools and libraries.
         let mut shared = Vec::with_capacity(spec.shared_files);
         for i in 0..spec.shared_files {
-            let (dir, kind) = if i % 2 == 0 { ("bin", "tool") } else { ("lib", "lib") };
+            let (dir, kind) = if i % 2 == 0 {
+                ("bin", "tool")
+            } else {
+                ("lib", "lib")
+            };
             let path = format!("/usr/{dir}/{kind}-{i}");
             shared.push(b.add_file(&path, DevId::new(0), true, rng));
         }
@@ -75,8 +79,7 @@ impl Namespace {
             // Enough project files to cover the user's private apps, plus
             // cold namespace mass so caches can't trivially hold everything.
             let per_app = spec.files_per_app.1;
-            let needed =
-                (spec.private_apps_per_user * per_app).max(4) + spec.extra_files_per_user;
+            let needed = (spec.private_apps_per_user * per_app).max(4) + spec.extra_files_per_user;
             let per_proj = per_app.max(4);
             let projects = needed.div_ceil(per_proj);
             for p in 0..projects {
@@ -118,7 +121,9 @@ impl Namespace {
                 for r in 0..spec.parallel_ranks {
                     let dev = DevId::new(g as u32 % spec.num_devs.max(1));
                     let mut sequence = app.sequence.clone();
-                    let ckpts = rng.gen_range(spec.ckpts_per_rank.0..=spec.ckpts_per_rank.1.max(spec.ckpts_per_rank.0));
+                    let ckpts = rng.gen_range(
+                        spec.ckpts_per_rank.0..=spec.ckpts_per_rank.1.max(spec.ckpts_per_rank.0),
+                    );
                     for c in 0..ckpts {
                         let path = format!("/scratch/job-{g}/rank-{r}/ckpt-{c}");
                         sequence.push(b.add_file(&path, dev, false, rng));

@@ -29,13 +29,27 @@ fn main() {
         FileId::new((trace.files.len() - 1) as u32)
     };
     let gcc = add("/usr/bin/gcc");
-    let alice = [add("/home/alice/proj/main.c"), add("/home/alice/proj/util.c"), add("/home/alice/proj/a.out")];
-    let bob = [add("/home/bob/thesis/sim.c"), add("/home/bob/thesis/plot.c"), add("/home/bob/thesis/sim.out")];
+    let alice = [
+        add("/home/alice/proj/main.c"),
+        add("/home/alice/proj/util.c"),
+        add("/home/alice/proj/a.out"),
+    ];
+    let bob = [
+        add("/home/bob/thesis/sim.c"),
+        add("/home/bob/thesis/plot.c"),
+        add("/home/bob/thesis/sim.out"),
+    ];
 
     // --- Interleave 40 compile runs of each user (as an OS scheduler would).
     let mut seq = 0u64;
     let push = |trace: &mut Trace, file: FileId, uid: u32, pid: u32, seq: &mut u64| {
-        let mut e = TraceEvent::synthetic(*seq, file, UserId::new(uid), ProcId::new(pid), HostId::new(uid));
+        let mut e = TraceEvent::synthetic(
+            *seq,
+            file,
+            UserId::new(uid),
+            ProcId::new(pid),
+            HostId::new(uid),
+        );
         e.timestamp_us = *seq * 100;
         trace.events.push(e);
         *seq += 1;
@@ -67,20 +81,32 @@ fn main() {
     let (req_util, p_util) = ex.extract(&trace, &trace.events[5]);
     println!(
         "sim(main.c, util.c across users' runs) = {:.3}",
-        similarity(&req_main, p_main, &req_util, p_util, AttrCombo::hp_default(), PathMode::Ipa)
+        similarity(
+            &req_main,
+            p_main,
+            &req_util,
+            p_util,
+            AttrCombo::hp_default(),
+            PathMode::Ipa
+        )
     );
 
     // --- Mine with FARMER and with pure sequence weights (p = 0).
     let farmer = Farmer::mine_trace(&trace, FarmerConfig::default());
-    let sequence_only =
-        Farmer::mine_trace(&trace, FarmerConfig::default().with_p(0.0).with_max_strength(0.0));
+    let sequence_only = Farmer::mine_trace(
+        &trace,
+        FarmerConfig::default().with_p(0.0).with_max_strength(0.0),
+    );
 
     println!("\nFARMER's correlators of alice's main.c (threshold 0.4):");
     for c in farmer.correlators(alice[0]).entries() {
         println!("  -> {} degree {:.3}", path_of(&trace, c.file), c.degree);
     }
     println!("\npure sequence mining's view (p = 0, unfiltered):");
-    for c in sequence_only.correlators_with_threshold(alice[0], 0.0).top(4) {
+    for c in sequence_only
+        .correlators_with_threshold(alice[0], 0.0)
+        .top(4)
+    {
         println!("  -> {} degree {:.3}", path_of(&trace, c.file), c.degree);
     }
     println!(

@@ -11,12 +11,23 @@ use farmer::prelude::*;
 
 fn main() {
     let trace = WorkloadSpec::hp().scaled(0.5).generate();
-    println!("planning data layout for {} ({} files)\n", trace.label, trace.num_files());
+    println!(
+        "planning data layout for {} ({} files)\n",
+        trace.label,
+        trace.num_files()
+    );
 
     let farmer = Farmer::mine_trace(&trace, FarmerConfig::default());
 
     for min_degree in [0.2, 0.4, 0.6] {
-        let layout = plan_layout(&farmer, &trace, LayoutConfig { min_degree, max_group: 8 });
+        let layout = plan_layout(
+            &farmer,
+            &trace,
+            LayoutConfig {
+                min_degree,
+                max_group: 8,
+            },
+        );
         let scattered = replay_reads(&trace, None, OsdConfig::default());
         let grouped = replay_reads(&trace, Some(&layout), OsdConfig::default());
         println!(

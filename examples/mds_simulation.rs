@@ -22,7 +22,11 @@ fn main() {
         .unwrap_or(1.0);
 
     let trace = WorkloadSpec::for_family(family).scaled(scale).generate();
-    println!("replaying {} ({} events) through the MDS simulator\n", trace.label, trace.len());
+    println!(
+        "replaying {} ({} events) through the MDS simulator\n",
+        trace.label,
+        trace.len()
+    );
 
     let cfg = ReplayConfig::for_family(family);
     let runs: Vec<ReplayReport> = vec![

@@ -9,7 +9,12 @@ use farmer::prelude::*;
 fn main() {
     // 1. A synthetic HP-style trace (time-sharing server, full paths).
     let trace = WorkloadSpec::hp().scaled(0.2).generate();
-    println!("trace: {} ({} events, {} files)\n", trace.label, trace.len(), trace.num_files());
+    println!(
+        "trace: {} ({} events, {} files)\n",
+        trace.label,
+        trace.len(),
+        trace.num_files()
+    );
 
     // 2. Mine it with the paper's default configuration
     //    (p = 0.7, max_strength = 0.4, IPA path handling).
@@ -25,9 +30,17 @@ fn main() {
     // 3. Inspect the Correlator List of a frequently accessed file.
     let hot = hottest_file(&trace);
     let list = farmer.correlators(hot);
-    println!("strongest correlations of {hot} ({}):", render_path(&trace, hot));
+    println!(
+        "strongest correlations of {hot} ({}):",
+        render_path(&trace, hot)
+    );
     for c in list.top(5) {
-        println!("  -> {:<6} degree {:.3}   ({})", c.file.to_string(), c.degree, render_path(&trace, c.file));
+        println!(
+            "  -> {:<6} degree {:.3}   ({})",
+            c.file.to_string(),
+            c.degree,
+            render_path(&trace, c.file)
+        );
     }
 
     // 4. Use the model as a prefetcher and measure against plain LRU.

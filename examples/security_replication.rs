@@ -21,7 +21,11 @@ fn main() {
         .map(FileId::new)
         .max_by_key(|f| farmer.correlators(*f).len())
         .expect("non-empty namespace");
-    let rule = AccessRule { file: sensitive, subject: None, action: RuleAction::Deny };
+    let rule = AccessRule {
+        file: sensitive,
+        subject: None,
+        action: RuleAction::Deny,
+    };
     let policy = SecurityPolicy::compile(&farmer, vec![rule], PropagationConfig::default());
     let (denied, _, allowed) = policy.enforce(trace.events.iter());
     println!(
@@ -32,7 +36,10 @@ fn main() {
 
     // --- Reliability: correlation-aware replica groups.
     let plan = ReplicaPlan::plan(&farmer, trace.num_files(), 0.4, 8);
-    println!("\nreplication: {} replica groups planned", plan.num_groups());
+    println!(
+        "\nreplication: {} replica groups planned",
+        plan.num_groups()
+    );
     let mut mgr = ReplicaManager::new(plan, trace.num_files());
 
     // Write to a grouped file's whole neighbourhood, then crash mid-backup.
@@ -48,7 +55,11 @@ fn main() {
     let survived = mgr.backup(victim, Some(1));
     println!(
         "atomic group backup with a crash injected after 1 copy: {}",
-        if survived { "committed (bug!)" } else { "aborted cleanly — no torn group" }
+        if survived {
+            "committed (bug!)"
+        } else {
+            "aborted cleanly — no torn group"
+        }
     );
     assert!(!survived);
 

@@ -10,7 +10,9 @@ use farmer::prelude::*;
 use farmer::trace::parser;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/farmer-ins.trace".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/farmer-ins.trace".into());
 
     let original = WorkloadSpec::ins().scaled(0.2).generate();
     let text = parser::to_text(&original);
@@ -24,7 +26,11 @@ fn main() {
 
     let parsed = parser::from_text(&std::fs::read_to_string(&path).expect("read back"))
         .expect("parse trace file");
-    println!("parsed back: {} events, {} files", parsed.len(), parsed.num_files());
+    println!(
+        "parsed back: {} events, {} files",
+        parsed.len(),
+        parsed.num_files()
+    );
 
     // Mining either copy produces identical correlators.
     let cfg = FarmerConfig::pathless();
@@ -33,7 +39,11 @@ fn main() {
     let mut checked = 0;
     for fid in 0..original.num_files() {
         let file = FileId::new(fid as u32);
-        assert_eq!(a.correlators(file), b.correlators(file), "mismatch at {file}");
+        assert_eq!(
+            a.correlators(file),
+            b.correlators(file),
+            "mismatch at {file}"
+        );
         checked += 1;
     }
     println!("verified: correlator lists of all {checked} files identical after round-trip");

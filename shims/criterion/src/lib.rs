@@ -1,0 +1,189 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! provides a minimal timing harness behind criterion's API: `black_box`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `throughput`/`sample_size`/`finish`), [`Throughput`], and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is measured
+//! with a short calibrated loop and reported as `ns/iter` (plus element
+//! throughput when declared) — enough to compare kernels locally, with no
+//! statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first calibrating an iteration count that fills the
+    /// measurement window (~100 ms, capped at `sample_size` rounds).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: grow the batch until it runs >= 10 ms.
+        let mut batch: u64 = 1;
+        let batch_ns = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            if ns >= 10_000_000 || batch >= 1 << 20 {
+                break ns.max(1) / batch;
+            }
+            batch = (batch * 4).min(1 << 20);
+        };
+        // Measurement: as many batches as fit in ~100 ms, at least one.
+        let rounds = (100_000_000 / (batch_ns * batch).max(1)).clamp(1, self.iters);
+        let t = Instant::now();
+        for _ in 0..rounds * batch {
+            black_box(routine());
+        }
+        let total = t.elapsed();
+        self.ns_per_iter = total.as_nanos() as f64 / (rounds * batch) as f64;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let per_iter = Duration::from_nanos(self.ns_per_iter as u64);
+        match throughput {
+            Some(Throughput::Elements(n)) if self.ns_per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / self.ns_per_iter;
+                println!("bench: {name:<40} {per_iter:>12.2?}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if self.ns_per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / self.ns_per_iter;
+                println!("bench: {name:<40} {per_iter:>12.2?}/iter  {rate:>14.0} B/s");
+            }
+            _ => println!("bench: {name:<40} {per_iter:>12.2?}/iter"),
+        }
+    }
+}
+
+/// Benchmark registry (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 100,
+        };
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named group sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Cap the number of measurement rounds.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    /// Close the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10)).sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -18,7 +18,10 @@
 //!   paper's dual priority queues, multi-MDS load balancing (§4.1) and the
 //!   §4.2 grouped data layout,
 //! * [`apps`] — the §4.3 applications (correlation-aware security rules
-//!   and replica groups) and the §7 attribute regression.
+//!   and replica groups) and the §7 attribute regression,
+//! * [`stream`] — the sharded online mining service: unbounded event
+//!   streams mined under a hard memory budget, with consistent snapshots
+//!   that refresh the prefetcher mid-flight.
 //!
 //! ## Quick start
 //!
@@ -42,6 +45,7 @@ pub use farmer_core as core;
 pub use farmer_mds as mds;
 pub use farmer_prefetch as prefetch;
 pub use farmer_store as store;
+pub use farmer_stream as stream;
 pub use farmer_trace as trace;
 
 /// The most commonly used types, importable in one line.
@@ -54,8 +58,9 @@ pub mod prelude {
         simulate, FpaPredictor, MetadataCache, NexusPredictor, Predictor, SimConfig, SimReport,
     };
     pub use farmer_store::{MetaStore, MetadataRecord};
+    pub use farmer_stream::{ShardedMiner, StreamConfig, StreamMiner, StreamSnapshot};
     pub use farmer_trace::{
-        FileId, FilePath, Op, Trace, TraceEvent, TraceFamily, WorkloadSpec,
+        FileId, FilePath, Op, ReplayStream, Trace, TraceEvent, TraceFamily, WorkloadSpec,
     };
 }
 

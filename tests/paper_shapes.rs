@@ -18,7 +18,10 @@ fn fig7_fpa_has_highest_hit_ratio_everywhere() {
         let lru = simulate(&trace, &mut LruOnly, cfg).hit_ratio();
         let nexus = simulate(&trace, &mut NexusPredictor::paper_default(), cfg).hit_ratio();
         let fpa = simulate(&trace, &mut FpaPredictor::for_trace(&trace), cfg).hit_ratio();
-        assert!(fpa > nexus, "{family:?}: FPA {fpa:.3} must beat Nexus {nexus:.3}");
+        assert!(
+            fpa > nexus,
+            "{family:?}: FPA {fpa:.3} must beat Nexus {nexus:.3}"
+        );
         assert!(fpa > lru, "{family:?}: FPA {fpa:.3} must beat LRU {lru:.3}");
     }
 }
@@ -84,9 +87,11 @@ fn fig8_fpa_lowest_response_time() {
         let lru = replay(&trace, Box::new(LruOnly), cfg).avg_response_ms();
         let nexus =
             replay(&trace, Box::new(NexusPredictor::paper_default()), cfg).avg_response_ms();
-        let fpa =
-            replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg).avg_response_ms();
-        assert!(fpa < nexus, "{family:?}: FPA {fpa:.3}ms !< Nexus {nexus:.3}ms");
+        let fpa = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg).avg_response_ms();
+        assert!(
+            fpa < nexus,
+            "{family:?}: FPA {fpa:.3}ms !< Nexus {nexus:.3}ms"
+        );
         assert!(fpa < lru, "{family:?}: FPA {fpa:.3}ms !< LRU {lru:.3}ms");
     }
 }
@@ -117,7 +122,11 @@ fn fig1_no_attribute_is_least_predictable() {
     for family in TraceFamily::ALL {
         let trace = WorkloadSpec::for_family(family).scaled(SCALE).generate();
         let rows = figure1_rows(&trace);
-        let none = rows.iter().find(|r| r.filter == StreamFilter::None).unwrap().probability;
+        let none = rows
+            .iter()
+            .find(|r| r.filter == StreamFilter::None)
+            .unwrap()
+            .probability;
         let best = rows.iter().map(|r| r.probability).fold(0.0f64, f64::max);
         assert!(best > none, "{family:?}: some attribute must beat `none`");
     }

@@ -36,12 +36,22 @@ fn correlator_lists_are_sorted_and_bounded() {
             assert!(w[0].degree >= w[1].degree, "list must be sorted descending");
         }
         for c in list.entries() {
-            assert!((0.0..=1.0).contains(&c.degree), "degree out of range: {}", c.degree);
-            assert!(c.degree >= farmer.config().max_strength, "threshold violated");
+            assert!(
+                (0.0..=1.0).contains(&c.degree),
+                "degree out of range: {}",
+                c.degree
+            );
+            assert!(
+                c.degree >= farmer.config().max_strength,
+                "threshold violated"
+            );
             assert!(c.file.index() < trace.num_files(), "dangling successor");
         }
     }
-    assert!(non_empty > 100, "expected many files with valid correlators, got {non_empty}");
+    assert!(
+        non_empty > 100,
+        "expected many files with valid correlators, got {non_empty}"
+    );
 }
 
 #[test]
@@ -65,7 +75,11 @@ fn prefetch_sim_and_mds_agree_on_hit_direction() {
 
     let mut replay_cfg = ReplayConfig::for_family(trace.family);
     replay_cfg.mds.cache_capacity = sim_cfg.cache_capacity;
-    let rep = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), replay_cfg);
+    let rep = replay(
+        &trace,
+        Box::new(FpaPredictor::for_trace(&trace)),
+        replay_cfg,
+    );
 
     let sim_hit = sim.hit_ratio();
     let rep_hit = rep.cache.hit_ratio();
@@ -115,7 +129,10 @@ fn farmer_correlators_persist_through_store() {
         }
         let records: Vec<CorrelatorRecord> = list
             .iter()
-            .map(|c| CorrelatorRecord { file: c.file, degree: c.degree })
+            .map(|c| CorrelatorRecord {
+                file: c.file,
+                degree: c.degree,
+            })
             .collect();
         store.put_correlators(file, &records);
         persisted += 1;

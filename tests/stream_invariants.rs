@@ -1,0 +1,190 @@
+//! Cross-crate invariants of the streaming subsystem (`farmer-stream`).
+//!
+//! Two contracts are pinned here, per the subsystem's design:
+//!
+//! 1. **Bounded memory** — for *arbitrary* event streams, the number of
+//!    tracked files never exceeds the node cap and the edge count never
+//!    exceeds `cap × max_successors`, at every point of the stream.
+//! 2. **Convergence** — a sharded streaming run over a finite trace agrees
+//!    with batch `Farmer::mine_trace` on the strong correlations: for every
+//!    file whose batch Correlator List head clears a high-strength bar with
+//!    a clear margin, the streamed snapshot reports the same top-1.
+
+use farmer::core::{Farmer, FarmerConfig, Request};
+use farmer::prelude::*;
+use farmer::stream::StreamMiner;
+use proptest::prelude::*;
+
+fn req(file: u32, uid: u32, pid: u32, host: u32) -> Request {
+    Request {
+        file: FileId::new(file),
+        uid: farmer::trace::UserId::new(uid),
+        pid: farmer::trace::ProcId::new(pid),
+        host: farmer::trace::HostId::new(host),
+        dev: farmer::trace::DevId::new(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: the memory budget holds at every stream position, for
+    /// any interleaving of files, users, processes and hosts, any cap and
+    /// any eviction batch size.
+    #[test]
+    fn node_and_edge_caps_hold_under_arbitrary_streams(
+        stream in proptest::collection::vec((0u32..300, 0u32..5, 0u32..7, 0u32..3), 1..800),
+        cap in 1usize..24,
+        evict_batch in 0usize..6,
+    ) {
+        let mut cfg = StreamConfig::default().with_node_cap(cap);
+        cfg.evict_batch = evict_batch;
+        cfg.decay_interval = 64;
+        let max_edges = cap * cfg.farmer.max_successors;
+        let mut m = StreamMiner::new(cfg);
+        for (file, uid, pid, host) in stream {
+            m.ingest(req(file, uid, pid, host), None);
+            prop_assert!(m.tracked_files() <= cap, "tracked {} > cap {cap}", m.tracked_files());
+            prop_assert!(
+                m.farmer().graph().active_nodes() <= cap,
+                "active nodes {} > cap {cap}",
+                m.farmer().graph().active_nodes()
+            );
+            prop_assert!(
+                m.farmer().graph().num_edges() <= max_edges,
+                "edges {} > {max_edges}",
+                m.farmer().graph().num_edges()
+            );
+        }
+        // The snapshot only exports live owned files.
+        let snap = m.snapshot();
+        prop_assert!(snap.lists.len() <= cap);
+    }
+
+    /// Sharding never double-assigns a file: exactly one shard owns each,
+    /// so merged snapshots can never collide (the merge asserts this too).
+    #[test]
+    fn ownership_is_a_partition(file in 0u32..50_000, shards in 1usize..9) {
+        let owners = (0..shards)
+            .filter(|&s| farmer::stream::engine::owns_file(FileId::new(file), s, shards))
+            .count();
+        prop_assert_eq!(owners, 1);
+    }
+}
+
+/// Contract 2: streamed top-1 correlators match batch mining on
+/// high-strength pairs, across shard counts, on a real workload (paths,
+/// multi-process interleaving, noise).
+#[test]
+fn sharded_stream_converges_to_batch_top1_on_strong_pairs() {
+    let trace = WorkloadSpec::hp().scaled(0.05).generate();
+    let batch = Farmer::mine_trace(&trace, FarmerConfig::default());
+
+    for shards in [1usize, 2, 4] {
+        // Cap well above the namespace: convergence, not eviction, is
+        // under test here (eviction behaviour is contract 1).
+        let cfg = StreamConfig::default()
+            .with_shards(shards)
+            .with_node_cap(1 << 20);
+        let mut miner = ShardedMiner::spawn(cfg);
+        for e in &trace.events {
+            miner.route_event(&trace, e);
+        }
+        let snap = miner.snapshot();
+
+        let mut strong = 0usize;
+        for f in 0..trace.num_files() as u32 {
+            let want = batch.correlators(FileId::new(f));
+            let Some(head) = want.head() else { continue };
+            // High strength with a clear margin over the runner-up.
+            let margin_ok = want
+                .entries()
+                .get(1)
+                .is_none_or(|second| head.degree - second.degree > 1e-9);
+            if head.degree < 0.6 || !margin_ok {
+                continue;
+            }
+            strong += 1;
+            let got = snap
+                .correlators(FileId::new(f))
+                .unwrap_or_else(|| panic!("no streamed list for strong file f{f}"));
+            assert_eq!(
+                got.head().unwrap().file,
+                head.file,
+                "top-1 diverged for f{f} at {shards} shard(s)"
+            );
+        }
+        assert!(
+            strong > 50,
+            "workload produced only {strong} strong pairs; test is vacuous"
+        );
+    }
+}
+
+/// The full online loop: stream -> snapshot -> FpaPredictor::refresh gives
+/// the same predictions as a batch-mined FPA, and a later refresh really
+/// swaps the serving state.
+#[test]
+fn snapshot_refresh_matches_batch_predictions() {
+    let trace = WorkloadSpec::hp().scaled(0.03).generate();
+
+    // Batch-mined reference predictions.
+    let batch = Farmer::mine_trace(&trace, FarmerConfig::default());
+
+    // Streamed: same events through 3 shards, then refresh an FPA.
+    let cfg = StreamConfig::default()
+        .with_shards(3)
+        .with_node_cap(1 << 20);
+    let mut miner = ShardedMiner::spawn(cfg);
+    for e in &trace.events {
+        miner.route_event(&trace, e);
+    }
+    let snap = miner.snapshot();
+    let events = snap.events;
+    let mut fpa = FpaPredictor::for_trace(&trace);
+    fpa.refresh(snap.into_table(), events);
+
+    let mut checked = 0usize;
+    for e in trace.events.iter().take(2000) {
+        let preds = fpa.on_access(&trace, e);
+        let want: Vec<FileId> = batch
+            .correlators(e.file)
+            .top(fpa.group_limit)
+            .iter()
+            .map(|c| c.file)
+            .collect();
+        assert_eq!(preds, want, "prediction diverged for {}", e.file);
+        checked += preds.len();
+    }
+    assert!(
+        checked > 100,
+        "too few predictions to be meaningful: {checked}"
+    );
+
+    // A fresh (empty) refresh swaps serving state at once.
+    fpa.refresh(farmer::core::CorrelatorTable::new(), events + 1);
+    assert!(fpa.on_access(&trace, &trace.events[0]).is_empty());
+}
+
+/// Unbounded replay keeps the subsystem healthy: many laps, tight budget,
+/// stable state and fresh snapshots that reflect every routed event.
+#[test]
+fn long_replay_under_tight_budget_stays_bounded_and_consistent() {
+    let trace = WorkloadSpec::ins().scaled(0.02).generate();
+    let cfg = StreamConfig::default().with_shards(2).with_node_cap(64);
+    let total_cap = 64 * 2;
+    let mut miner = ShardedMiner::spawn(cfg);
+    let mut stream = trace.stream();
+    let mut prev_events = 0u64;
+    for _lap in 0..6 {
+        for _ in 0..trace.len() {
+            let e = stream.next().unwrap();
+            miner.route_event(&trace, &e);
+        }
+        let snap = miner.snapshot();
+        assert!(snap.tracked_files <= total_cap);
+        assert!(snap.events > prev_events, "snapshot cut did not advance");
+        prev_events = snap.events;
+    }
+    assert_eq!(prev_events, 6 * trace.len() as u64);
+}
