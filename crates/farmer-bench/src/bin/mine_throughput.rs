@@ -1,0 +1,139 @@
+//! Mining hot-path throughput: events/sec and resident bytes for the
+//! single-miner observe loop, on an IPA-path workload, under two file-id
+//! regimes:
+//!
+//! * **dense** — the trace's native dense ids (`0..num_files`), the best
+//!   case for any id-indexed storage;
+//! * **sparse** — the same events with file ids spread injectively over a
+//!   ~10^7 universe, the open-ended-namespace case that used to blow up
+//!   the dense node spine (ROADMAP open item).
+//!
+//! Output is a single JSON object on stdout (the perf-trajectory record
+//! checked in as `BENCH_mine.json`); the run fails on NaN or non-finite
+//! throughput, which is what the CI smoke step relies on.
+//!
+//! ```text
+//! cargo run --release -p farmer-bench --bin mine_throughput          # full
+//! cargo run --release -p farmer-bench --bin mine_throughput 0.2     # scaled
+//! cargo run --release -p farmer-bench --bin mine_throughput -- --quick
+//! ```
+
+use std::time::Instant;
+
+use farmer_core::{Farmer, FarmerConfig, Request};
+use farmer_trace::{FileId, WorkloadSpec};
+
+/// Sparse-id universe: ids are spread injectively over `[0, ID_UNIVERSE)`.
+const ID_UNIVERSE: u32 = 10_000_000;
+
+/// Events mined per regime at scale 1.0 (cyclic replay of the HP trace).
+const EVENTS_AT_FULL_SCALE: f64 = 2_000_000.0;
+
+struct RegimeReport {
+    elapsed_sec: f64,
+    events_per_sec: f64,
+    graph_heap_bytes: usize,
+    model_bytes: usize,
+    num_edges: usize,
+    active_nodes: usize,
+    max_file_id: u32,
+}
+
+fn mine(trace: &farmer_trace::Trace, events: usize, spread: Option<u32>) -> RegimeReport {
+    // Decay + periodic pruning on, so the run exercises the aging path the
+    // streaming deployment uses, not just raw edge updates.
+    let cfg = FarmerConfig::default().with_decay(0.95);
+    let mut farmer = Farmer::new(cfg);
+    let mut max_file_id = 0u32;
+    let start = Instant::now();
+    for e in trace.stream().take(events) {
+        let mut req = Request::from_event(&e);
+        if let Some(stride) = spread {
+            req.file = FileId::new(e.file.raw() * stride);
+        }
+        max_file_id = max_file_id.max(req.file.raw());
+        farmer.observe(req, trace.path_of(e.file));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let events_per_sec = events as f64 / elapsed.max(1e-9);
+    assert!(
+        events_per_sec.is_finite() && events_per_sec > 0.0,
+        "throughput is not a positive finite number: {events_per_sec}"
+    );
+    // Sanity: the mined state must be non-degenerate and NaN-free.
+    assert!(farmer.graph().num_edges() > 0, "mined no edges");
+    let probe = trace.events[0].file;
+    let probe = spread.map_or(probe, |s| FileId::new(probe.raw() * s));
+    for c in farmer.correlators_with_threshold(probe, 0.0).iter() {
+        assert!(c.degree.is_finite(), "NaN/inf degree for {}", c.file);
+    }
+    RegimeReport {
+        elapsed_sec: elapsed,
+        events_per_sec,
+        graph_heap_bytes: farmer.graph().heap_bytes(),
+        model_bytes: farmer.memory_bytes(),
+        num_edges: farmer.graph().num_edges(),
+        active_nodes: farmer.graph().active_nodes(),
+        max_file_id,
+    }
+}
+
+fn json_regime(r: &RegimeReport) -> String {
+    format!(
+        "{{\"events_per_sec\": {:.0}, \"graph_heap_bytes\": {}, \"model_bytes\": {}, \
+         \"num_edges\": {}, \"active_nodes\": {}, \"max_file_id\": {}}}",
+        r.events_per_sec,
+        r.graph_heap_bytes,
+        r.model_bytes,
+        r.num_edges,
+        r.active_nodes,
+        r.max_file_id
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = args
+        .iter()
+        .find_map(|a| a.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(if quick { 0.05 } else { 1.0 });
+    let events = ((EVENTS_AT_FULL_SCALE * scale) as usize).max(10_000);
+
+    let trace = WorkloadSpec::hp().scaled(0.5).generate();
+    // Injective spread: every dense id maps to its own slot of a ~10^7
+    // universe, so the sparse run mines the *same* correlations as the
+    // dense one — only the id magnitudes change.
+    let stride = (ID_UNIVERSE / trace.num_files().max(1) as u32).max(1);
+    eprintln!(
+        "mine_throughput: {events} events ({}, {} files, sparse stride {stride})",
+        trace.label,
+        trace.num_files()
+    );
+
+    let dense = mine(&trace, events, None);
+    let sparse = mine(&trace, events, Some(stride));
+
+    // The sparse run mines identical structure; resident memory must not
+    // scale with the id universe once node storage is id-sparse.
+    let mem_ratio = sparse.graph_heap_bytes as f64 / dense.graph_heap_bytes.max(1) as f64;
+    assert!(mem_ratio.is_finite(), "memory ratio is not finite");
+    // Headline: throughput over the whole workload (both id regimes) —
+    // the number that collapses when either regime degrades.
+    let overall = (2 * events) as f64 / (dense.elapsed_sec + sparse.elapsed_sec);
+    assert!(overall.is_finite() && overall > 0.0, "overall not finite");
+
+    println!(
+        "{{\n  \"bench\": \"mine_throughput\",\n  \"workload\": \"{}\",\n  \"events\": {},\n  \
+         \"sparse_id_universe\": {},\n  \"overall_events_per_sec\": {:.0},\n  \"dense\": {},\n  \
+         \"sparse\": {},\n  \"sparse_over_dense_heap\": {:.3}\n}}",
+        trace.label,
+        events,
+        ID_UNIVERSE,
+        overall,
+        json_regime(&dense),
+        json_regime(&sparse),
+        mem_ratio
+    );
+}

@@ -129,6 +129,22 @@ impl FarmerConfig {
         }
         (1.0 - self.lda_decrement * (d - 1) as f64).max(0.0)
     }
+
+    /// The precomputed LDA weight table for the configured window:
+    /// `table[i] == lda_weight(i + 1)`. The mining hot loop indexes this
+    /// once per windowed predecessor instead of re-deriving the linear
+    /// decrement per event ([`crate::model::Farmer`] caches it and rebuilds
+    /// only when `window`/`lda_decrement` change).
+    pub fn lda_weights(&self) -> Vec<f64> {
+        (1..=self.window).map(|d| self.lda_weight(d)).collect()
+    }
+
+    /// Fingerprint of the inputs [`FarmerConfig::lda_weights`] depends on,
+    /// for cheap staleness checks on a cached table.
+    #[inline]
+    pub fn lda_fingerprint(&self) -> (usize, u64) {
+        (self.window, self.lda_decrement.to_bits())
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +185,22 @@ mod tests {
         for d in 1..=100 {
             assert!(c.lda_weight(d) >= 0.0);
         }
+    }
+
+    #[test]
+    fn lda_table_matches_per_distance_api() {
+        let mut c = FarmerConfig::default();
+        c.window = 17;
+        c.lda_decrement = 0.07;
+        let table = c.lda_weights();
+        assert_eq!(table.len(), c.window);
+        for (i, &w) in table.iter().enumerate() {
+            assert_eq!(w.to_bits(), c.lda_weight(i + 1).to_bits());
+        }
+        // Fingerprint changes with either input.
+        let fp = c.lda_fingerprint();
+        c.window = 18;
+        assert_ne!(c.lda_fingerprint(), fp);
     }
 
     #[test]

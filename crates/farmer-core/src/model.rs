@@ -8,39 +8,100 @@
 //! The model is deliberately front-end agnostic ("black-box", §3.1): it
 //! consumes plain [`Request`] tuples plus an optional path, so it can sit
 //! behind a trace replayer, a metadata server, or a live file system.
+//!
+//! # The mining hot path
+//!
+//! [`Farmer::observe`] is the loop everything else rides on, and it is
+//! engineered to be allocation-free and O(window) per event:
+//!
+//! * **LDA weights** come from a precomputed table
+//!   ([`FarmerConfig::lda_weights`]), rebuilt only when the window or
+//!   decrement change — not re-derived per predecessor per event.
+//! * **Similarity** is split ([`crate::semvec`]) into a branch-free scalar
+//!   match mask (per event) and a **memoized path term** keyed by
+//!   `(predecessor file, successor file)`. Paths are learned once per file,
+//!   so the path term is a pure function of the pair; it is computed when
+//!   an edge is first created and stored *on the edge*, which makes
+//!   invalidation free — [`Farmer::forget_files`] and cap eviction remove
+//!   the edge, and the term with it. The two ways a memo can go stale
+//!   without the edge dying — a path learned only after the file already
+//!   had edges, or a mid-run combo/path-mode change — mark the affected
+//!   memos for recomputation on next touch.
+//! * **Storage** is id-sparse end to end: learned paths live in a hash map
+//!   and the graph in slotted storage, so resident memory tracks live
+//!   files, not the largest file id ever interned.
+//!
+//! # Complexity (w = window, d = successor cap, n = active nodes, e = edges)
+//!
+//! | phase | before | now |
+//! |---|---|---|
+//! | per event | O(w·(d + path²)) + spine growth | O(w) — one-cache-line id scan per predecessor (linear beats binary search at the small cap), memoized path terms, batched + prefetch-pipelined |
+//! | per prune tick | O(max_id + e) age sweep + O(max_id + e) prune | O(1) age + O(n + e) prune with per-node skip |
+//! | per snapshot/eviction | O(max_id) `active_nodes` scan | O(1) counter |
+//! | resident bytes | O(max file id) | O(live files) |
 
 use std::collections::VecDeque;
 
+use farmer_trace::hash::FxHashMap;
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
+use crate::attr::AttrKind;
 use crate::config::FarmerConfig;
 use crate::correlator::{Correlator, CorrelatorList};
 use crate::extract::{Extractor, Request};
-use crate::graph::CorrelationGraph;
-use crate::semvec::similarity;
+use crate::graph::{CorrelationGraph, NodeHint, PredUpdate};
+use crate::semvec::{path_term, scalar_parts};
+
+/// One look-ahead-window entry: the request plus the graph-slot hint of
+/// its file's node (valid only for owned files; stale hints are safe).
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    req: Request,
+    hint: NodeHint,
+}
 
 /// The FARMER model: feed requests, query sorted correlator lists.
 #[derive(Debug)]
 pub struct Farmer {
     cfg: FarmerConfig,
     graph: CorrelationGraph,
-    /// Sliding look-ahead window: the most recent `cfg.window` requests.
-    window: VecDeque<Request>,
+    /// Sliding look-ahead window: the most recent `cfg.window` requests,
+    /// each carrying a best-effort [`NodeHint`] so mining from it skips the
+    /// graph's id→slot probe.
+    window: VecDeque<WindowEntry>,
     /// Per-file learned paths (cloned from the first observation of each
-    /// file). This mirrors the paper's semantic-vector store: "vectors are
-    /// stored as columns of a single matrix".
-    paths: Vec<Option<FilePath>>,
+    /// file), keyed sparsely by file id. This mirrors the paper's
+    /// semantic-vector store: "vectors are stored as columns of a single
+    /// matrix" — but only live columns are resident.
+    paths: FxHashMap<u32, FilePath>,
+    /// Precomputed LDA weight table (`lda[i]` = weight at distance i+1).
+    lda: Vec<f64>,
+    /// Fingerprint of the config inputs `lda` was built from.
+    lda_key: (usize, u64),
+    /// Fingerprint of the config inputs the memoized path terms were built
+    /// under; a change marks every memo stale.
+    sim_key: (crate::attr::AttrCombo, crate::config::PathMode),
+    /// Reusable per-event batch of predecessor updates (no allocation on
+    /// the hot path after warm-up).
+    scratch: Vec<PredUpdate>,
     observed: u64,
 }
 
 impl Farmer {
     /// A fresh model with the given configuration.
     pub fn new(cfg: FarmerConfig) -> Self {
+        let lda = cfg.lda_weights();
+        let lda_key = cfg.lda_fingerprint();
+        let cfg_sim_key = (cfg.combo, cfg.path_mode);
         Farmer {
             cfg,
             graph: CorrelationGraph::new(),
             window: VecDeque::new(),
-            paths: Vec::new(),
+            paths: FxHashMap::default(),
+            lda,
+            lda_key,
+            sim_key: (cfg_sim_key.0, cfg_sim_key.1),
+            scratch: Vec::new(),
             observed: 0,
         }
     }
@@ -97,39 +158,74 @@ impl Farmer {
         path: Option<&FilePath>,
         owns: impl Fn(FileId) -> bool,
     ) {
+        let mut hint = NodeHint::NONE;
         if owns(req.file) {
-            self.learn_path(req.file, path);
-            self.graph.record_access(req.file);
+            if self.learn_path(req.file, path) && self.graph.num_edges() > 0 {
+                // The path arrived only after this file already had mined
+                // edges: the memoized pair terms are stale.
+                self.graph.mark_path_memos_stale(req.file);
+            }
+            hint = self.graph.record_access_hinted(req.file);
         }
+        if self.lda_key != self.cfg.lda_fingerprint() {
+            self.lda = self.cfg.lda_weights();
+            self.lda_key = self.cfg.lda_fingerprint();
+        }
+        if self.sim_key != (self.cfg.combo, self.cfg.path_mode) {
+            self.sim_key = (self.cfg.combo, self.cfg.path_mode);
+            self.graph.mark_all_path_memos_stale();
+        }
+        let use_path = self.cfg.combo.contains(AttrKind::Path);
 
         // Constructing + Mining: update the edge from every windowed
         // predecessor to the new request, LDA-weighted by distance and
-        // carrying the semantic similarity of the two requests.
+        // carrying the semantic similarity of the two requests. The scalar
+        // part of the similarity is a branch-free mask per predecessor; the
+        // path part is memoized on the edge itself (the term thunk is only
+        // invoked when a pair is first seen). The updates are prepared into
+        // a reusable batch and committed by the graph's two-phase pipeline
+        // ([`CorrelationGraph::mine_batch`]), which overlaps the one cold
+        // memory load each update needs.
+        self.scratch.clear();
         for (i, pred) in self.window.iter().rev().enumerate() {
-            if pred.file == req.file {
+            let Some(&w) = self.lda.get(i) else {
+                break; // beyond the window, every weight is 0
+            };
+            if w <= 0.0 || pred.req.file == req.file {
                 continue; // self-transitions carry no inter-file signal
             }
-            if !owns(pred.file) {
+            if !owns(pred.req.file) {
                 continue; // another partition instance mines this edge
             }
-            let d = i + 1;
-            let w = self.cfg.lda_weight(d);
-            if w <= 0.0 {
-                continue;
-            }
-            let sim = similarity(
-                pred,
-                self.paths.get(pred.file.index()).and_then(Option::as_ref),
-                &req,
-                path,
-                self.cfg.combo,
-                self.cfg.path_mode,
+            let (s_inter, s_items) = scalar_parts(&pred.req, &req, self.cfg.combo);
+            self.scratch.push(PredUpdate {
+                file: pred.req.file,
+                hint: pred.hint,
+                weight: w,
+                s_inter,
+                s_items: s_items as u32,
+            });
+        }
+        if !self.scratch.is_empty() {
+            let paths = &self.paths;
+            let mode = self.cfg.path_mode;
+            self.graph.mine_batch(
+                &self.scratch,
+                req.file,
+                use_path && path.is_some(),
+                |pred_file| {
+                    if !use_path {
+                        return (0.0, 0);
+                    }
+                    let (inter, n_pred, n_succ) =
+                        path_term(paths.get(&pred_file.raw()), path, mode);
+                    (inter, n_pred.max(n_succ) as u32)
+                },
+                &self.cfg,
             );
-            self.graph
-                .update_edge(pred.file, req.file, w, sim, &self.cfg);
         }
 
-        self.window.push_back(req);
+        self.window.push_back(WindowEntry { req, hint });
         while self.window.len() > self.cfg.window {
             self.window.pop_front();
         }
@@ -210,45 +306,48 @@ impl Farmer {
 
         let mut removed = 0;
         for &raw in &victims {
-            let file = FileId::new(raw);
-            if let Some(p) = self.paths.get_mut(file.index()) {
-                *p = None;
-            }
-            removed += self.graph.clear_node(file);
+            self.paths.remove(&raw);
+            removed += self.graph.clear_node(FileId::new(raw));
         }
         removed += self.graph.retain_edges(|_, to| !gone(to));
-        self.window.retain(|r| !gone(r.file));
+        self.window.retain(|r| !gone(r.req.file));
         removed
     }
 
-    /// Approximate resident heap bytes of the model: graph, learned paths
-    /// and window. Regenerates the paper's Table 4 space-overhead numbers.
+    /// Approximate resident heap bytes of the model: graph (including the
+    /// per-edge memoized path terms), learned paths, the look-ahead
+    /// window's `Request` payload, and the LDA table. Regenerates the
+    /// paper's Table 4 space-overhead numbers — every live structure is
+    /// accounted, so the figure stays honest under eviction and
+    /// re-admission.
     pub fn memory_bytes(&self) -> usize {
-        let paths: usize = self
-            .paths
-            .iter()
-            .map(|p| p.as_ref().map_or(0, FilePath::heap_bytes))
-            .sum::<usize>()
-            + self.paths.capacity() * std::mem::size_of::<Option<FilePath>>();
-        self.graph.heap_bytes() + paths + self.window.capacity() * std::mem::size_of::<Request>()
+        let paths: usize = self.paths.values().map(FilePath::heap_bytes).sum::<usize>()
+            + self.paths.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<FilePath>() + 8);
+        self.graph.heap_bytes()
+            + paths
+            + self.window.capacity() * std::mem::size_of::<WindowEntry>()
+            + self.scratch.capacity() * std::mem::size_of::<PredUpdate>()
+            + self.lda.capacity() * std::mem::size_of::<f64>()
     }
 
-    fn learn_path(&mut self, file: FileId, path: Option<&FilePath>) {
-        let idx = file.index();
-        if idx >= self.paths.len() {
-            self.paths.resize_with(idx + 1, || None);
+    /// Learn `file`'s path on first sight. Returns true only for a *late*
+    /// install — the path arrived after the file had already been observed
+    /// pathless — which is the one case where memoized pair terms must be
+    /// invalidated (see [`CorrelationGraph::mark_path_memos_stale`]).
+    fn learn_path(&mut self, file: FileId, path: Option<&FilePath>) -> bool {
+        let Some(p) = path else { return false };
+        if self.paths.contains_key(&file.raw()) {
+            return false;
         }
-        if self.paths[idx].is_none() {
-            if let Some(p) = path {
-                self.paths[idx] = Some(p.clone());
-            }
-        }
+        self.paths.insert(file.raw(), p.clone());
+        self.observed > 0 && self.graph.total_accesses(file) > 0.0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AttrCombo;
     use farmer_trace::{DevId, HostId, PathInterner, ProcId, UserId, WorkloadSpec};
 
     fn req(file: u32, uid: u32, pid: u32, host: u32) -> Request {
@@ -280,6 +379,134 @@ mod tests {
         assert!((mass_of(1) - 1.0).abs() < 1e-12, "B mass {}", mass_of(1));
         assert!((mass_of(2) - 0.9).abs() < 1e-12, "C mass {}", mass_of(2));
         assert!((mass_of(3) - 0.8).abs() < 1e-12, "D mass {}", mass_of(3));
+    }
+
+    #[test]
+    fn repeated_predecessor_in_window_accumulates_both_distances() {
+        // A B A C: observing C mines A at distance 1 (w=1.0) and again at
+        // distance 3 (w=0.8) — the batched pipeline must commit both.
+        let mut f = Farmer::with_defaults();
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(1, 1, 1, 1), None);
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(2, 1, 1, 1), None);
+        let cfg = f.config().clone();
+        let mass = f
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .find(|e| e.to == FileId::new(2))
+            .map(|e| e.mass)
+            .unwrap_or(0.0);
+        assert!((mass - 1.8).abs() < 1e-12, "mass {mass}");
+    }
+
+    #[test]
+    fn late_path_learn_refreshes_memoized_terms() {
+        // File 0 is first observed pathless, so the memoized 0→1 term has
+        // no path intersection. When its path arrives later, the memo must
+        // be refreshed: subsequent co-occurrences carry the path signal.
+        let mut i = PathInterner::new();
+        let pa = i.parse("/home/u1/d/a");
+        let pb = i.parse("/home/u1/d/b");
+        let mut f = Farmer::with_defaults();
+        f.observe(req(0, 1, 1, 1), None); // path withheld
+        f.observe(req(1, 1, 1, 1), Some(&pb)); // sim = 3/4 (one-sided path)
+        f.observe(req(0, 1, 1, 1), Some(&pa)); // late install -> invalidate
+        f.observe(req(1, 1, 1, 1), Some(&pb)); // 0→1 twice: sim = 3.75/4
+        let cfg = f.config().clone();
+        let e = f
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .find(|e| e.to == FileId::new(1))
+            .unwrap();
+        // sim_avg = (0.75 + 0.9375 + 0.9375) / 3 = 0.875, not a stale 0.75.
+        assert!((e.sim_avg - 0.875).abs() < 1e-12, "sim_avg {}", e.sim_avg);
+    }
+
+    #[test]
+    fn partitioned_union_handles_late_path_arrival() {
+        // File 1's path is withheld at first and arrives later. The
+        // memoized path terms must refresh identically in the batch model
+        // and in every ownership partition — including the partition that
+        // does *not* own file 1 and therefore never learns its path (the
+        // successor side of the memo is guarded by the per-edge path
+        // presence flag, not by learn_path).
+        let mut i = PathInterner::new();
+        let pa = i.parse("/home/u1/d/a");
+        let pb = i.parse("/home/u1/d/b");
+        let stream = [
+            (req(0, 1, 1, 1), Some(&pa)),
+            (req(1, 1, 1, 1), None), // pathless at first
+            (req(0, 1, 1, 1), Some(&pa)),
+            (req(1, 1, 1, 1), Some(&pb)), // path arrives late
+            (req(0, 1, 1, 1), Some(&pa)),
+            (req(1, 1, 1, 1), Some(&pb)),
+        ];
+        let mut whole = Farmer::with_defaults();
+        let mut even = Farmer::with_defaults();
+        let mut odd = Farmer::with_defaults();
+        for (r, p) in &stream {
+            whole.observe(*r, *p);
+            even.observe_where(*r, *p, |f| f.raw() % 2 == 0);
+            odd.observe_where(*r, *p, |f| f.raw() % 2 == 1);
+        }
+        let cfg = whole.config().clone();
+        for file in 0..2u32 {
+            let fid = FileId::new(file);
+            let part = if file % 2 == 0 { &even } else { &odd };
+            let want: Vec<_> = whole
+                .graph()
+                .edges(fid, &cfg)
+                .map(|e| (e.to, e.mass, e.sim_avg))
+                .collect();
+            let got: Vec<_> = part
+                .graph()
+                .edges(fid, &cfg)
+                .map(|e| (e.to, e.mass, e.sim_avg))
+                .collect();
+            assert_eq!(got.len(), want.len(), "edge count diverged for f{file}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0);
+                assert!((g.1 - w.1).abs() < 1e-12, "mass diverged for f{file}");
+                assert!(
+                    (g.2 - w.2).abs() < 1e-12,
+                    "sim diverged for f{file}: {} vs {}",
+                    g.2,
+                    w.2
+                );
+            }
+        }
+        // And the late path genuinely contributes: the 0→1 similarity mean
+        // must exceed the one-sided 0.75 it would stay at if stale.
+        let e = whole
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .find(|e| e.to == FileId::new(1))
+            .unwrap();
+        assert!(e.sim_avg > 0.76, "stale successor term: {}", e.sim_avg);
+    }
+
+    #[test]
+    fn combo_change_applies_to_existing_pairs() {
+        // Changing the attribute combination must affect *future*
+        // observations even of already-memoized pairs.
+        let mut f = Farmer::with_defaults(); // hp combo: 3 scalars + path
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(1, 1, 1, 1), None); // sim = 3/3 = 1 (pathless)
+        f.config_mut().combo = AttrCombo::EMPTY;
+        f.observe(req(0, 1, 1, 1), None);
+        f.observe(req(1, 1, 1, 1), None); // 0→1 twice more at sim 0
+        let cfg = f.config().clone();
+        let e = f
+            .graph()
+            .edges(FileId::new(0), &cfg)
+            .find(|e| e.to == FileId::new(1))
+            .unwrap();
+        assert!(
+            (e.sim_avg - 1.0 / 3.0).abs() < 1e-12,
+            "stale combo served: sim_avg {}",
+            e.sim_avg
+        );
     }
 
     #[test]

@@ -20,12 +20,60 @@
 //! The functions here are allocation-free: similarity is computed directly
 //! from the request tuples and path references without materializing the
 //! item vectors, because this sits on the hot path of every mined event.
+//!
+//! The similarity decomposes into two independent terms the hot loop
+//! exploits separately (see [`crate::model::Farmer`]):
+//!
+//! * [`scalar_parts`] — the per-event scalar-attribute comparison, a
+//!   branch-free match mask over the combo bits;
+//! * [`path_term`] — the per-file-pair path contribution, a pure function
+//!   of the two (learn-once) paths, and therefore memoizable.
 
 use farmer_trace::FilePath;
 
 use crate::attr::{AttrCombo, AttrKind};
 use crate::config::PathMode;
 use crate::extract::Request;
+
+/// The scalar-attribute part of the similarity: `(intersection, items)`.
+///
+/// Branch-free: each attribute's contribution is gated by its combo bit and
+/// its equality bit arithmetically, with no per-kind dispatch. Both requests
+/// contribute the same item count, so one `items` covers both sides.
+#[inline]
+pub fn scalar_parts(a: &Request, b: &Request, combo: AttrCombo) -> (f64, usize) {
+    let user = combo.contains(AttrKind::User) as u32;
+    let proc_ = combo.contains(AttrKind::Process) as u32;
+    let host = combo.contains(AttrKind::Host) as u32;
+    let file = combo.contains(AttrKind::FileId) as u32;
+    let dev = combo.contains(AttrKind::Dev) as u32;
+    let inter = (user & (a.uid == b.uid) as u32)
+        + (proc_ & (a.pid == b.pid) as u32)
+        + (host & (a.host == b.host) as u32)
+        + (file & (a.file == b.file) as u32)
+        + (dev & (a.dev == b.dev) as u32);
+    let items = user + proc_ + host + file + dev;
+    (inter as f64, items as usize)
+}
+
+/// The path-attribute part: `(intersection value, items_a, items_b)` under
+/// the configured path algorithm. Only meaningful when the combo contains
+/// [`AttrKind::Path`]; a request with a path vs one without still carries
+/// the item (it inflates the denominator but cannot match).
+#[inline]
+pub fn path_term(
+    path_a: Option<&FilePath>,
+    path_b: Option<&FilePath>,
+    mode: PathMode,
+) -> (f64, usize, usize) {
+    let integrated = mode == PathMode::Ipa;
+    match (path_a, path_b) {
+        (Some(pa), Some(pb)) => pa.pair_term(pb, integrated),
+        (Some(pa), None) => (0.0, pa.solo_items(integrated), 0),
+        (None, Some(pb)) => (0.0, 0, pb.solo_items(integrated)),
+        (None, None) => (0.0, 0, 0),
+    }
+}
 
 /// Semantic distance between two requests under an attribute combination.
 ///
@@ -39,56 +87,14 @@ pub fn similarity(
     combo: AttrCombo,
     mode: PathMode,
 ) -> f64 {
-    let mut inter = 0.0f64;
-    let mut n_a = 0usize;
-    let mut n_b = 0usize;
-
-    // Scalar items: one per attribute, intersect on equality.
-    for kind in combo.iter() {
-        let eq = match kind {
-            AttrKind::User => Some(a.uid == b.uid),
-            AttrKind::Process => Some(a.pid == b.pid),
-            AttrKind::Host => Some(a.host == b.host),
-            AttrKind::FileId => Some(a.file == b.file),
-            AttrKind::Dev => Some(a.dev == b.dev),
-            AttrKind::Path => None, // handled below
-        };
-        if let Some(eq) = eq {
-            n_a += 1;
-            n_b += 1;
-            if eq {
-                inter += 1.0;
-            }
-        }
-    }
-
+    let (mut inter, scalars) = scalar_parts(a, b, combo);
+    let (mut n_a, mut n_b) = (scalars, scalars);
     if combo.contains(AttrKind::Path) {
-        match (path_a, path_b) {
-            (Some(pa), Some(pb)) => match mode {
-                PathMode::Ipa => {
-                    n_a += 1;
-                    n_b += 1;
-                    inter += pa.ipa_similarity(pb);
-                }
-                PathMode::Dpa => {
-                    n_a += pa.depth();
-                    n_b += pb.depth();
-                    inter += pa.multiset_intersection(pb) as f64;
-                }
-            },
-            // A request with a path vs one without still carries the item.
-            (Some(pa), None) => match mode {
-                PathMode::Ipa => n_a += 1,
-                PathMode::Dpa => n_a += pa.depth(),
-            },
-            (None, Some(pb)) => match mode {
-                PathMode::Ipa => n_b += 1,
-                PathMode::Dpa => n_b += pb.depth(),
-            },
-            (None, None) => {}
-        }
+        let (p_inter, p_a, p_b) = path_term(path_a, path_b, mode);
+        inter += p_inter;
+        n_a += p_a;
+        n_b += p_b;
     }
-
     let denom = n_a.max(n_b);
     if denom == 0 {
         0.0
@@ -208,6 +214,25 @@ mod tests {
         );
         assert!((s_ac - 0.25 / 4.0).abs() < 1e-12, "got {s_ac}");
         assert!((s_bc - 0.25 / 4.0).abs() < 1e-12, "got {s_bc}");
+    }
+
+    #[test]
+    fn decomposed_parts_rebuild_similarity_exactly() {
+        // scalar_parts + path_term must reproduce similarity() bit-for-bit:
+        // the memoized hot path relies on this decomposition.
+        let (r, p, _i) = table1();
+        for mode in [PathMode::Dpa, PathMode::Ipa] {
+            for x in 0..3 {
+                for y in 0..3 {
+                    let whole = similarity(&r[x], Some(&p[x]), &r[y], Some(&p[y]), combo(), mode);
+                    let (s_inter, s_items) = scalar_parts(&r[x], &r[y], combo());
+                    let (p_inter, p_a, p_b) = path_term(Some(&p[x]), Some(&p[y]), mode);
+                    let denom = (s_items + p_a).max(s_items + p_b);
+                    let rebuilt = (s_inter + p_inter) / denom as f64;
+                    assert_eq!(whole.to_bits(), rebuilt.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

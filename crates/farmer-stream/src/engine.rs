@@ -25,17 +25,15 @@
 //!
 //! for *any* input stream, however long and however many distinct files.
 //!
-//! **Scope of the bound.** The cap governs the *heavy* per-file state —
-//! edges, paths, counters, access totals, which dominate resident memory
-//! and are what [`StreamMiner::state_bytes`] reports. The correlation
-//! graph's dense index spine (one empty slot per file id ever observed,
-//! ~56 bytes) is *not* reclaimed on eviction and grows with the id
-//! universe. File ids in this workspace are dense per namespace by
-//! construction ([`farmer_trace::ids::Interner`]), so the spine is
-//! bounded by the namespace size, not the stream length; a deployment
-//! over an open-ended universe must recycle ids at the interning layer
-//! (or the graph needs sparse/slotted node storage — a known follow-up,
-//! see ROADMAP).
+//! **Scope of the bound.** The cap is unconditional. The correlation
+//! graph stores nodes in sparse slotted storage (id→slot index over a
+//! dense slab of live nodes) and the model keeps learned paths in a
+//! sparse map, so *all* per-file state — edges, paths, counters, access
+//! totals, node slots — is reclaimed by eviction and resident memory is
+//! O(node_cap) even over open-ended id universes. Decay is equally cheap:
+//! [`farmer_core::CorrelationGraph::age`] advances a global log-scale
+//! epoch in O(1) and nodes absorb it lazily on touch, so the shard's
+//! periodic maintenance touches only live state.
 
 use farmer_core::{CorrelatorList, Farmer, Request};
 use farmer_trace::hash::{fx_hash_u64, FxHashMap};

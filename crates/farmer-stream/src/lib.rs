@@ -10,10 +10,10 @@
 //!   with **incremental eviction**: exponentially decayed access counters
 //!   plus Space-Saving-style heavy-hitter retention, so the number of
 //!   tracked files (graph nodes) never exceeds a configured cap and the
-//!   edge count never exceeds `cap × max_successors` — the heavy per-file
-//!   state stays bounded however long the stream runs (the dense node
-//!   index additionally scales with the interned id universe; see the
-//!   [`engine`] docs for the exact scope of the bound).
+//!   edge count never exceeds `cap × max_successors` — all per-file state
+//!   stays bounded however long the stream runs and however sparse the id
+//!   universe (the graph's sparse slotted storage reclaims node slots on
+//!   eviction; see the [`engine`] docs).
 //! * [`shard`] — [`ShardedMiner`]: hash-partitions file ownership across
 //!   `N` independent miner shards (the same Fx-hash routing
 //!   `farmer-mds::cluster` uses for multi-MDS namespaces), each on its own

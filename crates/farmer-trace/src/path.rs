@@ -156,6 +156,40 @@ impl FilePath {
         (inter + name_match) as f64 / max as f64
     }
 
+    /// The pair similarity term this path contributes against `other`, as
+    /// `(intersection value, own items, other's items)` — the hook the
+    /// miner's memoized similarity cache is built on (paths are learned
+    /// once per file, so the term is a pure function of the file pair).
+    ///
+    /// * `integrated` (IPA): the whole path is one vector item whose
+    ///   intersection value is [`FilePath::ipa_similarity`] → `(sim, 1, 1)`.
+    /// * divided (DPA): every component is an item; the intersection is the
+    ///   multiset overlap → `(|∩|, depth, other depth)`.
+    #[inline]
+    pub fn pair_term(&self, other: &FilePath, integrated: bool) -> (f64, usize, usize) {
+        if integrated {
+            (self.ipa_similarity(other), 1, 1)
+        } else {
+            (
+                self.multiset_intersection(other) as f64,
+                self.depth(),
+                other.depth(),
+            )
+        }
+    }
+
+    /// Items this path contributes when the counterpart request carries no
+    /// path at all (the one-sided case: the item inflates the denominator
+    /// but cannot match).
+    #[inline]
+    pub fn solo_items(&self, integrated: bool) -> usize {
+        if integrated {
+            1
+        } else {
+            self.depth()
+        }
+    }
+
     /// Approximate heap bytes held by this path.
     pub fn heap_bytes(&self) -> usize {
         self.components.capacity() * std::mem::size_of::<u32>()
@@ -293,6 +327,21 @@ mod tests {
         let b = FilePath::from_components(vec![1, 1]);
         assert_eq!(a.multiset_intersection(&b), 1);
         assert_eq!(b.multiset_intersection(&a), 1);
+    }
+
+    #[test]
+    fn pair_term_matches_both_algorithms() {
+        let mut i = PathInterner::new();
+        let a = mk(&mut i, "/home/user1/paper/a");
+        let b = mk(&mut i, "/home/user2/c");
+        let (ipa, na, nb) = a.pair_term(&b, true);
+        assert!((ipa - a.ipa_similarity(&b)).abs() < 1e-15);
+        assert_eq!((na, nb), (1, 1));
+        let (dpa, da, db) = a.pair_term(&b, false);
+        assert_eq!(dpa, a.multiset_intersection(&b) as f64);
+        assert_eq!((da, db), (a.depth(), b.depth()));
+        assert_eq!(a.solo_items(true), 1);
+        assert_eq!(a.solo_items(false), 4);
     }
 
     #[test]
