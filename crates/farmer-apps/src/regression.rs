@@ -3,18 +3,21 @@
 //! learn more about association between file correlations and
 //! attributes").
 //!
-//! For every mined successor pair (A, B) we form a sample:
-//! features `x = [1, uid_match, pid_match, host_match, path_sim]` (the
-//! attribute-match indicators averaged over the pair's co-occurrences) and
-//! target `y = F(A,B)` (the observed access frequency). Ordinary least
-//! squares then yields per-attribute coefficients: how much each matching
-//! attribute predicts that two files genuinely co-occur. This quantifies
-//! what Table 5 probes empirically by sweeping combinations.
+//! For every observed successor pair (A, B) we form a sample: features
+//! `x = [1, uid_match, pid_match, host_match, path_sim]` (the
+//! attribute-match indicators of the pair of events) and target
+//! `y = R(A,B)` — the mined correlation degree served by any
+//! [`CorrelationSource`] (0 if the pair was filtered or evicted).
+//! Ordinary least squares then yields per-attribute coefficients: how much
+//! each matching attribute predicts that two files are genuinely
+//! correlated. This quantifies what Table 5 probes empirically by sweeping
+//! combinations, and it runs against *any* back-end — the live model, a
+//! stream snapshot, or a store view — since it only needs pair degrees.
 //!
 //! The normal equations are solved with a small, self-contained Gaussian
 //! elimination with partial pivoting ([`solve`]).
 
-use farmer_core::{similarity, AttrCombo, AttrKind, Farmer, PathMode, Request};
+use farmer_core::{similarity, AttrCombo, AttrKind, CorrelationSource, PathMode, Request};
 use farmer_trace::{Trace, TraceEvent};
 
 /// Number of regression features (intercept + 4 attribute signals).
@@ -86,22 +89,17 @@ impl AttributeRegression {
 
     /// Build samples from consecutive event pairs of a trace: feature
     /// vector = attribute matches of the pair; target = the mined
-    /// `F(A,B)` of that pair under `farmer` (0 if the pair was filtered).
-    pub fn accumulate_trace(&mut self, trace: &Trace, farmer: &Farmer) {
+    /// correlation degree `R(A,B)` served by `source` (0 if the pair was
+    /// filtered or never retained).
+    pub fn accumulate_trace(&mut self, trace: &Trace, source: &dyn CorrelationSource) {
         let mut prev: Option<&TraceEvent> = None;
         for e in &trace.events {
             if let Some(p) = prev {
                 if p.file != e.file {
                     let x = features(trace, p, e);
-                    let y = farmer
-                        .graph()
-                        .edges(p.file, farmer.config())
-                        .find(|edge| edge.to == e.file)
-                        .map(|edge| {
-                            // access frequency component of the edge
-                            (edge.mass / farmer.graph().total_accesses(p.file).max(1.0))
-                                .clamp(0.0, 1.0)
-                        })
+                    let y = source
+                        .degree(p.file, e.file)
+                        .map(|d| d.clamp(0.0, 1.0))
                         .unwrap_or(0.0);
                     self.push_sample(x, y);
                 }
@@ -160,10 +158,11 @@ impl AttributeRegression {
     }
 }
 
-/// Convenience: mine a trace and fit the attribute regression in one call.
-pub fn fit_trace(trace: &Trace, farmer: &Farmer) -> RegressionReport {
+/// Convenience: fit the attribute regression of a trace against any mined
+/// correlation source in one call.
+pub fn fit_trace(trace: &Trace, source: &dyn CorrelationSource) -> RegressionReport {
     let mut reg = AttributeRegression::new();
-    reg.accumulate_trace(trace, farmer);
+    reg.accumulate_trace(trace, source);
     reg.fit()
 }
 
@@ -227,7 +226,7 @@ pub fn solve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farmer_core::FarmerConfig;
+    use farmer_core::{Farmer, FarmerConfig};
     use farmer_trace::WorkloadSpec;
 
     #[test]

@@ -13,7 +13,7 @@
 //! correlated set mixed-version; grouped atomic backups cannot, which the
 //! failure-injection tests demonstrate.
 
-use farmer_core::Farmer;
+use farmer_core::{CorrelationSource, Correlator};
 use farmer_trace::hash::FxHashMap;
 use farmer_trace::FileId;
 
@@ -27,19 +27,26 @@ pub struct ReplicaPlan {
 }
 
 impl ReplicaPlan {
-    /// Build a plan from a mined model: walk every file's correlator list
-    /// and greedily group mutually correlated files (same strategy as the
-    /// §4.2 layout, but without the read-only restriction — replicas are
-    /// copies, so writes don't complicate placement).
-    pub fn plan(farmer: &Farmer, num_files: usize, min_degree: f64, max_group: usize) -> Self {
+    /// Build a plan from any mined correlation source (live model, stream
+    /// snapshot, store view): walk every file's correlators and greedily
+    /// group mutually correlated files (same strategy as the §4.2 layout,
+    /// but without the read-only restriction — replicas are copies, so
+    /// writes don't complicate placement).
+    pub fn plan(
+        source: &dyn CorrelationSource,
+        num_files: usize,
+        min_degree: f64,
+        max_group: usize,
+    ) -> Self {
         let mut group_of: FxHashMap<u32, u32> = FxHashMap::default();
         let mut members: Vec<Vec<FileId>> = Vec::new();
+        let mut list: Vec<Correlator> = Vec::new();
         for fid in 0..num_files {
             let owner = FileId::new(fid as u32);
             if group_of.contains_key(&owner.raw()) {
                 continue;
             }
-            let list = farmer.correlators_with_threshold(owner, min_degree);
+            source.top_k_into(owner, usize::MAX, min_degree, &mut list);
             let group: Vec<FileId> = std::iter::once(owner)
                 .chain(
                     list.iter()
@@ -194,7 +201,7 @@ impl ReplicaManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farmer_core::{FarmerConfig, Request};
+    use farmer_core::{Farmer, FarmerConfig, Request};
     use farmer_trace::{DevId, HostId, ProcId, UserId};
 
     fn req(file: u32) -> Request {

@@ -6,7 +6,7 @@
 //! is bounded both by the validity threshold and by a hop limit —
 //! "intelligent secure storage" without per-file administration.
 
-use farmer_core::Farmer;
+use farmer_core::{CorrelationSource, Correlator};
 use farmer_trace::hash::FxHashMap;
 use farmer_trace::{FileId, TraceEvent, UserId};
 
@@ -80,10 +80,16 @@ pub struct SecurityPolicy {
 }
 
 impl SecurityPolicy {
-    /// Compile rules against a mined model: each rule spreads from its
-    /// origin along correlator-list edges, multiplying degrees per hop.
-    pub fn compile(farmer: &Farmer, rules: Vec<AccessRule>, cfg: PropagationConfig) -> Self {
+    /// Compile rules against any mined correlation source: each rule
+    /// spreads from its origin along correlator edges, multiplying degrees
+    /// per hop.
+    pub fn compile(
+        source: &dyn CorrelationSource,
+        rules: Vec<AccessRule>,
+        cfg: PropagationConfig,
+    ) -> Self {
         let mut effective: FxHashMap<u32, Vec<(usize, f64)>> = FxHashMap::default();
+        let mut correlators: Vec<Correlator> = Vec::new();
         for (idx, rule) in rules.iter().enumerate() {
             // BFS with multiplicative strength decay.
             let mut frontier = vec![(rule.file, 1.0f64)];
@@ -92,10 +98,8 @@ impl SecurityPolicy {
             for _hop in 0..cfg.max_hops {
                 let mut next = Vec::new();
                 for (file, strength) in frontier {
-                    for c in farmer
-                        .correlators_with_threshold(file, cfg.min_degree)
-                        .iter()
-                    {
+                    source.top_k_into(file, usize::MAX, cfg.min_degree, &mut correlators);
+                    for c in &correlators {
                         let s = strength * c.degree;
                         if s < cfg.min_strength {
                             continue;
@@ -182,7 +186,7 @@ impl SecurityPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farmer_core::{FarmerConfig, Request};
+    use farmer_core::{Farmer, FarmerConfig, Request};
     use farmer_trace::{DevId, HostId, ProcId};
 
     fn req(file: u32) -> Request {

@@ -76,12 +76,25 @@ fn bench_miner_observe(c: &mut Criterion) {
 }
 
 fn bench_correlator_query(c: &mut Criterion) {
+    use farmer_core::CorrelationSource;
     let trace = WorkloadSpec::hp().scaled(0.2).generate();
     let farmer = Farmer::mine_trace(&trace, FarmerConfig::default());
     let hot = trace.events[trace.len() / 2].file;
-    c.bench_function("correlators_query", |bench| {
+    let mut g = c.benchmark_group("query");
+    g.bench_function("correlators_full_list", |bench| {
         bench.iter(|| black_box(farmer.correlators(black_box(hot)).len()))
     });
+    g.bench_function("top_k_into_k4", |bench| {
+        let mut buf = Vec::new();
+        bench.iter(|| {
+            farmer.top_k_into(black_box(hot), 4, 0.4, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("strongest", |bench| {
+        bench.iter(|| black_box(farmer.strongest(black_box(hot), 0.4).is_some()))
+    });
+    g.finish();
 }
 
 fn bench_predictors(c: &mut Criterion) {

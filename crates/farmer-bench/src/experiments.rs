@@ -5,7 +5,7 @@
 //! `src/bin/*` wrappers render tables. Keeping the logic here lets the
 //! integration tests assert the paper's qualitative shapes directly.
 
-use farmer_core::{AttrCombo, Farmer, FarmerConfig, PathMode};
+use farmer_core::{AttrCombo, CorrelationSource, Farmer, FarmerConfig, PathMode};
 use farmer_mds::{replay, ReplayConfig};
 use farmer_prefetch::baselines::LruOnly;
 use farmer_prefetch::{simulate, FpaPredictor, NexusPredictor, SimConfig};
@@ -345,10 +345,9 @@ pub fn reduction_p0_matches_nexus(scale: f64) -> f64 {
     let mut total = 0usize;
     for fid in 0..trace.num_files().min(4000) {
         let file = farmer_trace::FileId::new(fid as u32);
-        let f_top = farmer
-            .correlators_with_threshold(file, 0.0)
-            .head()
-            .map(|c| c.file);
+        // `strongest` is the head-of-list query: one O(deg) scan instead of
+        // building and sorting a whole CorrelatorList per probed file.
+        let f_top = farmer.strongest(file, 0.0).map(|c| c.file);
         let n_top = nexus.successors(file).first().map(|&(f, _)| f);
         if let (Some(a), Some(b)) = (f_top, n_top) {
             total += 1;

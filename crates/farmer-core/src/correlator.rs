@@ -46,6 +46,19 @@ impl CorrelatorList {
         CorrelatorList { owner, entries }
     }
 
+    /// Build a list from entries that are *already* filtered and sorted in
+    /// the canonical order (decreasing degree, ties by ascending file id) —
+    /// the order every [`crate::CorrelationSource`] query produces. This is
+    /// the exporter-side constructor: it takes ownership of the buffer
+    /// without re-filtering or re-sorting.
+    pub fn from_sorted(owner: FileId, entries: Vec<Correlator>) -> CorrelatorList {
+        debug_assert!(entries.windows(2).all(|w| {
+            w[0].degree > w[1].degree
+                || (w[0].degree == w[1].degree && w[0].file.raw() < w[1].file.raw())
+        }));
+        CorrelatorList { owner, entries }
+    }
+
     /// Entries, strongest first.
     pub fn entries(&self) -> &[Correlator] {
         &self.entries
@@ -96,6 +109,7 @@ impl IntoIterator for CorrelatorList {
 pub struct CorrelatorTable {
     lists: Vec<CorrelatorList>,
     index: FxHashMap<u32, u32>,
+    version: u64,
 }
 
 impl CorrelatorTable {
@@ -106,6 +120,7 @@ impl CorrelatorTable {
 
     /// Insert (or replace) the list for its owner file.
     pub fn insert(&mut self, list: CorrelatorList) {
+        self.version += 1;
         match self.index.get(&list.owner.raw()) {
             Some(&slot) => self.lists[slot as usize] = list,
             None => {
@@ -113,6 +128,12 @@ impl CorrelatorTable {
                 self.lists.push(list);
             }
         }
+    }
+
+    /// Mutation version of the table (bumped per insert/replace); the
+    /// [`crate::CorrelationSource`] staleness check.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The list owned by `file`, if one is present.

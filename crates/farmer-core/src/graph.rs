@@ -326,6 +326,10 @@ pub struct CorrelationGraph {
     num_edges: usize,
     /// Global log-scale decay epoch: Σ ln(factor) over all `age` calls.
     decay_ln: f64,
+    /// Mutation epoch: bumped by every state-changing operation, so read
+    /// layers (the query cache in [`crate::model::Farmer`], snapshot
+    /// staleness checks) can validate derived views in O(1).
+    epoch: u64,
 }
 
 impl CorrelationGraph {
@@ -378,6 +382,7 @@ impl CorrelationGraph {
     /// [`CorrelationGraph::record_access`], returning a [`NodeHint`] that a
     /// later mining touch of the same file can use to skip the index probe.
     pub fn record_access_hinted(&mut self, file: FileId) -> NodeHint {
+        self.epoch += 1;
         let decay_ln = self.decay_ln;
         let s = self.slot_or_insert(file);
         let node = &mut self.slots[s];
@@ -452,6 +457,7 @@ impl CorrelationGraph {
         path: impl FnOnce() -> (f64, u32),
         cfg: &FarmerConfig,
     ) {
+        self.epoch += 1;
         let s = match self.slot_by_hint(from, from_hint) {
             Some(s) => s,
             None => self.slot_or_insert(from),
@@ -488,6 +494,7 @@ impl CorrelationGraph {
         mut path_term: impl FnMut(FileId) -> (f64, u32),
         cfg: &FarmerConfig,
     ) {
+        self.epoch += 1;
         let to_raw = to.raw();
         for chunk in preds.chunks(PIPELINE_WIDTH) {
             let mut loc = [(0usize, usize::MAX); PIPELINE_WIDTH];
@@ -679,6 +686,7 @@ impl CorrelationGraph {
     /// is guarded by the per-edge presence flag), so this is O(out-degree),
     /// not a graph sweep.
     pub fn mark_path_memos_stale(&mut self, file: FileId) {
+        self.epoch += 1;
         if let Some(s) = self.slot_of(file) {
             for e in &mut self.slots[s].edges {
                 e.inv_denom = f64::NAN;
@@ -692,6 +700,7 @@ impl CorrelationGraph {
     /// the documented rule that config changes affect future
     /// observations).
     pub fn mark_all_path_memos_stale(&mut self) {
+        self.epoch += 1;
         for node in &mut self.slots {
             for e in &mut node.edges {
                 e.inv_denom = f64::NAN;
@@ -706,6 +715,7 @@ impl CorrelationGraph {
     /// whose similarity lower bound gives `p · sim_lb ≥ floor` is skipped
     /// in O(1), since every one of its degrees is at least `p · sim_avg`.
     pub fn prune_below(&mut self, floor: f64, cfg: &FarmerConfig) -> usize {
+        self.epoch += 1;
         let p = cfg.p;
         let decay_ln = self.decay_ln;
         let mut removed = 0;
@@ -757,6 +767,7 @@ impl CorrelationGraph {
         if factor >= 1.0 {
             return;
         }
+        self.epoch += 1;
         // Clamp away from 0: ln(0) = -inf would freeze the epoch forever
         // (-inf + anything stays -inf, so later age calls would no-op for
         // nodes stamped afterwards). The clamp decays accumulators to
@@ -771,6 +782,7 @@ impl CorrelationGraph {
     /// a batched [`CorrelationGraph::retain_edges`] sweep) for full node
     /// eviction. Returns the number of edges removed.
     pub fn clear_node(&mut self, file: FileId) -> usize {
+        self.epoch += 1;
         match self.slot_of(file) {
             Some(s) => {
                 let removed = self.slots[s].tos.len();
@@ -786,6 +798,7 @@ impl CorrelationGraph {
     /// live nodes, so batch evictions can clean the incoming edges of many
     /// victims at once. Returns the number of edges removed.
     pub fn retain_edges(&mut self, mut keep: impl FnMut(FileId, FileId) -> bool) -> usize {
+        self.epoch += 1;
         let mut removed = 0;
         let mut s = 0;
         while s < self.slots.len() {
@@ -827,6 +840,19 @@ impl CorrelationGraph {
     /// Number of live edges.
     pub fn num_edges(&self) -> usize {
         self.num_edges
+    }
+
+    /// The mutation epoch: changes whenever any graph state changes, so a
+    /// derived view (sorted correlator cache, exported table) stamped with
+    /// the epoch it was built at can be staleness-checked in O(1).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterate over the files with a live node (slab order, unspecified).
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.slots.iter().map(|n| FileId::new(n.id))
     }
 
     /// Approximate heap bytes held by the graph (Table 4 accounting):

@@ -29,6 +29,17 @@
 //! They combine into the correlation degree
 //! `R(A,B) = sim·p + F·(1−p)` (paper Function 2), and only pairs with
 //! `R ≥ max_strength` are considered valid correlations.
+//!
+//! # The query layer
+//!
+//! Mining produces the model; *serving* happens through one API:
+//! [`CorrelationSource`] ([`source`]), implemented by the live [`Farmer`],
+//! the exported [`CorrelatorTable`], `farmer-stream`'s merged snapshots
+//! and `farmer-store`'s persisted view. Its contract — caller-owned
+//! buffers, canonical ordering, partial-select top-k in O(deg + k log k)
+//! rather than a full O(deg log deg) sort — is what lets every consumer
+//! (prefetcher, replication planner, security compiler, layout optimizer)
+//! query any back-end allocation-free at demand-request rate.
 
 pub mod attr;
 pub mod config;
@@ -38,6 +49,7 @@ pub mod graph;
 pub mod miner;
 pub mod model;
 pub mod semvec;
+pub mod source;
 
 pub use attr::{AttrCombo, AttrKind};
 pub use config::{FarmerConfig, PathMode};
@@ -46,3 +58,4 @@ pub use extract::{Extractor, Request};
 pub use graph::{CorrelationGraph, EdgeView};
 pub use model::Farmer;
 pub use semvec::similarity;
+pub use source::CorrelationSource;

@@ -2,8 +2,21 @@
 //!
 //! "This is an iterative process that repeats itself for each incoming
 //! request" (paper §3.1): every call to [`Farmer::observe`] runs
-//! Extracting → Constructing → Mining & Evaluating, and
-//! [`Farmer::correlators`] materializes the Sorting stage on demand.
+//! Extracting → Constructing → Mining & Evaluating, and the Sorting stage
+//! is served on demand through [`CorrelationSource`] —
+//! [`Farmer::correlators`] materializes an owned list over the same path.
+//!
+//! # Serving (the query layer)
+//!
+//! The model implements [`CorrelationSource`] with a per-node sorted-view
+//! cache: the first top-k query of a file snapshots its edges and
+//! partially selects the k strongest (O(deg + k log k)); later queries of
+//! the same file copy from the cached view in O(k). Views are validated
+//! against the graph's mutation epoch (plus the active `p`), so any
+//! observe/prune/decay/eviction invalidates them implicitly, and view
+//! buffers are reused across epochs — steady-state queries allocate
+//! nothing. [`CorrelationSource::strongest`] bypasses the cache entirely
+//! with one O(deg) scan.
 //!
 //! The model is deliberately front-end agnostic ("black-box", §3.1): it
 //! consumes plain [`Request`] tuples plus an optional path, so it can sit
@@ -40,6 +53,7 @@
 //! | per snapshot/eviction | O(max_id) `active_nodes` scan | O(1) counter |
 //! | resident bytes | O(max file id) | O(live files) |
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 use farmer_trace::hash::FxHashMap;
@@ -51,6 +65,7 @@ use crate::correlator::{Correlator, CorrelatorList};
 use crate::extract::{Extractor, Request};
 use crate::graph::{CorrelationGraph, NodeHint, PredUpdate};
 use crate::semvec::{path_term, scalar_parts};
+use crate::source::{rank_cmp, CorrelationSource};
 
 /// One look-ahead-window entry: the request plus the graph-slot hint of
 /// its file's node (valid only for owned files; stale hints are safe).
@@ -58,6 +73,51 @@ use crate::semvec::{path_term, scalar_parts};
 struct WindowEntry {
     req: Request,
     hint: NodeHint,
+}
+
+/// Hard bound on cached per-node sorted views; past it the cache resets
+/// wholesale (queried-file churn in a streaming deployment must not leak).
+const QUERY_CACHE_CAP: usize = 8192;
+
+/// One file's lazily sorted correlator view: the node's edges snapshotted
+/// at `stamp`, with only the strongest `sorted` entries actually in order.
+/// A top-k query extends the sorted prefix by partial selection
+/// (O(deg + k log k)), never paying a full O(deg log deg) sort for small k.
+#[derive(Debug, Default)]
+struct SortedView {
+    /// `(graph epoch, p bits)` the entries were built under.
+    stamp: (u64, u64),
+    entries: Vec<Correlator>,
+    /// Length of the canonically sorted prefix.
+    sorted: usize,
+}
+
+impl SortedView {
+    /// Grow the sorted prefix to cover the strongest `k` entries.
+    fn ensure_sorted(&mut self, k: usize) {
+        let k = k.min(self.entries.len());
+        if self.sorted >= k {
+            return;
+        }
+        let tail = &mut self.entries[self.sorted..];
+        let take = k - self.sorted;
+        if take < tail.len() {
+            // Partition the unsorted tail so its strongest `take` entries
+            // lead (everything already sorted is stronger than the tail).
+            tail.select_nth_unstable_by(take - 1, rank_cmp);
+        }
+        tail[..take].sort_unstable_by(rank_cmp);
+        self.sorted = k;
+    }
+}
+
+/// The per-[`Farmer`] query cache behind [`CorrelationSource`]: file →
+/// [`SortedView`], validated per query against the graph's mutation epoch
+/// (and the active `p`, which degrees depend on). Entry buffers are reused
+/// across epochs, so steady-state queries never allocate.
+#[derive(Debug, Default)]
+struct QueryCache {
+    views: FxHashMap<u32, SortedView>,
 }
 
 /// The FARMER model: feed requests, query sorted correlator lists.
@@ -84,6 +144,10 @@ pub struct Farmer {
     /// Reusable per-event batch of predecessor updates (no allocation on
     /// the hot path after warm-up).
     scratch: Vec<PredUpdate>,
+    /// Sorted-view cache serving the [`CorrelationSource`] queries.
+    /// Interior mutability keeps the whole read API `&self` (consumers
+    /// share the model behind `&dyn CorrelationSource`).
+    cache: RefCell<QueryCache>,
     observed: u64,
 }
 
@@ -102,6 +166,7 @@ impl Farmer {
             lda_key,
             sim_key: (cfg_sim_key.0, cfg_sim_key.1),
             scratch: Vec::new(),
+            cache: RefCell::new(QueryCache::default()),
             observed: 0,
         }
     }
@@ -258,21 +323,22 @@ impl Farmer {
 
     /// Stage 4: the sorted, thresholded Correlator List of `file`,
     /// evaluated against the *current* access counts.
+    ///
+    /// This materializes an owned list (exports, diagnostics). The serving
+    /// hot path queries through [`CorrelationSource`] instead —
+    /// `top_k_into` reuses a caller buffer and the model's sorted-view
+    /// cache, so steady-state queries allocate nothing.
     pub fn correlators(&self, file: FileId) -> CorrelatorList {
         self.correlators_with_threshold(file, self.cfg.max_strength)
     }
 
     /// Correlator list under an explicit threshold (used by the
-    /// `max_strength` sweeps without re-mining).
+    /// `max_strength` sweeps without re-mining). Same unified query path
+    /// as [`CorrelationSource::top_k_into`]; only the list is owned.
     pub fn correlators_with_threshold(&self, file: FileId, max_strength: f64) -> CorrelatorList {
-        CorrelatorList::build(
-            file,
-            self.graph.edges(file, &self.cfg).map(|e| Correlator {
-                file: e.to,
-                degree: e.degree,
-            }),
-            max_strength,
-        )
+        let mut entries = Vec::new();
+        self.top_k_into(file, usize::MAX, max_strength, &mut entries);
+        CorrelatorList::from_sorted(file, entries)
     }
 
     /// Manually drop all edges below the configured prune floor. Returns
@@ -323,8 +389,17 @@ impl Farmer {
     pub fn memory_bytes(&self) -> usize {
         let paths: usize = self.paths.values().map(FilePath::heap_bytes).sum::<usize>()
             + self.paths.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<FilePath>() + 8);
+        let cache = self.cache.borrow();
+        let views: usize = cache.views.len()
+            * (std::mem::size_of::<u32>() + std::mem::size_of::<SortedView>() + 8)
+            + cache
+                .views
+                .values()
+                .map(|v| v.entries.capacity() * std::mem::size_of::<Correlator>())
+                .sum::<usize>();
         self.graph.heap_bytes()
             + paths
+            + views
             + self.window.capacity() * std::mem::size_of::<WindowEntry>()
             + self.scratch.capacity() * std::mem::size_of::<PredUpdate>()
             + self.lda.capacity() * std::mem::size_of::<f64>()
@@ -341,6 +416,91 @@ impl Farmer {
         }
         self.paths.insert(file.raw(), p.clone());
         self.observed > 0 && self.graph.total_accesses(file) > 0.0
+    }
+}
+
+impl CorrelationSource for Farmer {
+    fn version(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    fn top_k_into(&self, file: FileId, k: usize, min_degree: f64, out: &mut Vec<Correlator>) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        let mut cache = self.cache.borrow_mut();
+        // Degrees depend on the graph state *and* the mining weight `p`
+        // (mutable via `config_mut`), so both stamp a view.
+        let stamp = (self.graph.epoch(), self.cfg.p.to_bits());
+        if cache.views.len() >= QUERY_CACHE_CAP && !cache.views.contains_key(&file.raw()) {
+            cache.views.clear();
+        }
+        let view = cache.views.entry(file.raw()).or_default();
+        if view.stamp != stamp {
+            view.stamp = stamp;
+            view.sorted = 0;
+            view.entries.clear(); // capacity retained: rebuilds don't allocate
+            view.entries
+                .extend(self.graph.edges(file, &self.cfg).map(|e| Correlator {
+                    file: e.to,
+                    degree: e.degree,
+                }));
+        }
+        view.ensure_sorted(k);
+        crate::source::copy_top_k(&view.entries[..view.sorted], k, min_degree, out);
+    }
+
+    fn strongest(&self, file: FileId, min_degree: f64) -> Option<Correlator> {
+        // Serve from a still-valid sorted view when one exists (its head IS
+        // the strongest entry); otherwise fall back to one pass over the
+        // node's edges — no sort, no cache population, no allocation.
+        let stamp = (self.graph.epoch(), self.cfg.p.to_bits());
+        if let Some(view) = self.cache.borrow().views.get(&file.raw()) {
+            if view.stamp == stamp {
+                // top_k_into sorts at least one entry of every fresh view.
+                return view
+                    .entries
+                    .first()
+                    .copied()
+                    .filter(|c| crate::miner::is_valid(c.degree, min_degree));
+            }
+        }
+        let mut best: Option<Correlator> = None;
+        for e in self.graph.edges(file, &self.cfg) {
+            if !crate::miner::is_valid(e.degree, min_degree) {
+                continue;
+            }
+            let c = Correlator {
+                file: e.to,
+                degree: e.degree,
+            };
+            if best.is_none_or(|b| rank_cmp(&c, &b).is_lt()) {
+                best = Some(c);
+            }
+        }
+        best
+    }
+
+    fn degree(&self, from: FileId, to: FileId) -> Option<f64> {
+        self.graph
+            .edges(from, &self.cfg)
+            .find(|e| e.to == to)
+            .map(|e| e.degree)
+    }
+
+    fn for_each_list(&self, visit: &mut dyn FnMut(FileId, &[Correlator])) {
+        let mut buf = Vec::new();
+        for file in self.graph.files() {
+            self.top_k_into(file, usize::MAX, self.cfg.max_strength, &mut buf);
+            if !buf.is_empty() {
+                visit(file, &buf);
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.memory_bytes()
     }
 }
 
@@ -780,6 +940,121 @@ mod tests {
         }
         let l = f.correlators_with_threshold(FileId::new(0), 0.0);
         assert_eq!(l.head().unwrap().file, FileId::new(1));
+    }
+
+    #[test]
+    fn top_k_matches_full_list_prefix() {
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let f = Farmer::mine_trace(&trace, FarmerConfig::default());
+        let mut buf = Vec::new();
+        for file in (0..trace.num_files() as u32).map(FileId::new) {
+            let full = f.correlators_with_threshold(file, 0.0);
+            for k in [0usize, 1, 3, 8, usize::MAX] {
+                f.top_k_into(file, k, 0.0, &mut buf);
+                assert_eq!(buf.len(), full.len().min(k));
+                for (got, want) in buf.iter().zip(full.iter()) {
+                    assert_eq!(got.file, want.file);
+                    assert_eq!(got.degree.to_bits(), want.degree.to_bits());
+                }
+            }
+            // strongest == head of the full list, under both thresholds.
+            assert_eq!(f.strongest(file, 0.0), full.head());
+            assert_eq!(
+                f.strongest(file, f.config().max_strength),
+                f.correlators(file).head()
+            );
+        }
+    }
+
+    #[test]
+    fn query_cache_invalidated_by_mutation() {
+        let mut f = Farmer::with_defaults();
+        for _ in 0..5 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None);
+        }
+        let v0 = f.version();
+        let mut before = Vec::new();
+        f.top_k_into(FileId::new(0), 4, 0.0, &mut before);
+        // New observations shift the degrees; the cached view must follow.
+        for _ in 0..5 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(2, 1, 1, 1), None);
+        }
+        assert!(f.version() > v0, "mutations must advance the version");
+        let mut after = Vec::new();
+        f.top_k_into(FileId::new(0), 4, 0.0, &mut after);
+        assert!(
+            after.len() > before.len() || after[0].degree != before[0].degree,
+            "stale cached view served after mutation"
+        );
+        let fresh = f.correlators_with_threshold(FileId::new(0), 0.0);
+        assert_eq!(after.len(), fresh.len());
+        for (got, want) in after.iter().zip(fresh.iter()) {
+            assert_eq!(got.degree.to_bits(), want.degree.to_bits());
+        }
+    }
+
+    #[test]
+    fn query_cache_tracks_p_change() {
+        let mut f = Farmer::with_defaults();
+        for i in 0..12 {
+            f.observe(req(0, 1, 1, 1), None);
+            if i % 4 == 0 {
+                f.observe(req(2, 1, 1, 1), None); // same context, rare
+            } else {
+                f.observe(req(1, 9, 9, 9), None); // foreign context, frequent
+            }
+        }
+        // Warm the cache under the default p, then flip p without touching
+        // the graph: the sorted view must be rebuilt, not served stale.
+        let _ = f.strongest(FileId::new(0), 0.0);
+        let mut buf = Vec::new();
+        f.top_k_into(FileId::new(0), 1, 0.0, &mut buf);
+        f.config_mut().p = 0.0;
+        f.top_k_into(FileId::new(0), 1, 0.0, &mut buf);
+        assert_eq!(buf[0].file, FileId::new(1), "frequency must win at p=0");
+        f.config_mut().p = 1.0;
+        f.top_k_into(FileId::new(0), 1, 0.0, &mut buf);
+        assert_eq!(buf[0].file, FileId::new(2), "semantics must win at p=1");
+    }
+
+    #[test]
+    fn queries_forget_forgotten_files() {
+        let mut f = Farmer::with_defaults();
+        for _ in 0..5 {
+            f.observe(req(0, 1, 1, 1), None);
+            f.observe(req(1, 1, 1, 1), None);
+        }
+        let mut buf = Vec::new();
+        f.top_k_into(FileId::new(0), 4, 0.0, &mut buf);
+        assert!(!buf.is_empty());
+        f.forget_file(FileId::new(0));
+        f.top_k_into(FileId::new(0), 4, 0.0, &mut buf);
+        assert!(buf.is_empty(), "evicted file still served from cache");
+        assert_eq!(f.strongest(FileId::new(0), 0.0), None);
+    }
+
+    #[test]
+    fn degree_and_for_each_list_agree_with_lists() {
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let f = Farmer::mine_trace(&trace, FarmerConfig::default());
+        let mut visited = 0usize;
+        f.for_each_list(&mut |owner, entries| {
+            visited += 1;
+            let full = f.correlators(owner);
+            assert_eq!(entries.len(), full.len());
+            for (got, want) in entries.iter().zip(full.iter()) {
+                assert_eq!(got.file, want.file);
+                assert_eq!(got.degree.to_bits(), want.degree.to_bits());
+                let d = CorrelationSource::degree(&f, owner, got.file).unwrap();
+                assert_eq!(d.to_bits(), got.degree.to_bits());
+            }
+        });
+        let non_empty = (0..trace.num_files() as u32)
+            .filter(|&i| !f.correlators(FileId::new(i)).is_empty())
+            .count();
+        assert_eq!(visited, non_empty);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! grouped files, so that "whenever the predecessor is accessed, its
 //! correlated files are batch read into the cache by a single I/O request".
 
-use farmer_core::Farmer;
+use farmer_core::{CorrelationSource, Correlator};
 use farmer_trace::{FileId, Trace};
 
 use crate::osd::{OsdCluster, OsdConfig, OsdStats};
@@ -43,30 +43,34 @@ pub struct Layout {
     pub grouped_files: usize,
 }
 
-/// Build a layout from a mined model: greedy correlator-list grouping over
+/// Build a layout from any mined correlation source (the live model, a
+/// stream snapshot, a store view): greedy correlator-list grouping over
 /// read-only files.
-pub fn plan_layout(farmer: &Farmer, trace: &Trace, cfg: LayoutConfig) -> Layout {
+pub fn plan_layout(source: &dyn CorrelationSource, trace: &Trace, cfg: LayoutConfig) -> Layout {
     let n = trace.num_files();
     let mut group_of: Vec<Option<u32>> = vec![None; n];
     let mut num_groups = 0u32;
     let mut grouped_files = 0usize;
+    let mut list: Vec<Correlator> = Vec::new();
+    let mut members: Vec<FileId> = Vec::new();
 
     for file_idx in 0..n {
         let owner = FileId::new(file_idx as u32);
         if group_of[file_idx].is_some() || !trace.meta_of(owner).read_only {
             continue;
         }
-        let list = farmer.correlators_with_threshold(owner, cfg.min_degree);
+        source.top_k_into(owner, usize::MAX, cfg.min_degree, &mut list);
         // Collect co-locatable successors: read-only, ungrouped.
-        let members: Vec<FileId> = list
-            .iter()
-            .filter(|c| {
-                let m = trace.meta_of(c.file);
-                m.read_only && group_of[c.file.index()].is_none() && c.file != owner
-            })
-            .map(|c| c.file)
-            .take(cfg.max_group.saturating_sub(1))
-            .collect();
+        members.clear();
+        members.extend(
+            list.iter()
+                .filter(|c| {
+                    let m = trace.meta_of(c.file);
+                    m.read_only && group_of[c.file.index()].is_none() && c.file != owner
+                })
+                .map(|c| c.file)
+                .take(cfg.max_group.saturating_sub(1)),
+        );
         if members.is_empty() {
             continue; // nothing to co-locate with: stay a singleton
         }
@@ -74,7 +78,7 @@ pub fn plan_layout(farmer: &Farmer, trace: &Trace, cfg: LayoutConfig) -> Layout 
         num_groups += 1;
         group_of[file_idx] = Some(g);
         grouped_files += 1;
-        for m in members {
+        for &m in &members {
             group_of[m.index()] = Some(g);
             grouped_files += 1;
         }
@@ -108,7 +112,7 @@ pub fn replay_reads(trace: &Trace, layout: Option<&Layout>, osd_cfg: OsdConfig) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farmer_core::FarmerConfig;
+    use farmer_core::{Farmer, FarmerConfig};
     use farmer_trace::WorkloadSpec;
 
     fn mined(trace: &Trace) -> Farmer {

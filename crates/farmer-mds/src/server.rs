@@ -71,6 +71,8 @@ pub struct MdsServer {
     free_at_us: u64,
     stats: LatencyStats,
     counters: MdsCounters,
+    /// Reusable prefetch-candidate buffer, refilled per demand.
+    candidates: Vec<farmer_trace::FileId>,
 }
 
 impl MdsServer {
@@ -99,6 +101,7 @@ impl MdsServer {
             free_at_us: 0,
             stats: LatencyStats::new(),
             counters: MdsCounters::default(),
+            candidates: Vec::new(),
             cfg,
         }
     }
@@ -152,9 +155,11 @@ impl MdsServer {
         let response = completion - now;
         self.stats.record(response);
 
-        // Ask the predictor for candidates and queue them at low priority.
-        let candidates = self.predictor.on_access(trace, event);
-        for file in candidates.into_iter().take(self.cfg.prefetch_limit) {
+        // Ask the predictor for candidates (into the reusable buffer) and
+        // queue them at low priority.
+        self.predictor
+            .on_access_into(trace, event, &mut self.candidates);
+        for &file in self.candidates.iter().take(self.cfg.prefetch_limit) {
             if file != event.file && !self.cache.contains(file) {
                 self.prefetch_q.push(PrefetchRequest {
                     file,

@@ -34,8 +34,8 @@ impl Predictor for LruOnly {
         "LRU"
     }
 
-    fn on_access(&mut self, _trace: &Trace, _event: &TraceEvent) -> Vec<FileId> {
-        Vec::new()
+    fn on_access_into(&mut self, _trace: &Trace, _event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
     }
 }
 
@@ -52,7 +52,8 @@ impl Predictor for LastSuccessor {
         "LS"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
         let file = event.file.raw();
         if let Some(prev) = self.last_file {
             if prev != file {
@@ -60,10 +61,9 @@ impl Predictor for LastSuccessor {
             }
         }
         self.last_file = Some(file);
-        self.successor
-            .get(&file)
-            .map(|&s| vec![FileId::new(s)])
-            .unwrap_or_default()
+        if let Some(&s) = self.successor.get(&file) {
+            out.push(FileId::new(s));
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -83,7 +83,8 @@ impl Predictor for FirstSuccessor {
         "FS"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
         let file = event.file.raw();
         if let Some(prev) = self.last_file {
             if prev != file {
@@ -91,10 +92,9 @@ impl Predictor for FirstSuccessor {
             }
         }
         self.last_file = Some(file);
-        self.successor
-            .get(&file)
-            .map(|&s| vec![FileId::new(s)])
-            .unwrap_or_default()
+        if let Some(&s) = self.successor.get(&file) {
+            out.push(FileId::new(s));
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -134,7 +134,8 @@ impl Predictor for RecentPopularity {
         "RecentPop"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
         let file = event.file.raw();
         if let Some(prev) = self.last_file {
             if prev != file {
@@ -148,7 +149,7 @@ impl Predictor for RecentPopularity {
         self.last_file = Some(file);
 
         let Some(q) = self.recent.get(&file) else {
-            return Vec::new();
+            return;
         };
         // Majority vote over the last-k successors.
         let mut best: Option<(u32, usize)> = None;
@@ -159,9 +160,10 @@ impl Predictor for RecentPopularity {
                 _ => best = Some((cand, count)),
             }
         }
-        match best {
-            Some((cand, count)) if count >= self.j => vec![FileId::new(cand)],
-            _ => Vec::new(),
+        if let Some((cand, count)) = best {
+            if count >= self.j {
+                out.push(FileId::new(cand));
+            }
         }
     }
 
@@ -182,7 +184,8 @@ impl Predictor for Pbs {
         "PBS"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
         let file = event.file.raw();
         let app = event.app;
         if let Some(&prev) = self.last_by_app.get(&app) {
@@ -191,10 +194,9 @@ impl Predictor for Pbs {
             }
         }
         self.last_by_app.insert(app, file);
-        self.successor
-            .get(&(app, file))
-            .map(|&s| vec![FileId::new(s)])
-            .unwrap_or_default()
+        if let Some(&s) = self.successor.get(&(app, file)) {
+            out.push(FileId::new(s));
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -214,7 +216,8 @@ impl Predictor for Puls {
         "PULS"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
         let file = event.file.raw();
         let key = (event.app, event.uid.raw());
         if let Some(&prev) = self.last_by_key.get(&key) {
@@ -223,10 +226,9 @@ impl Predictor for Puls {
             }
         }
         self.last_by_key.insert(key, file);
-        self.successor
-            .get(&(key.0, key.1, file))
-            .map(|&s| vec![FileId::new(s)])
-            .unwrap_or_default()
+        if let Some(&s) = self.successor.get(&(key.0, key.1, file)) {
+            out.push(FileId::new(s));
+        }
     }
 
     fn memory_bytes(&self) -> usize {

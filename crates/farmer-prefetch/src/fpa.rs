@@ -8,8 +8,12 @@
 //! out unrelated or weakly correlated files from Correlator List by
 //! comparing the correlation degree with a valid correlation degree
 //! threshold max_strength".
+//!
+//! Both serving modes query through [`CorrelationSource`] — the top-k
+//! lands in a reusable buffer, so the per-access path is allocation-free
+//! in steady state regardless of which back-end is installed.
 
-use farmer_core::{CorrelatorTable, Farmer, FarmerConfig};
+use farmer_core::{CorrelationSource, Correlator, Farmer, FarmerConfig};
 use farmer_trace::{FileId, Trace, TraceEvent};
 
 use crate::predictor::Predictor;
@@ -20,23 +24,36 @@ use crate::predictor::Predictor;
 ///
 /// * **Self-mining** (the default): every access is observed by the
 ///   embedded [`Farmer`] and predictions come from its live correlator
-///   lists — the paper's single-node deployment.
-/// * **Externally mined**: [`FpaPredictor::refresh`] installs a
-///   [`CorrelatorTable`] produced elsewhere (typically a `farmer-stream`
-///   snapshot of the sharded online miner). Predictions are then served
-///   from the table, local mining is skipped (the mining cost lives on the
-///   mining tier), and each later `refresh` swaps in a newer view — the
-///   predictor follows the evolving workload *mid-simulation* without
+///   state — the paper's single-node deployment.
+/// * **Externally mined**: [`FpaPredictor::refresh`] installs *any*
+///   [`CorrelationSource`] produced elsewhere — a `CorrelatorTable`, a
+///   `farmer-stream` snapshot (directly, no table copy), or a
+///   `farmer-store` view reloaded after a restart. Predictions are then
+///   served from it, local mining is skipped (the mining cost lives on
+///   the mining tier), and each later `refresh` swaps in a newer view —
+///   the predictor follows the evolving workload *mid-simulation* without
 ///   re-mining or restart.
-#[derive(Debug)]
 pub struct FpaPredictor {
     farmer: Farmer,
     /// Upper bound on candidates proposed per access (prefetch group size).
     pub group_limit: usize,
     /// Externally mined correlator state; `Some` switches serving to it.
-    external: Option<CorrelatorTable>,
-    /// Stream position (events) of the installed table, for diagnostics.
+    external: Option<Box<dyn CorrelationSource + Send>>,
+    /// Stream position (events) of the installed source, for diagnostics.
     external_events: u64,
+    /// Reusable top-k buffer (zero steady-state allocation).
+    topk: Vec<Correlator>,
+}
+
+impl std::fmt::Debug for FpaPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FpaPredictor")
+            .field("farmer", &self.farmer)
+            .field("group_limit", &self.group_limit)
+            .field("external", &self.external.as_ref().map(|s| s.version()))
+            .field("external_events", &self.external_events)
+            .finish()
+    }
 }
 
 impl FpaPredictor {
@@ -51,6 +68,7 @@ impl FpaPredictor {
             group_limit: Self::DEFAULT_GROUP_LIMIT,
             external: None,
             external_events: 0,
+            topk: Vec::new(),
         }
     }
 
@@ -77,26 +95,28 @@ impl FpaPredictor {
         &self.farmer
     }
 
-    /// Install (or replace) an externally mined correlator table; see the
-    /// type-level docs for the serving-mode switch this implies.
-    /// `as_of_events` records which stream prefix the table reflects.
-    pub fn refresh(&mut self, table: CorrelatorTable, as_of_events: u64) {
-        self.external = Some(table);
+    /// Install (or replace) an externally mined correlation source; see
+    /// the type-level docs for the serving-mode switch this implies.
+    /// `as_of_events` records which stream prefix the source reflects.
+    pub fn refresh(&mut self, source: impl CorrelationSource + Send + 'static, as_of_events: u64) {
+        self.external = Some(Box::new(source));
         self.external_events = as_of_events;
     }
 
-    /// Drop the external table and return to self-mining.
+    /// Drop the external source and return to self-mining.
     pub fn clear_external(&mut self) {
         self.external = None;
         self.external_events = 0;
     }
 
-    /// The installed external table, if any.
-    pub fn external(&self) -> Option<&CorrelatorTable> {
-        self.external.as_ref()
+    /// The installed external source, if any.
+    pub fn external(&self) -> Option<&dyn CorrelationSource> {
+        self.external
+            .as_deref()
+            .map(|s| s as &dyn CorrelationSource)
     }
 
-    /// Stream position of the installed table (0 when self-mining).
+    /// Stream position of the installed source (0 when self-mining).
     pub fn external_events(&self) -> u64 {
         self.external_events
     }
@@ -107,29 +127,27 @@ impl Predictor for FpaPredictor {
         "FARMER"
     }
 
-    fn on_access(&mut self, trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
-        if let Some(table) = &self.external {
-            return table
-                .top(event.file, self.group_limit)
-                .iter()
-                .map(|c| c.file)
-                .collect();
+    fn on_access_into(&mut self, trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
+        out.clear();
+        // FPA's validity threshold applies in both modes: exported sources
+        // are typically pre-thresholded (making this a no-op), but a source
+        // that retains weaker correlations — e.g. a live model installed
+        // via `refresh` — must not leak them into prefetch proposals.
+        let threshold = self.farmer.config().max_strength;
+        if let Some(source) = &self.external {
+            source.top_k_into(event.file, self.group_limit, threshold, &mut self.topk);
+        } else {
+            self.farmer.observe_event(trace, event);
+            self.farmer
+                .top_k_into(event.file, self.group_limit, threshold, &mut self.topk);
         }
-        self.farmer.observe_event(trace, event);
-        self.farmer
-            .correlators(event.file)
-            .top(self.group_limit)
-            .iter()
-            .map(|c| c.file)
-            .collect()
+        out.extend(self.topk.iter().map(|c| c.file));
     }
 
     fn memory_bytes(&self) -> usize {
         self.farmer.memory_bytes()
-            + self
-                .external
-                .as_ref()
-                .map_or(0, CorrelatorTable::heap_bytes)
+            + self.external.as_ref().map_or(0, |s| s.heap_bytes())
+            + self.topk.capacity() * std::mem::size_of::<Correlator>()
     }
 }
 
@@ -198,6 +216,7 @@ mod tests {
         .collect();
         fpa.refresh(table, 1234);
         assert_eq!(fpa.external_events(), 1234);
+        assert!(fpa.external().is_some());
         let e0 = trace
             .events
             .iter()
@@ -243,6 +262,37 @@ mod tests {
         assert_eq!(fpa.on_access(&trace, &e0), vec![FileId::new(8)]);
         assert_eq!(fpa.external_events(), 200);
         assert!(fpa.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn serving_path_reuses_buffers() {
+        use farmer_core::{Correlator, CorrelatorList, CorrelatorTable};
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let table: CorrelatorTable = vec![CorrelatorList::build(
+            FileId::new(0),
+            (1..=4)
+                .map(|i| Correlator {
+                    file: FileId::new(i),
+                    degree: 1.0 - 0.1 * i as f64,
+                })
+                .collect::<Vec<_>>(),
+            0.0,
+        )]
+        .into_iter()
+        .collect();
+        fpa.refresh(table, 1);
+        let mut e0 = trace.events[0];
+        e0.file = FileId::new(0);
+        let mut out = Vec::new();
+        fpa.on_access_into(&trace, &e0, &mut out);
+        let (ptr, cap) = (out.as_ptr(), out.capacity());
+        for _ in 0..64 {
+            fpa.on_access_into(&trace, &e0, &mut out);
+        }
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.as_ptr(), ptr, "candidate buffer must be reused");
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub struct NexusPredictor {
     max_successors: usize,
     history: VecDeque<u32>,
     edges: FxHashMap<u32, Vec<Edge>>,
+    /// Reusable candidate-ranking scratch (no per-access allocation).
+    scratch: Vec<Edge>,
 }
 
 impl NexusPredictor {
@@ -58,6 +60,7 @@ impl NexusPredictor {
             max_successors: max_successors.max(1),
             history: VecDeque::new(),
             edges: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -71,13 +74,12 @@ impl NexusPredictor {
 
     /// Successors of `from` ordered by decreasing weight.
     pub fn successors(&self, from: FileId) -> Vec<(FileId, f64)> {
-        let mut v: Vec<(FileId, f64)> = self
-            .edges
-            .get(&from.raw())
-            .map(|es| es.iter().map(|e| (FileId::new(e.to), e.weight)).collect())
-            .unwrap_or_default();
-        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.raw().cmp(&b.0.raw())));
-        v
+        let mut ranked = Vec::new();
+        rank_successors(&self.edges, from.raw(), &mut ranked);
+        ranked
+            .into_iter()
+            .map(|e| (FileId::new(e.to), e.weight))
+            .collect()
     }
 
     fn update(&mut self, file: u32) {
@@ -120,18 +122,35 @@ impl NexusPredictor {
     }
 }
 
+/// The one Nexus ranking rule — decreasing accumulated weight, ties by
+/// ascending file id — shared by the prediction path and the
+/// [`NexusPredictor::successors`] probe so the two can never diverge.
+/// Clears and fills `out` with `from`'s edges in rank order.
+fn rank_successors(edges: &FxHashMap<u32, Vec<Edge>>, from: u32, out: &mut Vec<Edge>) {
+    out.clear();
+    if let Some(es) = edges.get(&from) {
+        out.extend_from_slice(es);
+        out.sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.to.cmp(&b.to)));
+    }
+}
+
 impl Predictor for NexusPredictor {
     fn name(&self) -> &str {
         "Nexus"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
         self.update(event.file.raw());
-        self.successors(event.file)
-            .into_iter()
-            .take(self.group_limit)
-            .map(|(f, _)| f)
-            .collect()
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        rank_successors(&self.edges, event.file.raw(), &mut scratch);
+        out.extend(
+            scratch
+                .iter()
+                .take(self.group_limit)
+                .map(|e| FileId::new(e.to)),
+        );
+        self.scratch = scratch;
     }
 
     fn memory_bytes(&self) -> usize {
@@ -140,6 +159,7 @@ impl Predictor for NexusPredictor {
             .map(|v| v.capacity() * std::mem::size_of::<Edge>() + 16)
             .sum::<usize>()
             + self.history.capacity() * 4
+            + self.scratch.capacity() * std::mem::size_of::<Edge>()
     }
 }
 

@@ -24,6 +24,8 @@ pub struct ProbabilityGraph {
     history: VecDeque<u32>,
     /// Per-predecessor: total window observations and per-successor counts.
     nodes: FxHashMap<u32, Node>,
+    /// Reusable candidate-ranking scratch (no per-access allocation).
+    scratch: Vec<(u32, f64)>,
 }
 
 #[derive(Debug, Default)]
@@ -52,6 +54,7 @@ impl ProbabilityGraph {
             group_limit,
             history: VecDeque::new(),
             nodes: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -84,26 +87,30 @@ impl Predictor for ProbabilityGraph {
         "ProbGraph"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
         self.update(event.file.raw());
+        out.clear();
         let Some(node) = self.nodes.get(&event.file.raw()) else {
-            return Vec::new();
+            return;
         };
         if node.total == 0 {
-            return Vec::new();
+            return;
         }
-        let mut cands: Vec<(u32, f64)> = node
-            .succ
-            .iter()
-            .map(|(&f, &c)| (f, c as f64 / node.total as f64))
-            .filter(|&(_, p)| p >= self.min_chance)
-            .collect();
-        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        cands
-            .into_iter()
-            .take(self.group_limit)
-            .map(|(f, _)| FileId::new(f))
-            .collect()
+        self.scratch.clear();
+        self.scratch.extend(
+            node.succ
+                .iter()
+                .map(|(&f, &c)| (f, c as f64 / node.total as f64))
+                .filter(|&(_, p)| p >= self.min_chance),
+        );
+        self.scratch
+            .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.extend(
+            self.scratch
+                .iter()
+                .take(self.group_limit)
+                .map(|&(f, _)| FileId::new(f)),
+        );
     }
 
     fn memory_bytes(&self) -> usize {
@@ -112,6 +119,7 @@ impl Predictor for ProbabilityGraph {
             .map(|n| 24 + n.succ.len() * 16)
             .sum::<usize>()
             + self.history.capacity() * 4
+            + self.scratch.capacity() * 16
     }
 }
 

@@ -30,6 +30,8 @@ pub struct SdGraph {
     max_relations: usize,
     history: VecDeque<u32>,
     relations: FxHashMap<u32, FxHashMap<u32, Relation>>,
+    /// Reusable candidate-ranking scratch (no per-access allocation).
+    scratch: Vec<(u32, f64, u32)>,
 }
 
 impl SdGraph {
@@ -47,6 +49,7 @@ impl SdGraph {
             max_relations: max_relations.max(1),
             history: VecDeque::new(),
             relations: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -85,28 +88,29 @@ impl Predictor for SdGraph {
         "SDGraph"
     }
 
-    fn on_access(&mut self, _trace: &Trace, event: &TraceEvent) -> Vec<FileId> {
+    fn on_access_into(&mut self, _trace: &Trace, event: &TraceEvent, out: &mut Vec<FileId>) {
         self.update(event.file.raw());
+        out.clear();
         let Some(rels) = self.relations.get(&event.file.raw()) else {
-            return Vec::new();
+            return;
         };
-        let mut cands: Vec<(u32, f64, u32)> = rels
-            .iter()
-            .map(|(&f, r)| {
-                (
-                    f,
-                    r.sum_distance as f64 / r.observations.max(1) as f64,
-                    r.observations,
-                )
-            })
-            .collect();
+        self.scratch.clear();
+        self.scratch.extend(rels.iter().map(|(&f, r)| {
+            (
+                f,
+                r.sum_distance as f64 / r.observations.max(1) as f64,
+                r.observations,
+            )
+        }));
         // Closest average distance first; more observations break ties.
-        cands.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.2.cmp(&a.2)));
-        cands
-            .into_iter()
-            .take(self.group_limit)
-            .map(|(f, _, _)| FileId::new(f))
-            .collect()
+        self.scratch
+            .sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.2.cmp(&a.2)));
+        out.extend(
+            self.scratch
+                .iter()
+                .take(self.group_limit)
+                .map(|&(f, _, _)| FileId::new(f)),
+        );
     }
 
     fn memory_bytes(&self) -> usize {
@@ -115,6 +119,7 @@ impl Predictor for SdGraph {
             .map(|m| 16 + m.len() * 24)
             .sum::<usize>()
             + self.history.capacity() * 4
+            + self.scratch.capacity() * 24
     }
 }
 

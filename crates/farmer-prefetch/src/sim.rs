@@ -60,6 +60,9 @@ impl SimConfig {
 /// Run one simulation: `predictor` over `trace` with `cfg`.
 pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) -> SimReport {
     let mut cache = MetadataCache::new(cfg.cache_capacity);
+    // One candidate buffer for the whole run: the predictor fills it in
+    // place each access, so the demand loop allocates nothing per event.
+    let mut candidates = Vec::new();
     for event in &trace.events {
         if !event.op.is_metadata_demand() {
             continue;
@@ -68,8 +71,8 @@ pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) ->
         if !hit {
             cache.insert_demand(event.file);
         }
-        let candidates = predictor.on_access(trace, event);
-        for file in candidates.into_iter().take(cfg.prefetch_limit) {
+        predictor.on_access_into(trace, event, &mut candidates);
+        for &file in candidates.iter().take(cfg.prefetch_limit) {
             if file != event.file {
                 cache.insert_prefetch(file);
             }

@@ -17,12 +17,20 @@
 //!
 //! Every metadata-server cache miss performs a real tree descent here, so
 //! experiment response times inherit the store's actual page-touch counts.
+//!
+//! The persisted correlator table plugs into the workspace-wide query
+//! layer via [`view`]: [`MetaStore::put_correlation_source`] persists any
+//! `farmer_core::CorrelationSource` and [`MetaStore::correlator_view`]
+//! reloads it as one, so lists survive restarts without consumers ever
+//! leaving the unified read API.
 
 pub mod codec;
 pub mod snapshot;
 pub mod store;
 pub mod tree;
+pub mod view;
 
 pub use snapshot::SnapshotError;
 pub use store::{CorrelatorRecord, IoStats, MetaStore, MetadataRecord};
 pub use tree::BTree;
+pub use view::CorrelatorView;

@@ -177,6 +177,13 @@ impl MetaStore {
         Some(out)
     }
 
+    /// Owner file ids of every persisted correlator list (key order).
+    pub(crate) fn correlator_owners(&mut self) -> Vec<u64> {
+        let keys = self.correlators.keys();
+        self.sync_io();
+        keys
+    }
+
     /// Number of metadata records.
     pub fn metadata_len(&self) -> usize {
         self.metadata.len()

@@ -162,8 +162,12 @@ impl ShardedMiner {
                 .expect("shard worker died");
         }
         drop(reply_tx);
-        let parts: Vec<ShardSnapshot> = reply_rx.iter().collect();
+        let mut parts: Vec<ShardSnapshot> = reply_rx.iter().collect();
         assert_eq!(parts.len(), self.senders.len(), "lost a shard reply");
+        // Replies arrive in completion order (scheduling-dependent); merge
+        // in shard order so the snapshot — including the iteration order of
+        // its table — is a deterministic function of the routed stream.
+        parts.sort_by_key(|p| p.shard_id);
         StreamSnapshot::merge(parts)
     }
 

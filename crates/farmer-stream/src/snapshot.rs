@@ -13,7 +13,7 @@
 //! routed before the marker, so the merged view corresponds to one precise
 //! prefix of the input stream — a consistent cut, not a racy sample.
 
-use farmer_core::{CorrelatorList, CorrelatorTable};
+use farmer_core::{CorrelationSource, Correlator, CorrelatorList, CorrelatorTable};
 use farmer_trace::FileId;
 
 /// One shard's point-in-time state.
@@ -92,10 +92,48 @@ impl StreamSnapshot {
         self.table.len()
     }
 
-    /// Consume the snapshot, keeping only the queryable table (what a
-    /// predictor refresh needs).
+    /// Consume the snapshot, keeping only the queryable table.
+    ///
+    /// A move of the already-merged lists — nothing is rebuilt — but
+    /// consumers no longer need it: the snapshot itself is a
+    /// [`CorrelationSource`], so hand it to `FpaPredictor::refresh` (or
+    /// any other consumer) directly and keep the stream-position metadata.
+    #[deprecated(
+        since = "0.1.0",
+        note = "query the snapshot directly through CorrelationSource"
+    )]
     pub fn into_table(self) -> CorrelatorTable {
         self.table
+    }
+}
+
+/// A snapshot serves queries directly — the consistent cut *is* a
+/// correlation source, with the stream prefix as its version: two
+/// snapshots with equal `version()` reflect the same routed prefix, the
+/// staleness check a serving tier needs before swapping tables.
+impl CorrelationSource for StreamSnapshot {
+    fn version(&self) -> u64 {
+        self.events
+    }
+
+    fn top_k_into(&self, file: FileId, k: usize, min_degree: f64, out: &mut Vec<Correlator>) {
+        self.table.top_k_into(file, k, min_degree, out)
+    }
+
+    fn strongest(&self, file: FileId, min_degree: f64) -> Option<Correlator> {
+        self.table.strongest(file, min_degree)
+    }
+
+    fn degree(&self, from: FileId, to: FileId) -> Option<f64> {
+        CorrelationSource::degree(&self.table, from, to)
+    }
+
+    fn for_each_list(&self, visit: &mut dyn FnMut(FileId, &[Correlator])) {
+        self.table.for_each_list(visit)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.table.heap_bytes()
     }
 }
 
@@ -160,9 +198,37 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn into_table_preserves_lists() {
         let snap = StreamSnapshot::merge(vec![shard(0, vec![list(4, 7, 0.6)], 5)]);
         let table = snap.into_table();
         assert_eq!(table.top(FileId::new(4), 1)[0].file, FileId::new(7));
+    }
+
+    #[test]
+    fn snapshot_is_a_correlation_source() {
+        let snap = StreamSnapshot::merge(vec![
+            shard(0, vec![list(0, 1, 0.9), list(2, 3, 0.8)], 50),
+            shard(1, vec![list(1, 0, 0.7)], 50),
+        ]);
+        assert_eq!(snap.version(), 50, "version is the stream prefix");
+        let mut out = Vec::new();
+        snap.top_k_into(FileId::new(0), 4, 0.0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, FileId::new(1));
+        assert_eq!(
+            snap.strongest(FileId::new(2), 0.0).unwrap().file,
+            FileId::new(3)
+        );
+        assert!(snap.strongest(FileId::new(2), 0.9).is_none());
+        let d = CorrelationSource::degree(&snap, FileId::new(1), FileId::new(0)).unwrap();
+        assert!((d - 0.7).abs() < 1e-12);
+        let mut lists = 0;
+        snap.for_each_list(&mut |_, entries| {
+            lists += 1;
+            assert!(!entries.is_empty());
+        });
+        assert_eq!(lists, 3);
+        assert!(CorrelationSource::heap_bytes(&snap) > 0);
     }
 }

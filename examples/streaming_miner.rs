@@ -68,15 +68,17 @@ fn main() {
         );
     }
 
-    // The payoff: refresh FPA from the stream snapshot and compare a cache
-    // simulation against the same predictor starting cold.
+    // The payoff: refresh FPA from the stream snapshot (handed over
+    // directly — a snapshot *is* a CorrelationSource, no table copy) and
+    // compare a cache simulation against the same predictor starting cold.
     println!("\n== prefetch with online refresh ==");
     let sim_cfg = SimConfig::for_family(trace.family);
     let mut cold = FpaPredictor::for_trace(&trace);
     let cold_report = simulate(&trace, &mut cold, sim_cfg);
 
+    let (snap_lists, snap_events) = (snap.num_lists(), snap.events);
     let mut warmed = FpaPredictor::for_trace(&trace);
-    warmed.refresh(snap.table.clone(), snap.events);
+    warmed.refresh(snap, snap_events);
     let warm_report = simulate(&trace, &mut warmed, sim_cfg);
 
     println!(
@@ -91,7 +93,6 @@ fn main() {
         "\nThe snapshot-served predictor starts with {} lists mined from {} \
          streamed events,\nwhile the cold predictor must re-learn them during \
          the run.",
-        snap.num_lists(),
-        snap.events
+        snap_lists, snap_events
     );
 }

@@ -10,7 +10,8 @@
 //! * [`trace`] — trace model, synthetic workload generators (LLNL / INS /
 //!   RES / HP presets), parser, successor statistics,
 //! * [`core`] — the FARMER model: semantic vectors (VSM), correlation
-//!   graph, CoMiner, correlator lists,
+//!   graph, CoMiner, correlator lists, and the unified query layer
+//!   (`CorrelationSource`) every consumer serves from,
 //! * [`prefetch`] — the FARMER-enabled prefetching algorithm (FPA), the
 //!   Nexus comparator, classical baselines, and a cache simulator,
 //! * [`store`] — an embedded B+-tree key-value store (Berkeley DB's role),
@@ -51,7 +52,8 @@ pub use farmer_trace as trace;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use farmer_core::{
-        AttrCombo, AttrKind, Correlator, CorrelatorList, Farmer, FarmerConfig, PathMode, Request,
+        AttrCombo, AttrKind, CorrelationSource, Correlator, CorrelatorList, CorrelatorTable,
+        Farmer, FarmerConfig, PathMode, Request,
     };
     pub use farmer_mds::{replay, LatencyModel, MdsServer, ReplayConfig, ReplayReport};
     pub use farmer_prefetch::{

@@ -1,0 +1,219 @@
+//! The `CorrelationSource` contract, pinned across every back-end: the
+//! live model, an exported table, a merged stream snapshot, and a store
+//! round-trip must answer every query identically for the same mined
+//! state. This is the guarantee that lets a serving tier swap back-ends
+//! (self-mining → streamed snapshot → restart from the store) without its
+//! consumers noticing.
+
+use farmer::core::{
+    CorrelationSource, Correlator, CorrelatorList, CorrelatorTable, Farmer, FarmerConfig,
+};
+use farmer::prelude::*;
+use farmer::stream::ShardedMiner;
+
+const TOL: f64 = 1e-12;
+
+/// All four back-ends built from the same mined state, plus the validity
+/// threshold the exported ones were built with.
+struct Backends {
+    live: Farmer,
+    table: CorrelatorTable,
+    snapshot: StreamSnapshot,
+    stored: farmer::store::CorrelatorView,
+    threshold: f64,
+    num_files: usize,
+}
+
+fn backends() -> Backends {
+    let trace = WorkloadSpec::hp().scaled(0.03).generate();
+    let live = Farmer::mine_trace(&trace, FarmerConfig::default());
+    let threshold = live.config().max_strength;
+
+    // Exported table via the trait's own exporter path.
+    let mut table = CorrelatorTable::new();
+    live.for_each_list(&mut |owner, entries| {
+        table.insert(CorrelatorList::from_sorted(owner, entries.to_vec()));
+    });
+
+    // Streamed: the same events through 3 shards under a cap no stream can
+    // hit, merged into one consistent snapshot.
+    let cfg = StreamConfig::default()
+        .with_shards(3)
+        .with_node_cap(1 << 20);
+    let mut miner = ShardedMiner::spawn(cfg);
+    for e in &trace.events {
+        miner.route_event(&trace, e);
+    }
+    let snapshot = miner.snapshot();
+
+    // Persisted: live model -> store -> byte image -> restore -> view.
+    let mut store = MetaStore::new();
+    let written = store.put_correlation_source(&live);
+    assert!(written > 0, "nothing persisted");
+    let image = store.snapshot();
+    let mut restored = MetaStore::restore(&image).expect("restore");
+    let stored = restored.correlator_view();
+
+    Backends {
+        live,
+        table,
+        snapshot,
+        stored,
+        threshold,
+        num_files: trace.num_files(),
+    }
+}
+
+fn assert_same(tag: &str, owner: FileId, got: &[Correlator], want: &[Correlator]) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{tag}: list length diverged for {owner}"
+    );
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.file, w.file, "{tag}: order diverged for {owner}");
+        assert!(
+            (g.degree - w.degree).abs() < TOL,
+            "{tag}: degree diverged for {owner}->{}: {} vs {}",
+            g.file,
+            g.degree,
+            w.degree
+        );
+    }
+}
+
+#[test]
+fn all_backends_serve_identical_top_k() {
+    let b = backends();
+    let sources: [(&str, &dyn CorrelationSource); 4] = [
+        ("live", &b.live),
+        ("table", &b.table),
+        ("snapshot", &b.snapshot),
+        ("stored", &b.stored),
+    ];
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    let mut non_empty = 0usize;
+    for fid in 0..b.num_files as u32 {
+        let file = FileId::new(fid);
+        // Exported back-ends retain only valid (>= threshold) entries, so
+        // the live model is queried at the same threshold.
+        for k in [1usize, 4, 8, usize::MAX] {
+            b.live.top_k_into(file, k, b.threshold, &mut want);
+            for (tag, src) in &sources[1..] {
+                src.top_k_into(file, k, 0.0, &mut got);
+                assert_same(tag, file, &got, &want);
+            }
+        }
+        if !want.is_empty() {
+            non_empty += 1;
+        }
+    }
+    assert!(non_empty > 100, "only {non_empty} files had correlators");
+}
+
+#[test]
+fn all_backends_agree_on_strongest_and_degree() {
+    let b = backends();
+    let mut checked_pairs = 0usize;
+    for fid in 0..b.num_files as u32 {
+        let file = FileId::new(fid);
+        let want = b.live.strongest(file, b.threshold);
+        for (tag, got) in [
+            ("table", b.table.strongest(file, 0.0)),
+            ("snapshot", b.snapshot.strongest(file, 0.0)),
+            ("stored", b.stored.strongest(file, 0.0)),
+        ] {
+            match (want, got) {
+                (None, None) => {}
+                (Some(w), Some(g)) => {
+                    assert_eq!(g.file, w.file, "{tag}: strongest diverged for {file}");
+                    assert!((g.degree - w.degree).abs() < TOL);
+                    // Pairwise degree agrees everywhere the pair is retained.
+                    let d_live = CorrelationSource::degree(&b.live, file, w.file).unwrap();
+                    let d_tab = CorrelationSource::degree(&b.table, file, w.file).unwrap();
+                    let d_snap = CorrelationSource::degree(&b.snapshot, file, w.file).unwrap();
+                    let d_store = CorrelationSource::degree(&b.stored, file, w.file).unwrap();
+                    for d in [d_tab, d_snap, d_store] {
+                        assert!((d - d_live).abs() < TOL, "degree diverged for {file}");
+                    }
+                    checked_pairs += 1;
+                }
+                (w, g) => panic!("{tag}: strongest diverged for {file}: {w:?} vs {g:?}"),
+            }
+        }
+    }
+    assert!(
+        checked_pairs > 100,
+        "too few pairs checked: {checked_pairs}"
+    );
+}
+
+#[test]
+fn exports_agree_list_by_list() {
+    let b = backends();
+    // for_each_list over the exported backends covers exactly the owners
+    // the live model exports, entry for entry.
+    let mut live_lists = std::collections::BTreeMap::new();
+    b.live.for_each_list(&mut |owner, entries| {
+        live_lists.insert(owner.raw(), entries.to_vec());
+    });
+    for (tag, src) in [
+        ("table", &b.table as &dyn CorrelationSource),
+        ("snapshot", &b.snapshot),
+        ("stored", &b.stored),
+    ] {
+        let mut seen = 0usize;
+        src.for_each_list(&mut |owner, entries| {
+            seen += 1;
+            let want = live_lists
+                .get(&owner.raw())
+                .unwrap_or_else(|| panic!("{tag}: unexpected owner {owner}"));
+            assert_same(tag, owner, entries, want);
+        });
+        assert_eq!(seen, live_lists.len(), "{tag}: owner coverage diverged");
+    }
+}
+
+#[test]
+fn versions_move_with_their_backends() {
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let mut live = Farmer::mine_trace(&trace, FarmerConfig::default());
+    let v = live.version();
+    live.observe_event(&trace, &trace.events[0]);
+    assert!(live.version() > v, "mutation must advance the live version");
+
+    let mut table = CorrelatorTable::new();
+    let v = CorrelationSource::version(&table);
+    table.insert(CorrelatorList::build(
+        FileId::new(0),
+        vec![Correlator {
+            file: FileId::new(1),
+            degree: 0.5,
+        }],
+        0.0,
+    ));
+    assert!(CorrelationSource::version(&table) > v);
+}
+
+#[test]
+fn predictor_serves_identically_from_any_backend() {
+    // The consumer-level corollary: FPA refreshed with the table, the
+    // snapshot, or the store view produces identical predictions.
+    let b = backends();
+    let trace = WorkloadSpec::hp().scaled(0.03).generate();
+    let mut from_table = FpaPredictor::for_trace(&trace);
+    from_table.refresh(b.table, 1);
+    let mut from_snap = FpaPredictor::for_trace(&trace);
+    from_snap.refresh(b.snapshot, 1);
+    let mut from_store = FpaPredictor::for_trace(&trace);
+    from_store.refresh(b.stored, 1);
+    let (mut a, mut c, mut d) = (Vec::new(), Vec::new(), Vec::new());
+    for e in trace.events.iter().take(3000) {
+        from_table.on_access_into(&trace, e, &mut a);
+        from_snap.on_access_into(&trace, e, &mut c);
+        from_store.on_access_into(&trace, e, &mut d);
+        assert_eq!(a, c, "snapshot-served predictions diverged");
+        assert_eq!(a, d, "store-served predictions diverged");
+    }
+}

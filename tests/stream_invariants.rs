@@ -142,7 +142,8 @@ fn snapshot_refresh_matches_batch_predictions() {
     let snap = miner.snapshot();
     let events = snap.events;
     let mut fpa = FpaPredictor::for_trace(&trace);
-    fpa.refresh(snap.into_table(), events);
+    // The snapshot itself is the correlation source — no table copy.
+    fpa.refresh(snap, events);
 
     let mut checked = 0usize;
     for e in trace.events.iter().take(2000) {
