@@ -1,0 +1,182 @@
+//! The evaluation reference-model matrix: every scenario × miner mode ×
+//! predictor cell, end to end (trace → miner → `CorrelationSource` →
+//! predictor → cache sim → MDS replay), emitted as one schema-versioned
+//! JSON record and optionally verified against the baked-in reference
+//! bands.
+//!
+//! ```text
+//! cargo run --release -p farmer-bench --bin eval_matrix               # full matrix
+//! cargo run --release -p farmer-bench --bin eval_matrix -- --quick    # CI smoke size
+//! cargo run --release -p farmer-bench --bin eval_matrix -- --quick --check
+//! cargo run --release -p farmer-bench --bin eval_matrix -- --calibrate 2>bands.rs
+//! ```
+//!
+//! * `--check` — verify every cell against `refmodel`'s bands for the
+//!   active profile and exit non-zero listing every violation. Requires
+//!   the profile's calibrated scale (no positional override).
+//! * `--calibrate` — after the run, emit a refreshed band table (Rust
+//!   source, with standard margins applied) on **stderr**; stdout stays
+//!   the JSON record.
+//!
+//! Batch-vs-sharded snapshot parity and cross-mode FPA quality equality
+//! are asserted unconditionally — with or without `--check`, a run that
+//! breaks a cross-mode invariant panics instead of reporting.
+
+use farmer_bench::evalmatrix::{
+    run_matrix_with, Cell, MatrixReport, PHASES, SCENARIOS, SCHEMA_VERSION,
+};
+use farmer_bench::format::{BenchArgs, Json};
+use farmer_bench::refmodel::{self, Profile, QUICK_SCALE};
+
+fn json_cell(c: &Cell, profile: Profile) -> Json {
+    let mut j = Json::obj()
+        .field("scenario", Json::str(c.scenario))
+        .field("miner_mode", Json::str(c.mode))
+        .field("predictor", Json::str(c.predictor))
+        .field("hit_ratio", Json::Fixed(c.hit_ratio, 4))
+        .field("prefetch_accuracy", Json::Fixed(c.prefetch_accuracy, 4))
+        .field("prefetch_waste", Json::Fixed(c.prefetch_waste, 4))
+        .field("avg_response_ms", Json::Fixed(c.avg_response_ms, 3))
+        .field("events_per_sec", Json::Fixed(c.events_per_sec, 0))
+        .field("memory_bytes", Json::UInt(c.memory_bytes as u64))
+        .field(
+            "phase_hit_ratios",
+            Json::Arr(
+                c.phase_hit_ratios
+                    .iter()
+                    .map(|&v| Json::Fixed(v, 4))
+                    .collect(),
+            ),
+        )
+        .field(
+            "phase_response_ms",
+            Json::Arr(
+                c.phase_response_ms
+                    .iter()
+                    .map(|&v| Json::Fixed(v, 3))
+                    .collect(),
+            ),
+        );
+    if let Some(b) = refmodel::find(profile, c.scenario, c.mode, c.predictor) {
+        j = j.field(
+            "band",
+            Json::obj()
+                .field(
+                    "hit_ratio",
+                    Json::Arr(vec![Json::F64(b.hit_ratio.lo), Json::F64(b.hit_ratio.hi)]),
+                )
+                .field(
+                    "prefetch_accuracy",
+                    Json::Arr(vec![
+                        Json::F64(b.prefetch_accuracy.lo),
+                        Json::F64(b.prefetch_accuracy.hi),
+                    ]),
+                )
+                .field(
+                    "avg_response_ms",
+                    Json::Arr(vec![
+                        Json::F64(b.avg_response_ms.lo),
+                        Json::F64(b.avg_response_ms.hi),
+                    ]),
+                )
+                .field("memory_hi", Json::UInt(b.memory_hi)),
+        );
+    }
+    j
+}
+
+fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
+    Json::obj()
+        .field("bench", Json::str("eval_matrix"))
+        .field("schema_version", Json::UInt(u64::from(SCHEMA_VERSION)))
+        .field("profile", Json::str(profile.name()))
+        .field("scale", Json::F64(scale))
+        .field("phases", Json::UInt(PHASES as u64))
+        .field(
+            "scenarios",
+            Json::Arr(SCENARIOS.iter().map(|&s| Json::str(s)).collect()),
+        )
+        .field(
+            "parity",
+            Json::obj()
+                .field(
+                    "scenarios_checked",
+                    Json::UInt(report.parity_scenarios as u64),
+                )
+                .field("max_degree_delta", Json::F64(report.max_parity_delta)),
+        )
+        .field(
+            "cells",
+            Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
+        )
+}
+
+fn main() {
+    let args = BenchArgs::parse(QUICK_SCALE);
+    let profile = if args.quick {
+        Profile::Quick
+    } else {
+        Profile::Full
+    };
+    if (args.check || args.calibrate) && (args.scale - profile.scale()).abs() > 1e-12 {
+        eprintln!(
+            "eval_matrix: --check/--calibrate require the {} profile's calibrated scale {} \
+             (got {}); drop the positional scale",
+            profile.name(),
+            profile.scale(),
+            args.scale
+        );
+        std::process::exit(2);
+    }
+
+    // Under --calibrate, stderr IS the deliverable (the band table the
+    // module docs say to capture with `2>bands.rs`), so progress chatter
+    // is suppressed to keep the captured file paste-able.
+    let chatty = !args.calibrate;
+    if chatty {
+        eprintln!(
+            "eval_matrix: {} profile, scale {}, {} scenarios x (3 FARMER miner modes + 4 self-mining predictors)",
+            profile.name(),
+            args.scale,
+            SCENARIOS.len()
+        );
+    }
+    let report = run_matrix_with(args.scale, &SCENARIOS, &mut |s| {
+        if chatty {
+            eprintln!("eval_matrix: scenario {s}...");
+        }
+    });
+    if chatty {
+        eprintln!(
+            "eval_matrix: {} cells, parity over {} scenarios (max degree delta {:e})",
+            report.cells.len(),
+            report.parity_scenarios,
+            report.max_parity_delta
+        );
+    }
+
+    println!("{}", json_report(&report, profile, args.scale).render());
+
+    if args.calibrate {
+        eprintln!(
+            "// {} profile band table (paste over the matching table in refmodel.rs):",
+            profile.name()
+        );
+        eprintln!("{}", refmodel::calibrate(&report.cells));
+    }
+    if args.check {
+        match refmodel::check(&report.cells, profile) {
+            Ok(n) => eprintln!("eval_matrix: all {n} cells within reference bands"),
+            Err(violations) => {
+                eprintln!(
+                    "eval_matrix: {} reference-model violation(s):",
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

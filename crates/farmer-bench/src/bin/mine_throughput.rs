@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use farmer_bench::format::{BenchArgs, Json};
 use farmer_core::{Farmer, FarmerConfig, Request};
 use farmer_trace::{FileId, WorkloadSpec};
 
@@ -78,28 +79,19 @@ fn mine(trace: &farmer_trace::Trace, events: usize, spread: Option<u32>) -> Regi
     }
 }
 
-fn json_regime(r: &RegimeReport) -> String {
-    format!(
-        "{{\"events_per_sec\": {:.0}, \"graph_heap_bytes\": {}, \"model_bytes\": {}, \
-         \"num_edges\": {}, \"active_nodes\": {}, \"max_file_id\": {}}}",
-        r.events_per_sec,
-        r.graph_heap_bytes,
-        r.model_bytes,
-        r.num_edges,
-        r.active_nodes,
-        r.max_file_id
-    )
+fn json_regime(r: &RegimeReport) -> Json {
+    Json::obj()
+        .field("events_per_sec", Json::Fixed(r.events_per_sec, 0))
+        .field("graph_heap_bytes", Json::UInt(r.graph_heap_bytes as u64))
+        .field("model_bytes", Json::UInt(r.model_bytes as u64))
+        .field("num_edges", Json::UInt(r.num_edges as u64))
+        .field("active_nodes", Json::UInt(r.active_nodes as u64))
+        .field("max_file_id", Json::UInt(u64::from(r.max_file_id)))
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = args
-        .iter()
-        .find_map(|a| a.parse::<f64>().ok())
-        .filter(|&s| s > 0.0)
-        .unwrap_or(if quick { 0.05 } else { 1.0 });
-    let events = ((EVENTS_AT_FULL_SCALE * scale) as usize).max(10_000);
+    let args = BenchArgs::parse(0.05);
+    let events = ((EVENTS_AT_FULL_SCALE * args.scale) as usize).max(10_000);
 
     let trace = WorkloadSpec::hp().scaled(0.5).generate();
     // Injective spread: every dense id maps to its own slot of a ~10^7
@@ -124,16 +116,14 @@ fn main() {
     let overall = (2 * events) as f64 / (dense.elapsed_sec + sparse.elapsed_sec);
     assert!(overall.is_finite() && overall > 0.0, "overall not finite");
 
-    println!(
-        "{{\n  \"bench\": \"mine_throughput\",\n  \"workload\": \"{}\",\n  \"events\": {},\n  \
-         \"sparse_id_universe\": {},\n  \"overall_events_per_sec\": {:.0},\n  \"dense\": {},\n  \
-         \"sparse\": {},\n  \"sparse_over_dense_heap\": {:.3}\n}}",
-        trace.label,
-        events,
-        ID_UNIVERSE,
-        overall,
-        json_regime(&dense),
-        json_regime(&sparse),
-        mem_ratio
-    );
+    let record = Json::obj()
+        .field("bench", Json::str("mine_throughput"))
+        .field("workload", Json::str(&trace.label))
+        .field("events", Json::UInt(events as u64))
+        .field("sparse_id_universe", Json::UInt(u64::from(ID_UNIVERSE)))
+        .field("overall_events_per_sec", Json::Fixed(overall, 0))
+        .field("dense", json_regime(&dense))
+        .field("sparse", json_regime(&sparse))
+        .field("sparse_over_dense_heap", Json::Fixed(mem_ratio, 3));
+    println!("{}", record.render());
 }

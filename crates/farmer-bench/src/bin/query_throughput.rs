@@ -31,6 +31,7 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use farmer_bench::format::{BenchArgs, Json};
 use farmer_core::{
     CorrelationSource, Correlator, CorrelatorList, CorrelatorTable, Farmer, FarmerConfig,
 };
@@ -121,22 +122,15 @@ fn full_list_top(farmer: &Farmer, file: FileId, k: usize) -> usize {
     list.top(k).len()
 }
 
-fn json_path(r: &PathReport) -> String {
-    format!(
-        "{{\"queries_per_sec\": {:.0}, \"steady_state_allocs\": {}}}",
-        r.queries_per_sec, r.steady_allocs
-    )
+fn json_path(r: &PathReport) -> Json {
+    Json::obj()
+        .field("queries_per_sec", Json::Fixed(r.queries_per_sec, 0))
+        .field("steady_state_allocs", Json::UInt(r.steady_allocs))
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = args
-        .iter()
-        .find_map(|a| a.parse::<f64>().ok())
-        .filter(|&s| s > 0.0)
-        .unwrap_or(if quick { 0.02 } else { 1.0 });
-    let queries = ((QUERIES_AT_FULL_SCALE * scale) as usize).max(50_000);
+    let args = BenchArgs::parse(0.02);
+    let queries = ((QUERIES_AT_FULL_SCALE * args.scale) as usize).max(50_000);
 
     let trace = WorkloadSpec::hp().scaled(0.3).generate();
     let farmer = Farmer::mine_trace(&trace, FarmerConfig::default());
@@ -197,18 +191,16 @@ fn main() {
         );
     }
 
-    println!(
-        "{{\n  \"bench\": \"query_throughput\",\n  \"workload\": \"{}\",\n  \"k\": {K},\n  \
-         \"queries_per_path\": {},\n  \"hot_files\": {},\n  \"full_list\": {},\n  \
-         \"farmer_topk\": {},\n  \"table_topk\": {},\n  \"farmer_strongest\": {},\n  \
-         \"topk_over_full_list\": {:.3}\n}}",
-        trace.label,
-        queries,
-        hot.len(),
-        json_path(&full),
-        json_path(&farmer_topk),
-        json_path(&table_topk),
-        json_path(&strongest),
-        speedup
-    );
+    let record = Json::obj()
+        .field("bench", Json::str("query_throughput"))
+        .field("workload", Json::str(&trace.label))
+        .field("k", Json::UInt(K as u64))
+        .field("queries_per_path", Json::UInt(queries as u64))
+        .field("hot_files", Json::UInt(hot.len() as u64))
+        .field("full_list", json_path(&full))
+        .field("farmer_topk", json_path(&farmer_topk))
+        .field("table_topk", json_path(&table_topk))
+        .field("farmer_strongest", json_path(&strongest))
+        .field("topk_over_full_list", Json::Fixed(speedup, 3));
+    println!("{}", record.render());
 }

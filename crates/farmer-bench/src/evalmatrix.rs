@@ -1,0 +1,474 @@
+//! The evaluation reference-model matrix: every scenario × miner mode ×
+//! predictor, end to end.
+//!
+//! FARMER's "ER" is an *evaluation reference model*: a fixed grid of
+//! workloads and serving configurations that any change to the miner, the
+//! query layer or the predictors is measured against. This module drives
+//! each cell through the full pipeline
+//!
+//! ```text
+//! trace → miner → CorrelationSource → predictor → cache sim → MDS replay
+//! ```
+//!
+//! and reports hit ratio, prefetch accuracy/waste, mean response time,
+//! drive throughput and resident memory per cell, plus per-phase curves
+//! (the drift scenario's whole point is what happens *around* a phase
+//! boundary, which a single average hides).
+//!
+//! **Scenario axis** (one control + the four adversarial generators from
+//! [`farmer_trace::workload::adversarial`]): `base`, `drift`, `tenants`,
+//! `storm`, `churn`.
+//!
+//! **Miner-mode axis** (FARMER's FPA only — the other predictors mine
+//! internally and run as mode `self`): `batch` (one [`Farmer`] over the
+//! whole trace), `sharded1` and `sharded4` (the `farmer-stream` sharded
+//! online miner with 1 and 4 shards, uncapped so no eviction noise enters
+//! the comparison). The three modes must produce the *same* mined model —
+//! [`run_matrix`] asserts exact batch-vs-sharded snapshot parity per
+//! scenario and bitwise-equal quality metrics across the three FPA cells,
+//! so any divergence in the sharding or snapshot path fails the run
+//! before any band is consulted.
+//!
+//! Unlink events are routed as forgets ([`Farmer::forget_file`] /
+//! [`ShardedMiner::route_forget`]) in every mode, which is what the churn
+//! scenario exercises.
+//!
+//! The baked-in expected bands per cell live in [`crate::refmodel`]; the
+//! `eval_matrix` binary's `--check` mode fails on out-of-band results.
+
+use std::time::Instant;
+
+use farmer_core::{CorrelationSource, CorrelatorList, CorrelatorTable, Farmer, FarmerConfig};
+use farmer_mds::{replay, ReplayConfig};
+use farmer_prefetch::baselines::LruOnly;
+use farmer_prefetch::{
+    simulate, FpaPredictor, NexusPredictor, Predictor, ProbabilityGraph, SdGraph, SimConfig,
+    SimReport,
+};
+use farmer_stream::{ShardedMiner, StreamConfig, StreamSnapshot};
+use farmer_trace::workload::{ChurnSpec, DriftSpec, MultiTenantSpec, ScanStormSpec};
+use farmer_trace::{Op, Trace, WorkloadSpec};
+
+/// Version of the `BENCH_eval.json` record layout. Bump on any field
+/// addition, removal or rename so downstream tooling can dispatch.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Event-index segments each cell is additionally reported over.
+pub const PHASES: usize = 4;
+
+/// The scenario axis, in emission order.
+pub const SCENARIOS: [&str; 5] = ["base", "drift", "tenants", "storm", "churn"];
+
+/// The miner-mode axis for the FARMER predictor.
+pub const FPA_MODES: [&str; 3] = ["batch", "sharded1", "sharded4"];
+
+/// The self-mining predictor axis.
+pub const SELF_PREDICTORS: [&str; 4] = ["Nexus", "ProbGraph", "SdGraph", "LRU"];
+
+/// Build one scenario's trace at `scale` (1.0 = the full checked-in
+/// matrix, the quick CI profile uses less).
+///
+/// Panics on an unknown name — scenario names are part of the reference
+/// model's identity.
+pub fn build_scenario(name: &str, scale: f64) -> Trace {
+    match name {
+        // Control: the stationary HP preset every figure bin also uses.
+        "base" => WorkloadSpec::hp().scaled(0.4 * scale).generate(),
+        // Phase-shifting correlation drift, four phases (aligned with the
+        // PHASES reporting segments so each segment is one regime).
+        "drift" => DriftSpec::new(WorkloadSpec::hp().scaled(0.4 * scale))
+            .with_phases(PHASES)
+            .generate(),
+        // Three unrelated clusters consolidated behind one service; the
+        // RES/INS tenants make the merged namespace pathless (labelled
+        // RES, the first pathless family), so this cell also exercises
+        // the pathless attribute combo.
+        "tenants" => MultiTenantSpec {
+            tenants: vec![
+                WorkloadSpec::hp().scaled(0.15 * scale),
+                WorkloadSpec::res().scaled(0.33 * scale),
+                WorkloadSpec::ins().scaled(0.5 * scale),
+            ],
+        }
+        .generate(),
+        // Sequential sweeps + hot-set flash crowds over the HP base.
+        "storm" => ScanStormSpec::new(WorkloadSpec::hp().scaled(0.3 * scale)).generate(),
+        // Create/co-access/unlink generations over the HP base.
+        "churn" => ChurnSpec::new(WorkloadSpec::hp().scaled(0.3 * scale)).generate(),
+        other => panic!("unknown scenario {other:?}"),
+    }
+}
+
+/// The miner configuration every mode uses for a given trace: the paper
+/// defaults, pathless when the trace records no paths — identical to what
+/// [`FpaPredictor::for_trace`] serves with, so mined degrees and serving
+/// thresholds agree.
+pub fn miner_config(trace: &Trace) -> FarmerConfig {
+    if trace.family.has_paths() {
+        FarmerConfig::default()
+    } else {
+        FarmerConfig::pathless()
+    }
+}
+
+/// One measured cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Miner mode: `batch`/`sharded1`/`sharded4` for FARMER, `self` for
+    /// internally mining predictors.
+    pub mode: &'static str,
+    /// Predictor display name.
+    pub predictor: &'static str,
+    /// Demand hit ratio of the cache simulation.
+    pub hit_ratio: f64,
+    /// Prefetch accuracy (useful / issued).
+    pub prefetch_accuracy: f64,
+    /// Prefetch waste (evicted-unused / issued).
+    pub prefetch_waste: f64,
+    /// Mean response time of the MDS replay, in milliseconds.
+    pub avg_response_ms: f64,
+    /// Events per second of the cell's drive loop: the mining pass for
+    /// FARMER modes, the simulation demand loop for self predictors.
+    /// Machine-dependent — excluded from reference bands.
+    pub events_per_sec: f64,
+    /// Peak resident bytes across miner and predictor state (state grows
+    /// monotonically in every mode here, so end-of-run is the peak).
+    pub memory_bytes: usize,
+    /// Hit ratio per event-index segment ([`PHASES`] entries).
+    pub phase_hit_ratios: Vec<f64>,
+    /// Mean response (ms) per event-index segment ([`PHASES`] entries).
+    pub phase_response_ms: Vec<f64>,
+}
+
+/// The full matrix run plus the cross-mode invariants it verified.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Every cell, scenario-major in [`SCENARIOS`] × mode × predictor
+    /// order.
+    pub cells: Vec<Cell>,
+    /// Scenarios whose batch-vs-sharded snapshot parity was asserted.
+    pub parity_scenarios: usize,
+    /// Largest absolute correlation-degree difference observed across all
+    /// parity comparisons (0.0 means bit-identical lists).
+    pub max_parity_delta: f64,
+}
+
+/// Drive the miner over a trace with the matrix's mining policy: metadata
+/// demands are observed, unlinks are forgotten, `Close` is ignored.
+fn mine_batch(trace: &Trace, cfg: &FarmerConfig) -> (Farmer, f64) {
+    let mut farmer = Farmer::new(cfg.clone());
+    let start = Instant::now();
+    for e in &trace.events {
+        if e.op == Op::Unlink {
+            farmer.forget_file(e.file);
+        } else if e.op.is_metadata_demand() {
+            farmer.observe_event(trace, e);
+        }
+    }
+    let rate = trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (farmer, rate)
+}
+
+/// Same policy through the sharded online miner; returns the consistent
+/// snapshot, the drive rate (including the snapshot barrier) and resident
+/// state bytes.
+fn mine_sharded(trace: &Trace, cfg: &FarmerConfig, shards: usize) -> (StreamSnapshot, f64) {
+    let scfg = StreamConfig::default()
+        .with_farmer(cfg.clone())
+        .with_shards(shards)
+        // Uncapped: mode parity must compare mining, not eviction policy.
+        .with_node_cap(1 << 20);
+    let mut miner = ShardedMiner::spawn(scfg);
+    let start = Instant::now();
+    for e in &trace.events {
+        if e.op == Op::Unlink {
+            miner.route_forget(e.file);
+        } else if e.op.is_metadata_demand() {
+            miner.route_event(trace, e);
+        }
+    }
+    let snap = miner.snapshot();
+    let rate = trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (snap, rate)
+}
+
+/// Assert exact batch-vs-sharded parity for one scenario; returns the
+/// largest absolute degree delta (≤ 1e-12 by construction).
+fn assert_parity(scenario: &str, shards: usize, batch: &Farmer, snap: &StreamSnapshot) -> f64 {
+    let mut max_delta = 0.0f64;
+    // The sharded snapshot only holds tracked owners, so walk the batch
+    // side for completeness in both directions.
+    let mut batch_lists = 0usize;
+    batch.for_each_list(&mut |owner, entries| {
+        if entries.is_empty() {
+            return;
+        }
+        batch_lists += 1;
+        let got = snap
+            .correlators(owner)
+            .unwrap_or_else(|| panic!("{scenario}/sharded{shards}: missing list for {owner}"));
+        assert_eq!(
+            got.len(),
+            entries.len(),
+            "{scenario}/sharded{shards}: list length diverged for {owner}"
+        );
+        for (g, w) in got.iter().zip(entries.iter()) {
+            assert_eq!(
+                g.file, w.file,
+                "{scenario}/sharded{shards}: successor diverged for {owner}"
+            );
+            let delta = (g.degree - w.degree).abs();
+            assert!(
+                delta < 1e-12,
+                "{scenario}/sharded{shards}: degree diverged for {owner}: {delta}"
+            );
+            max_delta = max_delta.max(delta);
+        }
+    });
+    assert_eq!(
+        batch_lists,
+        snap.num_lists(),
+        "{scenario}/sharded{shards}: snapshot holds extra lists"
+    );
+    max_delta
+}
+
+/// Export the batch model's correlator lists as a standalone table (the
+/// same entries `for_each_list` serves every backend).
+fn export_table(farmer: &Farmer) -> CorrelatorTable {
+    let mut table = CorrelatorTable::new();
+    farmer.for_each_list(&mut |owner, entries| {
+        if !entries.is_empty() {
+            table.insert(CorrelatorList::from_sorted(owner, entries.to_vec()));
+        }
+    });
+    table
+}
+
+/// Per-trace simulation/replay configs (family-sized caches, segmented
+/// reporting).
+fn cell_configs(trace: &Trace) -> (SimConfig, ReplayConfig) {
+    let sim = SimConfig::for_family(trace.family).with_phases(PHASES);
+    let mut rep = ReplayConfig::for_family(trace.family);
+    rep.num_phases = PHASES;
+    (sim, rep)
+}
+
+/// Run FPA fronted by an externally mined source through sim + replay.
+fn fpa_cell<S>(
+    scenario: &'static str,
+    mode: &'static str,
+    trace: &Trace,
+    source: S,
+    mine_rate: f64,
+    miner_bytes: usize,
+) -> Cell
+where
+    S: CorrelationSource + Clone + Send + 'static,
+{
+    let (sim_cfg, rep_cfg) = cell_configs(trace);
+    let events = trace.len() as u64;
+    let mut fpa = FpaPredictor::for_trace(trace);
+    fpa.refresh(source.clone(), events);
+    let sim = simulate(trace, &mut fpa, sim_cfg);
+    let mut fpa2 = FpaPredictor::for_trace(trace);
+    fpa2.refresh(source, events);
+    let rep = replay(trace, Box::new(fpa2), rep_cfg);
+    finish_cell(scenario, mode, "FARMER", sim, rep, mine_rate, miner_bytes)
+}
+
+/// Run a self-mining predictor through sim + replay. `make` constructs a
+/// fresh instance per leg so the replay does not serve a pre-trained
+/// model.
+fn self_cell(
+    scenario: &'static str,
+    predictor: &'static str,
+    trace: &Trace,
+    make: &dyn Fn() -> Box<dyn Predictor>,
+) -> Cell {
+    let (sim_cfg, rep_cfg) = cell_configs(trace);
+    let mut p = make();
+    let start = Instant::now();
+    let sim = simulate(trace, p.as_mut(), sim_cfg);
+    let rate = trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let rep = replay(trace, make(), rep_cfg);
+    finish_cell(scenario, "self", predictor, sim, rep, rate, 0)
+}
+
+fn finish_cell(
+    scenario: &'static str,
+    mode: &'static str,
+    predictor: &'static str,
+    sim: SimReport,
+    rep: farmer_mds::ReplayReport,
+    events_per_sec: f64,
+    miner_bytes: usize,
+) -> Cell {
+    let cell = Cell {
+        scenario,
+        mode,
+        predictor,
+        hit_ratio: sim.hit_ratio(),
+        prefetch_accuracy: sim.prefetch_accuracy(),
+        prefetch_waste: sim.stats.prefetch_waste(),
+        avg_response_ms: rep.avg_response_ms(),
+        events_per_sec,
+        memory_bytes: miner_bytes
+            .max(sim.predictor_memory)
+            .max(rep.predictor_memory),
+        phase_hit_ratios: sim.phases.iter().map(|p| p.hit_ratio()).collect(),
+        phase_response_ms: rep.phase_mean_ms.clone(),
+    };
+    for (name, v) in [
+        ("hit_ratio", cell.hit_ratio),
+        ("prefetch_accuracy", cell.prefetch_accuracy),
+        ("prefetch_waste", cell.prefetch_waste),
+    ] {
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "{scenario}/{mode}/{predictor}: {name} out of [0,1]: {v}"
+        );
+    }
+    assert!(
+        cell.avg_response_ms.is_finite() && cell.avg_response_ms > 0.0,
+        "{scenario}/{mode}/{predictor}: bad response time"
+    );
+    assert!(cell.events_per_sec.is_finite() && cell.events_per_sec > 0.0);
+    cell
+}
+
+/// Run the whole matrix at `scale`. Asserts the cross-mode invariants
+/// (snapshot parity, identical FPA quality across miner modes) along the
+/// way — a matrix that fails an invariant never produces a report.
+pub fn run_matrix(scale: f64) -> MatrixReport {
+    run_matrix_with(scale, &SCENARIOS, &mut |_| {})
+}
+
+/// [`run_matrix`] over a scenario subset with a per-scenario progress
+/// callback (the binary logs to stderr; tests pass a no-op).
+pub fn run_matrix_with(
+    scale: f64,
+    scenarios: &[&'static str],
+    progress: &mut dyn FnMut(&str),
+) -> MatrixReport {
+    assert!(scale > 0.0, "scale must be positive");
+    let mut cells = Vec::new();
+    let mut parity_scenarios = 0;
+    let mut max_parity_delta = 0.0f64;
+
+    for &scenario in scenarios {
+        progress(scenario);
+        let trace = build_scenario(scenario, scale);
+        let cfg = miner_config(&trace);
+
+        // FARMER's three miner modes over the identical mining policy.
+        let (batch, batch_rate) = mine_batch(&trace, &cfg);
+        let batch_bytes = batch.memory_bytes();
+        let table = export_table(&batch);
+        let mut fpa_cells = vec![fpa_cell(
+            scenario,
+            "batch",
+            &trace,
+            table,
+            batch_rate,
+            batch_bytes,
+        )];
+        for (mode, shards) in [("sharded1", 1usize), ("sharded4", 4usize)] {
+            let (snap, rate) = mine_sharded(&trace, &cfg, shards);
+            max_parity_delta = max_parity_delta.max(assert_parity(scenario, shards, &batch, &snap));
+            let bytes = snap.state_bytes;
+            fpa_cells.push(fpa_cell(scenario, mode, &trace, snap, rate, bytes));
+        }
+        parity_scenarios += 1;
+
+        // The mined model is identical across modes, so serving quality
+        // must be too — bitwise, not approximately.
+        for c in &fpa_cells[1..] {
+            let b = &fpa_cells[0];
+            for (name, x, y) in [
+                ("hit_ratio", b.hit_ratio, c.hit_ratio),
+                (
+                    "prefetch_accuracy",
+                    b.prefetch_accuracy,
+                    c.prefetch_accuracy,
+                ),
+                ("prefetch_waste", b.prefetch_waste, c.prefetch_waste),
+                ("avg_response_ms", b.avg_response_ms, c.avg_response_ms),
+            ] {
+                assert!(
+                    (x - y).abs() < 1e-12,
+                    "{scenario}: FPA {name} diverged between batch and {}: {x} vs {y}",
+                    c.mode
+                );
+            }
+        }
+        cells.extend(fpa_cells);
+
+        // Self-mining predictors.
+        for predictor in SELF_PREDICTORS {
+            let make: Box<dyn Fn() -> Box<dyn Predictor>> = match predictor {
+                "Nexus" => Box::new(|| Box::new(NexusPredictor::paper_default())),
+                "ProbGraph" => Box::new(|| Box::new(ProbabilityGraph::classic())),
+                "SdGraph" => Box::new(|| Box::new(SdGraph::classic())),
+                "LRU" => Box::new(|| Box::new(LruOnly)),
+                other => unreachable!("unknown predictor {other}"),
+            };
+            cells.push(self_cell(scenario, predictor, &trace, make.as_ref()));
+        }
+    }
+
+    MatrixReport {
+        cells,
+        parity_scenarios,
+        max_parity_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_and_validates() {
+        for name in SCENARIOS {
+            let trace = build_scenario(name, 0.05);
+            assert!(trace.validate().is_ok(), "{name} invalid");
+            assert!(trace.len() > 500, "{name} too small at 0.05 scale");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_rejected() {
+        let _ = build_scenario("nope", 1.0);
+    }
+
+    #[test]
+    fn tenants_scenario_is_pathless_base_is_not() {
+        assert!(build_scenario("base", 0.02).family.has_paths());
+        assert!(!build_scenario("tenants", 0.02).family.has_paths());
+    }
+
+    #[test]
+    fn single_scenario_matrix_has_full_predictor_axis() {
+        // One scenario end-to-end at tiny scale: 3 FPA modes + 4 self
+        // predictors, parity asserted, metrics sane (the per-cell asserts
+        // run inside run_matrix_with).
+        let report = run_matrix_with(0.05, &["churn"], &mut |_| {});
+        assert_eq!(report.cells.len(), FPA_MODES.len() + SELF_PREDICTORS.len());
+        assert_eq!(report.parity_scenarios, 1);
+        assert!(report.max_parity_delta < 1e-12);
+        for c in &report.cells {
+            assert_eq!(c.phase_hit_ratios.len(), PHASES);
+            assert_eq!(c.phase_response_ms.len(), PHASES);
+        }
+        let lru = report
+            .cells
+            .iter()
+            .find(|c| c.predictor == "LRU")
+            .expect("LRU cell");
+        assert_eq!(lru.prefetch_accuracy, 0.0, "LRU never prefetches");
+    }
+}

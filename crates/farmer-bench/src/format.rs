@@ -1,4 +1,192 @@
-//! Aligned text tables for harness output.
+//! Aligned text tables, the shared JSON emitter and the unified CLI
+//! parsing for harness output.
+//!
+//! Every bench binary that emits a machine-readable record (`BENCH_*.json`)
+//! builds a [`Json`] value and prints [`Json::render`] — one writer, one
+//! escaping rule, one stable field order — and parses its command line
+//! through [`BenchArgs`], so `--quick` (and the optional positional scale
+//! override) behaves identically across bins.
+
+/// An ordered JSON value. Objects preserve insertion order, so emitted
+/// records are stable and diffable across runs.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `true`/`false`.
+    Bool(bool),
+    /// Unsigned integer (counters, byte totals).
+    UInt(u64),
+    /// Float rendered with Rust's shortest-roundtrip formatting. Must be
+    /// finite ([`Json::render`] panics otherwise — benchmark records with
+    /// NaN/inf in them are bugs, not data).
+    F64(f64),
+    /// Float rendered with a fixed number of decimals (stable diffs for
+    /// metrics where sub-precision digits are noise).
+    Fixed(f64, usize),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered fields; build with [`Json::obj`] and
+    /// [`Json::field`].
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, for builder-style construction.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field to an object (panics on non-objects).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, trailing newline
+    /// omitted). Panics on non-finite floats.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::F64(v) => {
+                assert!(v.is_finite(), "non-finite value in benchmark record: {v}");
+                out.push_str(&format!("{v}"));
+            }
+            Json::Fixed(v, d) => {
+                assert!(v.is_finite(), "non-finite value in benchmark record: {v}");
+                out.push_str(&format!("{:.*}", *d, v));
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Emit `s` as a quoted, escaped JSON string (used for both values and
+/// object keys).
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Unified bench-bin command line: `[scale] [--quick] [--check]
+/// [--calibrate]`.
+///
+/// `--quick` selects the bin's declared quick scale (the CI smoke size);
+/// an explicit positional scale always wins. Unknown arguments are
+/// ignored (the test harness passes its own flags through).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Effective trace/query scale factor.
+    pub scale: f64,
+    /// `--quick` was passed (CI smoke profile).
+    pub quick: bool,
+    /// `--check` was passed (verify against the reference model and fail
+    /// out-of-band; only meaningful to bins with a reference model).
+    pub check: bool,
+    /// `--calibrate` was passed (emit refreshed reference bands).
+    pub calibrate: bool,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args()`, resolving the scale to `quick_scale`
+    /// under `--quick` and `1.0` otherwise unless a positional scale is
+    /// given.
+    pub fn parse(quick_scale: f64) -> BenchArgs {
+        Self::from_iter(std::env::args().skip(1), quick_scale)
+    }
+
+    /// Testable core of [`BenchArgs::parse`].
+    pub fn from_iter(args: impl IntoIterator<Item = String>, quick_scale: f64) -> BenchArgs {
+        let mut out = BenchArgs {
+            scale: 0.0,
+            quick: false,
+            check: false,
+            calibrate: false,
+        };
+        let mut explicit_scale = None;
+        for a in args {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--check" => out.check = true,
+                "--calibrate" => out.calibrate = true,
+                other => {
+                    if let Ok(s) = other.parse::<f64>() {
+                        if s > 0.0 {
+                            explicit_scale = Some(s);
+                        }
+                    }
+                }
+            }
+        }
+        out.scale = explicit_scale.unwrap_or(if out.quick { quick_scale } else { 1.0 });
+        out
+    }
+}
 
 /// A simple column-aligned table builder.
 #[derive(Debug, Default)]
@@ -108,5 +296,60 @@ mod tests {
         let t = TextTable::new(&["only"]);
         let s = t.render();
         assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn json_renders_ordered_and_escaped() {
+        let j = Json::obj()
+            .field("bench", Json::str("x\"y"))
+            .field("events", Json::UInt(42))
+            .field("rate", Json::Fixed(1234.567, 0))
+            .field("ratio", Json::F64(0.5))
+            .field(
+                "cells",
+                Json::Arr(vec![Json::obj().field("ok", Json::Bool(true))]),
+            );
+        let s = j.render();
+        // Field order is insertion order.
+        let pos = |needle: &str| s.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+        assert!(pos("bench") < pos("events"));
+        assert!(pos("events") < pos("rate"));
+        assert!(s.contains("\"x\\\"y\""));
+        assert!(s.contains("\"rate\": 1235"), "fixed(0) rounds: {s}");
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        // Keys go through the same escaping as values.
+        let k = Json::obj().field("size \"hint\"", Json::UInt(1)).render();
+        assert!(k.contains("\"size \\\"hint\\\"\": 1"), "{k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn json_rejects_nan() {
+        let _ = Json::F64(f64::NAN).render();
+    }
+
+    #[test]
+    fn bench_args_quick_and_override() {
+        let q = BenchArgs::from_iter(vec!["--quick".to_string()], 0.05);
+        assert!(q.quick && !q.check);
+        assert_eq!(q.scale, 0.05);
+        let full = BenchArgs::from_iter(Vec::new(), 0.05);
+        assert!(!full.quick);
+        assert_eq!(full.scale, 1.0);
+        let over = BenchArgs::from_iter(
+            vec![
+                "--quick".to_string(),
+                "0.5".to_string(),
+                "--check".to_string(),
+            ],
+            0.05,
+        );
+        assert_eq!(over.scale, 0.5, "explicit scale beats --quick");
+        assert!(over.check);
+        // Junk (e.g. libtest flags) is ignored.
+        let junk = BenchArgs::from_iter(vec!["--nocapture".to_string()], 0.1);
+        assert_eq!(junk.scale, 1.0);
     }
 }

@@ -15,9 +15,11 @@
 //! Criterion micro-benchmarks for the kernels (similarity, miner update,
 //! cache ops, B+-tree ops, trace generation) live in `benches/`.
 
+pub mod evalmatrix;
 pub mod experiments;
 pub mod format;
 pub mod paper;
+pub mod refmodel;
 
 /// Parse the scale factor from `argv[1]` (default 1.0).
 pub fn scale_from_args() -> f64 {

@@ -17,7 +17,7 @@
 //! * [`server`] — the MDS: metadata cache + predictor + embedded store,
 //!   processing one demand arrival at a time and draining prefetches in
 //!   idle gaps,
-//! * [`replay`] — trace-driven closed-form replay producing the average
+//! * [`mod@replay`] — trace-driven closed-form replay producing the average
 //!   response times behind Figures 6 and 8,
 //! * [`osd`]/[`layout`] — object placement and the FARMER-enabled grouped
 //!   data layout with a seek/transfer cost model,

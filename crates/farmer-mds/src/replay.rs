@@ -25,6 +25,11 @@ pub struct ReplayConfig {
     pub client_cache: usize,
     /// Client-local hit latency in µs (only used with a client tier).
     pub client_hit_us: u64,
+    /// Number of equal event-index segments to additionally report mean
+    /// response time over ([`ReplayReport::phase_mean_ms`]). `1` disables
+    /// segmentation; phase-shifting scenarios use ≥ 2 so latency spikes at
+    /// correlation breaks are visible instead of averaged away.
+    pub num_phases: usize,
 }
 
 impl Default for ReplayConfig {
@@ -34,6 +39,7 @@ impl Default for ReplayConfig {
             time_scale: 1.0,
             client_cache: 0,
             client_hit_us: 5,
+            num_phases: 1,
         }
     }
 }
@@ -78,6 +84,10 @@ pub struct ReplayReport {
     pub predictor_memory: usize,
     /// Demands absorbed by the client tier (0 when the tier is off).
     pub client_hits: u64,
+    /// Mean response time (ms) per event-index segment when the run was
+    /// configured with `num_phases > 1`; empty otherwise. Segments with no
+    /// demand requests report 0.
+    pub phase_mean_ms: Vec<f64>,
 }
 
 impl ReplayReport {
@@ -125,7 +135,28 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
     });
     let mut horizon = 0u64;
     let mut client_latency = LatencyStats::new();
-    for event in &trace.events {
+    // Per-phase accounting: (count, total µs) over MDS + client responses,
+    // snapshotted at equal event-index boundaries.
+    let phase_len = trace.len().div_ceil(cfg.num_phases.max(1)).max(1);
+    let mut phase_mean_ms = Vec::new();
+    let mut mark = (0u64, 0.0f64);
+    let close_phase = |mds: &MdsServer, client: &LatencyStats, mark: &mut (u64, f64)| {
+        let count = mds.stats().count() + client.count();
+        let total_us = mds.stats().mean_us() * mds.stats().count() as f64
+            + client.mean_us() * client.count() as f64;
+        let (dc, dt) = (count - mark.0, total_us - mark.1);
+        *mark = (count, total_us);
+        if dc == 0 {
+            0.0
+        } else {
+            dt / dc as f64 / 1000.0
+        }
+    };
+    for (i, event) in trace.events.iter().enumerate() {
+        if cfg.num_phases > 1 && i > 0 && i % phase_len == 0 {
+            let mean = close_phase(&mds, &client_latency, &mut mark);
+            phase_mean_ms.push(mean);
+        }
         if !event.op.is_metadata_demand() {
             continue;
         }
@@ -145,6 +176,10 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
             mds.demand(trace, &e);
         }
     }
+    if cfg.num_phases > 1 {
+        let mean = close_phase(&mds, &client_latency, &mut mark);
+        phase_mean_ms.push(mean);
+    }
     let mut latency = mds.stats().clone();
     let client_hits = clients.as_ref().map_or(0, |t| t.local_hits());
     latency.merge(&client_latency);
@@ -157,6 +192,7 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
         horizon_us: horizon,
         predictor_memory: mds.predictor_memory(),
         client_hits,
+        phase_mean_ms,
     }
 }
 
@@ -178,6 +214,27 @@ mod tests {
             .count();
         assert_eq!(r.latency.count() as usize, demands);
         assert!(r.avg_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn phase_means_cover_the_run() {
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let mut cfg = ReplayConfig::for_family(trace.family);
+        cfg.num_phases = 4;
+        let r = replay(&trace, Box::new(LruOnly), cfg);
+        assert_eq!(r.phase_mean_ms.len(), 4);
+        assert!(r.phase_mean_ms.iter().all(|&m| m > 0.0));
+        // The phase means bracket the overall mean.
+        let lo = r.phase_mean_ms.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = r.phase_mean_ms.iter().cloned().fold(0.0, f64::max);
+        assert!(lo <= r.avg_response_ms() && r.avg_response_ms() <= hi);
+        // Segmentation must not perturb the simulation itself.
+        let mut plain = ReplayConfig::for_family(trace.family);
+        plain.num_phases = 1;
+        let p = replay(&trace, Box::new(LruOnly), plain);
+        assert!(p.phase_mean_ms.is_empty());
+        assert_eq!(p.latency.count(), r.latency.count());
+        assert!((p.avg_response_ms() - r.avg_response_ms()).abs() < 1e-12);
     }
 
     #[test]

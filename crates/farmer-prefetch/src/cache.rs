@@ -71,6 +71,32 @@ impl CacheStats {
             self.useful_prefetches as f64 / self.prefetches_issued as f64
         }
     }
+
+    /// Prefetch waste: the fraction of issued prefetches evicted without
+    /// ever being demanded — the cache-pollution cost a too-eager
+    /// predictor pays.
+    pub fn prefetch_waste(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.wasted_prefetches as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`. All fields are monotone
+    /// running counters, so the delta of two snapshots of the same cache is
+    /// the activity between them — the basis of per-phase reporting.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            demand_accesses: self.demand_accesses - earlier.demand_accesses,
+            hits: self.hits - earlier.hits,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetches_issued: self.prefetches_issued - earlier.prefetches_issued,
+            useful_prefetches: self.useful_prefetches - earlier.useful_prefetches,
+            wasted_prefetches: self.wasted_prefetches - earlier.wasted_prefetches,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
 }
 
 /// Fixed-capacity metadata cache with LRU replacement.

@@ -13,6 +13,10 @@ pub struct SimReport {
     pub cache_capacity: usize,
     /// Raw cache counters.
     pub stats: CacheStats,
+    /// Per-phase counter deltas when the run was configured with
+    /// `num_phases > 1` (see [`crate::sim::SimConfig`]); empty otherwise.
+    /// The deltas sum to `stats`.
+    pub phases: Vec<CacheStats>,
     /// Predictor state size at the end of the run, in bytes.
     pub predictor_memory: usize,
 }
@@ -61,6 +65,7 @@ mod tests {
                 wasted_prefetches: 5,
                 evictions: 40,
             },
+            phases: Vec::new(),
             predictor_memory: 2048,
         };
         let s = r.summary();

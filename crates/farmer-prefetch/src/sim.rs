@@ -28,6 +28,11 @@ pub struct SimConfig {
     /// Maximum prefetch insertions per access (group size ceiling applied
     /// after the predictor's own limit).
     pub prefetch_limit: usize,
+    /// Number of equal event-index segments the run is additionally
+    /// reported over ([`SimReport::phases`]). `1` (the default) disables
+    /// segmentation; phase-shifting scenarios use ≥ 2 so adaptation and
+    /// post-shift recovery are visible instead of averaged away.
+    pub num_phases: usize,
 }
 
 impl Default for SimConfig {
@@ -35,6 +40,7 @@ impl Default for SimConfig {
         SimConfig {
             cache_capacity: 512,
             prefetch_limit: 4,
+            num_phases: 1,
         }
     }
 }
@@ -52,18 +58,38 @@ impl SimConfig {
         };
         SimConfig {
             cache_capacity,
-            prefetch_limit: 4,
+            ..Default::default()
         }
+    }
+
+    /// Builder-style phase-count override.
+    #[must_use]
+    pub fn with_phases(mut self, phases: usize) -> Self {
+        assert!(phases >= 1, "num_phases must be >= 1");
+        self.num_phases = phases;
+        self
     }
 }
 
 /// Run one simulation: `predictor` over `trace` with `cfg`.
+///
+/// With `cfg.num_phases > 1` the report additionally carries per-phase
+/// counter deltas: the trace's event-index range is cut into `num_phases`
+/// equal segments and the cache counters are snapshotted at each boundary.
 pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) -> SimReport {
     let mut cache = MetadataCache::new(cfg.cache_capacity);
+    let phase_len = trace.len().div_ceil(cfg.num_phases.max(1)).max(1);
+    let mut phases = Vec::new();
+    let mut phase_mark = cache.stats();
     // One candidate buffer for the whole run: the predictor fills it in
     // place each access, so the demand loop allocates nothing per event.
     let mut candidates = Vec::new();
-    for event in &trace.events {
+    for (i, event) in trace.events.iter().enumerate() {
+        if cfg.num_phases > 1 && i > 0 && i % phase_len == 0 {
+            let now = cache.stats();
+            phases.push(now.delta(&phase_mark));
+            phase_mark = now;
+        }
         if !event.op.is_metadata_demand() {
             continue;
         }
@@ -78,11 +104,16 @@ pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) ->
             }
         }
     }
+    let stats = cache.stats();
+    if cfg.num_phases > 1 {
+        phases.push(stats.delta(&phase_mark));
+    }
     SimReport {
         predictor: predictor.name().to_string(),
         trace: trace.label.clone(),
         cache_capacity: cfg.cache_capacity,
-        stats: cache.stats(),
+        stats,
+        phases,
         predictor_memory: predictor.memory_bytes(),
     }
 }
@@ -151,6 +182,35 @@ mod tests {
         cfg.prefetch_limit = 0;
         let r = simulate(&trace, &mut FpaPredictor::for_trace(&trace), cfg);
         assert_eq!(r.stats.prefetches_issued, 0);
+    }
+
+    #[test]
+    fn phase_deltas_sum_to_totals() {
+        let trace = WorkloadSpec::ins().scaled(0.1).generate();
+        let cfg = SimConfig::for_family(trace.family).with_phases(4);
+        let r = simulate(&trace, &mut FpaPredictor::for_trace(&trace), cfg);
+        assert_eq!(r.phases.len(), 4);
+        let mut sum = crate::cache::CacheStats::default();
+        for p in &r.phases {
+            sum.demand_accesses += p.demand_accesses;
+            sum.hits += p.hits;
+            sum.prefetches_issued += p.prefetches_issued;
+            sum.useful_prefetches += p.useful_prefetches;
+            sum.wasted_prefetches += p.wasted_prefetches;
+            sum.evictions += p.evictions;
+        }
+        assert_eq!(sum.demand_accesses, r.stats.demand_accesses);
+        assert_eq!(sum.hits, r.stats.hits);
+        assert_eq!(sum.prefetches_issued, r.stats.prefetches_issued);
+        assert_eq!(sum.evictions, r.stats.evictions);
+        // Single-phase runs carry no segmentation.
+        let r1 = simulate(
+            &trace,
+            &mut FpaPredictor::for_trace(&trace),
+            SimConfig::for_family(trace.family),
+        );
+        assert!(r1.phases.is_empty());
+        assert_eq!(r1.stats, r.stats, "segmentation must not change the run");
     }
 
     #[test]

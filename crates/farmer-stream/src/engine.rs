@@ -43,7 +43,7 @@ use crate::snapshot::ShardSnapshot;
 use crate::StreamConfig;
 
 /// Does `shard_id` (of `num_shards`) own `file`? Mirrors the Fx-hash
-/// namespace routing of `farmer-mds::cluster`'s [`Partition::Hash`].
+/// namespace routing of `farmer-mds::cluster`'s `Partition::Hash`.
 #[inline]
 pub fn owns_file(file: FileId, shard_id: usize, num_shards: usize) -> bool {
     num_shards <= 1 || (fx_hash_u64(u64::from(file.raw())) as usize) % num_shards == shard_id
@@ -124,6 +124,20 @@ impl StreamMiner {
     pub fn ingest_event(&mut self, trace: &Trace, e: &TraceEvent) {
         let req = Request::from_event(e);
         self.ingest(req, trace.path_of(e.file));
+    }
+
+    /// Drop every trace of `file`: its retention counter (if this shard
+    /// owns it) and all model state — node, edges, learned path and
+    /// look-ahead window entries (via [`Farmer::forget_files`]).
+    ///
+    /// This is the unlink/churn hook: applied at the same stream position
+    /// in every shard, the union of the shard models stays exactly equal
+    /// to a batch miner that forgets at that position. Unknown files are a
+    /// no-op. Forgets are maintenance, not accesses: they do not count
+    /// toward [`StreamMiner::events_seen`].
+    pub fn forget(&mut self, file: FileId) {
+        self.counts.remove(&file.raw());
+        self.farmer.forget_files(&[file]);
     }
 
     /// Bump `file`'s counter, admitting (and evicting) as needed.

@@ -25,7 +25,7 @@ use std::thread::{self, JoinHandle};
 
 use farmer_core::Request;
 use farmer_trace::hash::FxHashMap;
-use farmer_trace::{FilePath, Trace, TraceEvent};
+use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
 use crate::engine::StreamMiner;
 use crate::snapshot::{ShardSnapshot, StreamSnapshot};
@@ -42,11 +42,22 @@ struct EventMsg {
     path: Option<Arc<FilePath>>,
 }
 
+/// One routed item: an access, or a forget tombstone (unlink/churn).
+/// Both travel through the same batched FIFO so a forget lands in every
+/// shard at exactly its position in the event stream — the property that
+/// keeps the sharded model equal to a batch miner forgetting at the same
+/// point.
+#[derive(Debug, Clone)]
+enum Item {
+    Event(EventMsg),
+    Forget(FileId),
+}
+
 /// Router → shard messages. FIFO channel order is what makes snapshots
 /// consistent: a marker enqueued after a set of batches is only answered
 /// once exactly those batches have been mined.
 enum Msg {
-    Batch(Vec<EventMsg>),
+    Batch(Vec<Item>),
     Snapshot(mpsc::Sender<ShardSnapshot>),
     Flush(mpsc::Sender<()>),
 }
@@ -56,7 +67,7 @@ pub struct ShardedMiner {
     cfg: StreamConfig,
     senders: Vec<SyncSender<Msg>>,
     handles: Vec<JoinHandle<()>>,
-    pending: Vec<EventMsg>,
+    pending: Vec<Item>,
     /// Per-file shared path, so routing costs one allocation per distinct
     /// file instead of one per event (see [`ShardedMiner::route`]).
     path_cache: FxHashMap<u32, Arc<FilePath>>,
@@ -112,7 +123,7 @@ impl ShardedMiner {
                 .or_insert_with(|| Arc::new(p.clone()))
                 .clone()
         });
-        self.pending.push(EventMsg { req, path });
+        self.pending.push(Item::Event(EventMsg { req, path }));
         self.routed += 1;
         if self.pending.len() >= self.cfg.route_batch.max(1) {
             self.dispatch();
@@ -122,6 +133,16 @@ impl ShardedMiner {
     /// Convenience: route a trace event (runs the Stage-1 extraction).
     pub fn route_event(&mut self, trace: &Trace, e: &TraceEvent) {
         self.route(Request::from_event(e), trace.path_of(e.file));
+    }
+
+    /// Route a forget tombstone (unlink/churn): every shard drops all
+    /// state for `file` after processing exactly the events routed before
+    /// this call (see [`StreamMiner::forget`]). Not counted as an event.
+    pub fn route_forget(&mut self, file: FileId) {
+        self.pending.push(Item::Forget(file));
+        if self.pending.len() >= self.cfg.route_batch.max(1) {
+            self.dispatch();
+        }
     }
 
     /// Broadcast the pending batch to every shard.
@@ -208,9 +229,12 @@ impl Drop for ShardedMiner {
 fn shard_worker(mut miner: StreamMiner, rx: Receiver<Msg>) {
     for msg in rx {
         match msg {
-            Msg::Batch(events) => {
-                for ev in &events {
-                    miner.ingest(ev.req, ev.path.as_deref());
+            Msg::Batch(items) => {
+                for item in &items {
+                    match item {
+                        Item::Event(ev) => miner.ingest(ev.req, ev.path.as_deref()),
+                        Item::Forget(file) => miner.forget(*file),
+                    }
                 }
             }
             Msg::Snapshot(reply) => {
@@ -272,6 +296,64 @@ mod tests {
                 }
                 None => assert!(want.is_empty(), "missing list for f{f}"),
             }
+        }
+    }
+
+    #[test]
+    fn routed_forgets_match_batch_forgets_exactly() {
+        // Interleave unlink-style forgets with the stream: the sharded
+        // union must equal a batch miner forgetting at the same positions.
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let cfg = StreamConfig::default()
+            .with_shards(3)
+            .with_node_cap(1 << 20);
+        let mut m = ShardedMiner::spawn(cfg.clone());
+        let mut batch = Farmer::new(cfg.farmer.clone());
+        for (i, e) in trace.events.iter().enumerate() {
+            if i % 97 == 0 {
+                let victim = e.file;
+                m.route_forget(victim);
+                batch.forget_file(victim);
+            }
+            m.route_event(&trace, e);
+            batch.observe_event(&trace, e);
+        }
+        let snap = m.snapshot();
+        for f in 0..trace.num_files() as u32 {
+            let want = batch.correlators(FileId::new(f));
+            match snap.correlators(FileId::new(f)) {
+                Some(got) => {
+                    assert_eq!(got.len(), want.len(), "list length diverged for f{f}");
+                    for (g, w) in got.iter().zip(want.iter()) {
+                        assert_eq!(g.file, w.file, "successor diverged for f{f}");
+                        assert!((g.degree - w.degree).abs() < 1e-12);
+                    }
+                }
+                None => assert!(want.is_empty(), "missing list for f{f}"),
+            }
+        }
+        // Forgets are not events.
+        assert_eq!(snap.events, trace.len() as u64);
+    }
+
+    #[test]
+    fn forgotten_file_is_fully_dropped() {
+        let trace = WorkloadSpec::ins().scaled(0.02).generate();
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(2));
+        for e in &trace.events {
+            m.route_event(&trace, e);
+        }
+        let before = m.snapshot();
+        let victim = before.table.iter().next().expect("mined something").owner;
+        m.route_forget(victim);
+        let after = m.snapshot();
+        assert!(after.correlators(victim).is_none(), "victim list survived");
+        // No other owner may still list the victim as a successor.
+        for list in after.table.iter() {
+            assert!(
+                list.iter().all(|c| c.file != victim),
+                "dangling successor edge to forgotten file"
+            );
         }
     }
 

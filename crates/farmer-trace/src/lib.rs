@@ -36,4 +36,6 @@ pub use ids::{DevId, FileId, HostId, ProcId, UserId};
 pub use path::{FilePath, PathInterner};
 pub use stream::ReplayStream;
 pub use trace::{FileMeta, Trace, TraceFamily};
-pub use workload::{TraceGenerator, WorkloadSpec};
+pub use workload::{
+    ChurnSpec, DriftSpec, MultiTenantSpec, ScanStormSpec, TraceGenerator, WorkloadSpec,
+};

@@ -20,10 +20,12 @@
 //! to reproduce that family's reported character (see module docs of
 //! [`presets`]).
 
+pub mod adversarial;
 mod engine;
 mod namespace;
-mod presets;
+pub mod presets;
 
+pub use adversarial::{ChurnSpec, DriftSpec, MultiTenantSpec, ScanStormSpec};
 pub use engine::TraceGenerator;
 pub use namespace::{AppTemplate, Namespace};
 
