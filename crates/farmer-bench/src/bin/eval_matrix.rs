@@ -23,7 +23,7 @@
 //! breaks a cross-mode invariant panics instead of reporting.
 
 use farmer_bench::evalmatrix::{
-    run_matrix_with, Cell, MatrixReport, PHASES, SCENARIOS, SCHEMA_VERSION,
+    run_matrix_with, Cell, MatrixReport, FPA_MODES, PHASES, SCENARIOS, SCHEMA_VERSION,
 };
 use farmer_bench::format::{BenchArgs, Json};
 use farmer_bench::refmodel::{self, Profile, QUICK_SCALE};
@@ -56,7 +56,9 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
                     .map(|&v| Json::Fixed(v, 3))
                     .collect(),
             ),
-        );
+        )
+        .field("refreshes", Json::UInt(c.refreshes))
+        .field("miner_evictions", Json::UInt(c.miner_evictions));
     if let Some(b) = refmodel::find(profile, c.scenario, c.mode, c.predictor) {
         j = j.field(
             "band",
@@ -86,7 +88,7 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
 }
 
 fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
-    Json::obj()
+    let mut j = Json::obj()
         .field("bench", Json::str("eval_matrix"))
         .field("schema_version", Json::UInt(u64::from(SCHEMA_VERSION)))
         .field("profile", Json::str(profile.name()))
@@ -97,6 +99,10 @@ fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
             Json::Arr(SCENARIOS.iter().map(|&s| Json::str(s)).collect()),
         )
         .field(
+            "fpa_modes",
+            Json::Arr(FPA_MODES.iter().map(|&m| Json::str(m)).collect()),
+        )
+        .field(
             "parity",
             Json::obj()
                 .field(
@@ -104,11 +110,19 @@ fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
                     Json::UInt(report.parity_scenarios as u64),
                 )
                 .field("max_degree_delta", Json::F64(report.max_parity_delta)),
-        )
-        .field(
-            "cells",
-            Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
-        )
+        );
+    if let Some(a) = report.drift_adaptation {
+        j = j.field(
+            "adaptation",
+            Json::obj()
+                .field("frozen_post_shift", Json::Fixed(a.frozen_post_shift, 4))
+                .field("online_post_shift", Json::Fixed(a.online_post_shift, 4)),
+        );
+    }
+    j.field(
+        "cells",
+        Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
+    )
 }
 
 fn main() {
@@ -135,10 +149,11 @@ fn main() {
     let chatty = !args.calibrate;
     if chatty {
         eprintln!(
-            "eval_matrix: {} profile, scale {}, {} scenarios x (3 FARMER miner modes + 4 self-mining predictors)",
+            "eval_matrix: {} profile, scale {}, {} scenarios x ({} FARMER miner modes + 4 self-mining predictors)",
             profile.name(),
             args.scale,
-            SCENARIOS.len()
+            SCENARIOS.len(),
+            FPA_MODES.len()
         );
     }
     let report = run_matrix_with(args.scale, &SCENARIOS, &mut |s| {

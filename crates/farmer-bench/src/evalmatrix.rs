@@ -20,14 +20,37 @@
 //! `storm`, `churn`.
 //!
 //! **Miner-mode axis** (FARMER's FPA only — the other predictors mine
-//! internally and run as mode `self`): `batch` (one [`Farmer`] over the
-//! whole trace), `sharded1` and `sharded4` (the `farmer-stream` sharded
-//! online miner with 1 and 4 shards, uncapped so no eviction noise enters
-//! the comparison). The three modes must produce the *same* mined model —
-//! [`run_matrix`] asserts exact batch-vs-sharded snapshot parity per
-//! scenario and bitwise-equal quality metrics across the three FPA cells,
-//! so any divergence in the sharding or snapshot path fails the run
-//! before any band is consulted.
+//! internally and run as mode `self`):
+//!
+//! * `batch` (one [`Farmer`] over the whole trace), `sharded1` and
+//!   `sharded4` (the `farmer-stream` sharded online miner with 1 and 4
+//!   shards, uncapped so no eviction noise enters the comparison). The
+//!   three modes must produce the *same* mined model — [`run_matrix`]
+//!   asserts exact batch-vs-sharded snapshot parity per scenario and
+//!   bitwise-equal quality metrics across the three FPA cells, so any
+//!   divergence in the sharding or snapshot path fails the run before any
+//!   band is consulted. These modes mine the **whole** trace and then
+//!   serve from the frozen final snapshot — an oracle that has seen the
+//!   future.
+//! * **Online serving modes** (`online8`, `online64`,
+//!   [`farmer_prefetch::simulate_online`] / `farmer_mds::replay_online`):
+//!   a live [`ShardedMiner`] is co-driven with the simulation and a fresh
+//!   [`StreamSnapshot`] is swapped into the predictor every
+//!   `len/8` (resp. `len/64`) events, so per-phase hit-ratio deltas
+//!   directly measure adaptation lag. `frozen` takes exactly one snapshot
+//!   at the end of the first reporting segment and serves it for the rest
+//!   of the run — the no-adaptation baseline the online modes are
+//!   measured against ([`run_matrix`] asserts online beats frozen on the
+//!   drift scenario's post-shift segments, and stays within
+//!   [`ONLINE_CONVERGENCE_GAP`] of the batch oracle on the stationary
+//!   `base` scenario).
+//! * **Capped miner cells** (`capped1`, `capped4`, `online64capped`):
+//!   the same pipeline with `node_cap` [`CAPPED_NODE_CAP`] per shard —
+//!   small enough that `tenants` and `churn` force Space-Saving eviction
+//!   — measuring the serving-quality cost of bounded miner memory.
+//!   Eviction makes the mined model depend on the shard partition, so no
+//!   cross-shard parity is asserted here; each capped cell has its own
+//!   band.
 //!
 //! Unlink events are routed as forgets ([`Farmer::forget_file`] /
 //! [`ShardedMiner::route_forget`]) in every mode, which is what the churn
@@ -39,19 +62,17 @@
 use std::time::Instant;
 
 use farmer_core::{CorrelationSource, CorrelatorList, CorrelatorTable, Farmer, FarmerConfig};
-use farmer_mds::{replay, ReplayConfig};
+use farmer_mds::{replay, replay_online, ReplayConfig};
 use farmer_prefetch::baselines::LruOnly;
 use farmer_prefetch::{
-    simulate, FpaPredictor, NexusPredictor, Predictor, ProbabilityGraph, SdGraph, SimConfig,
-    SimReport,
+    simulate, simulate_online, FpaPredictor, NexusPredictor, OnlineConfig, Predictor,
+    ProbabilityGraph, SdGraph, SimConfig, SimReport,
 };
 use farmer_stream::{ShardedMiner, StreamConfig, StreamSnapshot};
 use farmer_trace::workload::{ChurnSpec, DriftSpec, MultiTenantSpec, ScanStormSpec};
 use farmer_trace::{Op, Trace, WorkloadSpec};
 
-/// Version of the `BENCH_eval.json` record layout. Bump on any field
-/// addition, removal or rename so downstream tooling can dispatch.
-pub const SCHEMA_VERSION: u32 = 1;
+pub use crate::refmodel::SCHEMA_VERSION;
 
 /// Event-index segments each cell is additionally reported over.
 pub const PHASES: usize = 4;
@@ -59,11 +80,48 @@ pub const PHASES: usize = 4;
 /// The scenario axis, in emission order.
 pub const SCENARIOS: [&str; 5] = ["base", "drift", "tenants", "storm", "churn"];
 
-/// The miner-mode axis for the FARMER predictor.
-pub const FPA_MODES: [&str; 3] = ["batch", "sharded1", "sharded4"];
+/// The miner-mode axis for the FARMER predictor: the three exact-parity
+/// whole-trace modes, the adaptation-lag serving modes (`frozen`,
+/// `online{refreshes}` — the number is refresh points per run, i.e. a
+/// refresh every `len/8` or `len/64` events), and the capped-eviction
+/// modes.
+pub const FPA_MODES: [&str; 9] = [
+    "batch",
+    "sharded1",
+    "sharded4",
+    "frozen",
+    "online8",
+    "online64",
+    "capped1",
+    "capped4",
+    "online64capped",
+];
 
 /// The self-mining predictor axis.
 pub const SELF_PREDICTORS: [&str; 4] = ["Nexus", "ProbGraph", "SdGraph", "LRU"];
+
+/// Refresh points per run of the sparse online mode (`online8`).
+pub const ONLINE_SPARSE_REFRESHES: usize = 8;
+
+/// Refresh points per run of the dense online mode (`online64`, also the
+/// cadence of `online64capped`).
+pub const ONLINE_DENSE_REFRESHES: usize = 64;
+
+/// Per-shard `node_cap` of the capped miner cells: well below the
+/// scenarios' per-shard distinct-file counts at both calibrated profiles
+/// (the tightest case, `churn --quick` at 4 shards, touches ~820 distinct
+/// files per shard), so `tenants` and `churn` — and in practice every
+/// scenario — force Space-Saving eviction in every capped cell.
+pub const CAPPED_NODE_CAP: usize = 512;
+
+/// Largest tolerated demand-hit-ratio deficit of densely-refreshed online
+/// serving (`online64`) below the whole-trace batch oracle on the
+/// stationary `base` scenario, measured on the **last** reporting segment
+/// (after the online model has warmed up; the first segment is
+/// structurally cold — the miner starts empty). A small steady-state
+/// deficit is structural (the oracle has seen the future); a large one
+/// means snapshot cadence or refresh plumbing regressed.
+pub const ONLINE_CONVERGENCE_GAP: f64 = 0.10;
 
 /// Build one scenario's trace at `scale` (1.0 = the full checked-in
 /// matrix, the quick CI profile uses less).
@@ -140,6 +198,36 @@ pub struct Cell {
     pub phase_hit_ratios: Vec<f64>,
     /// Mean response (ms) per event-index segment ([`PHASES`] entries).
     pub phase_response_ms: Vec<f64>,
+    /// Snapshot refreshes swapped into the predictor (online modes; 0 for
+    /// whole-trace serving).
+    pub refreshes: u64,
+    /// Files the miner evicted under `node_cap` pressure (capped modes; 0
+    /// when uncapped).
+    pub miner_evictions: u64,
+}
+
+impl Cell {
+    /// Mean demand hit ratio over the post-shift reporting segments
+    /// (everything after the first) — the drift scenario's adaptation
+    /// metric: the first segment is the pre-shift regime, every later
+    /// segment starts with rotated co-access sets.
+    pub fn post_shift_hit_ratio(&self) -> f64 {
+        let tail = self.phase_hit_ratios.get(1..).unwrap_or(&[]);
+        if tail.is_empty() {
+            return self.hit_ratio;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Post-shift hit ratios of the drift scenario's adaptation comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptationSummary {
+    /// Frozen-snapshot serving (one snapshot at the first segment
+    /// boundary, never refreshed).
+    pub frozen_post_shift: f64,
+    /// Densely refreshed online serving (`online64`).
+    pub online_post_shift: f64,
 }
 
 /// The full matrix run plus the cross-mode invariants it verified.
@@ -153,6 +241,10 @@ pub struct MatrixReport {
     /// Largest absolute correlation-degree difference observed across all
     /// parity comparisons (0.0 means bit-identical lists).
     pub max_parity_delta: f64,
+    /// The drift scenario's frozen-vs-online post-shift comparison
+    /// (asserted `online ≥ frozen` by the run); `None` when drift was not
+    /// among the scenarios.
+    pub drift_adaptation: Option<AdaptationSummary>,
 }
 
 /// Drive the miner over a trace with the matrix's mining policy: metadata
@@ -171,15 +263,30 @@ fn mine_batch(trace: &Trace, cfg: &FarmerConfig) -> (Farmer, f64) {
     (farmer, rate)
 }
 
-/// Same policy through the sharded online miner; returns the consistent
-/// snapshot, the drive rate (including the snapshot barrier) and resident
-/// state bytes.
-fn mine_sharded(trace: &Trace, cfg: &FarmerConfig, shards: usize) -> (StreamSnapshot, f64) {
-    let scfg = StreamConfig::default()
+/// The streaming configuration of the uncapped (exact-parity and online)
+/// miner modes: a cap no scenario can reach.
+fn uncapped_stream_cfg(cfg: &FarmerConfig, shards: usize) -> StreamConfig {
+    StreamConfig::default()
         .with_farmer(cfg.clone())
         .with_shards(shards)
         // Uncapped: mode parity must compare mining, not eviction policy.
-        .with_node_cap(1 << 20);
+        .with_node_cap(1 << 20)
+}
+
+/// The streaming configuration of the capped miner modes:
+/// [`CAPPED_NODE_CAP`] files per shard, forcing Space-Saving eviction on
+/// the churning/consolidated scenarios.
+fn capped_stream_cfg(cfg: &FarmerConfig, shards: usize) -> StreamConfig {
+    StreamConfig::default()
+        .with_farmer(cfg.clone())
+        .with_shards(shards)
+        .with_node_cap(CAPPED_NODE_CAP)
+}
+
+/// Same policy through the sharded online miner; returns the consistent
+/// snapshot and the drive rate (including the snapshot barrier). Resident
+/// state bytes and evictions ride on the snapshot.
+fn mine_sharded(trace: &Trace, scfg: StreamConfig) -> (StreamSnapshot, f64) {
     let mut miner = ShardedMiner::spawn(scfg);
     let start = Instant::now();
     for e in &trace.events {
@@ -279,6 +386,53 @@ where
     finish_cell(scenario, mode, "FARMER", sim, rep, mine_rate, miner_bytes)
 }
 
+/// Refresh interval (events) giving `refreshes` evenly spaced refresh
+/// points over `trace`.
+fn refresh_interval(trace: &Trace, refreshes: usize) -> usize {
+    (trace.len() / refreshes.max(1)).max(1)
+}
+
+/// Run FPA under an online serving mode: sim and replay each co-drive
+/// their own live miner with the identical routing policy, so the two
+/// legs see the same snapshots at the same boundaries — asserted via
+/// their miner-side counters.
+fn online_cell(
+    scenario: &'static str,
+    mode: &'static str,
+    trace: &Trace,
+    online: &OnlineConfig,
+) -> Cell {
+    let (sim_cfg, rep_cfg) = cell_configs(trace);
+    let mut fpa = FpaPredictor::for_trace(trace);
+    let start = Instant::now();
+    let osim = simulate_online(trace, &mut fpa, sim_cfg, online);
+    // The drive loop of an online cell is mining + serving combined.
+    let rate = trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let orep = replay_online(
+        trace,
+        Box::new(FpaPredictor::for_trace(trace)),
+        rep_cfg,
+        online,
+    );
+    assert_eq!(
+        (osim.refreshes, osim.miner_evictions),
+        (orep.online.refreshes, orep.online.miner_evictions),
+        "{scenario}/{mode}: sim and replay co-driven miners diverged"
+    );
+    let mut cell = finish_cell(
+        scenario,
+        mode,
+        "FARMER",
+        osim.sim,
+        orep.replay,
+        rate,
+        osim.miner_state_bytes,
+    );
+    cell.refreshes = osim.refreshes;
+    cell.miner_evictions = osim.miner_evictions;
+    cell
+}
+
 /// Run a self-mining predictor through sim + replay. `make` constructs a
 /// fresh instance per leg so the replay does not serve a pre-trained
 /// model.
@@ -320,6 +474,8 @@ fn finish_cell(
             .max(rep.predictor_memory),
         phase_hit_ratios: sim.phases.iter().map(|p| p.hit_ratio()).collect(),
         phase_response_ms: rep.phase_mean_ms.clone(),
+        refreshes: 0,
+        miner_evictions: 0,
     };
     for (name, v) in [
         ("hit_ratio", cell.hit_ratio),
@@ -357,13 +513,15 @@ pub fn run_matrix_with(
     let mut cells = Vec::new();
     let mut parity_scenarios = 0;
     let mut max_parity_delta = 0.0f64;
+    let mut drift_adaptation = None;
 
     for &scenario in scenarios {
         progress(scenario);
         let trace = build_scenario(scenario, scale);
         let cfg = miner_config(&trace);
 
-        // FARMER's three miner modes over the identical mining policy.
+        // FARMER's three exact-parity miner modes over the identical
+        // mining policy.
         let (batch, batch_rate) = mine_batch(&trace, &cfg);
         let batch_bytes = batch.memory_bytes();
         let table = export_table(&batch);
@@ -376,7 +534,7 @@ pub fn run_matrix_with(
             batch_bytes,
         )];
         for (mode, shards) in [("sharded1", 1usize), ("sharded4", 4usize)] {
-            let (snap, rate) = mine_sharded(&trace, &cfg, shards);
+            let (snap, rate) = mine_sharded(&trace, uncapped_stream_cfg(&cfg, shards));
             max_parity_delta = max_parity_delta.max(assert_parity(scenario, shards, &batch, &snap));
             let bytes = snap.state_bytes;
             fpa_cells.push(fpa_cell(scenario, mode, &trace, snap, rate, bytes));
@@ -404,6 +562,105 @@ pub fn run_matrix_with(
                 );
             }
         }
+
+        // Adaptation-lag serving modes: frozen (one snapshot at the first
+        // segment boundary) vs periodic online refresh, uncapped.
+        let stream = uncapped_stream_cfg(&cfg, 1);
+        let frozen = online_cell(
+            scenario,
+            "frozen",
+            &trace,
+            &OnlineConfig::frozen_at(stream.clone(), trace.len() / PHASES),
+        );
+        assert_eq!(
+            frozen.refreshes, 1,
+            "{scenario}: frozen mode must refresh exactly once"
+        );
+        let online_sparse = online_cell(
+            scenario,
+            "online8",
+            &trace,
+            &OnlineConfig::every(
+                stream.clone(),
+                refresh_interval(&trace, ONLINE_SPARSE_REFRESHES),
+            ),
+        );
+        let online_dense = online_cell(
+            scenario,
+            "online64",
+            &trace,
+            &OnlineConfig::every(stream, refresh_interval(&trace, ONLINE_DENSE_REFRESHES)),
+        );
+        if scenario == "drift" {
+            // The paper's core online claim: correlation-directed
+            // prefetching keeps paying off while the workload shifts
+            // underneath it — refreshed serving must beat the frozen
+            // pre-shift snapshot once the co-access sets rotate.
+            for online in [&online_sparse, &online_dense] {
+                assert!(
+                    online.post_shift_hit_ratio() >= frozen.post_shift_hit_ratio(),
+                    "drift: {} post-shift hit ratio {:.4} fell below frozen-snapshot \
+                     serving {:.4} — online adaptation regressed",
+                    online.mode,
+                    online.post_shift_hit_ratio(),
+                    frozen.post_shift_hit_ratio()
+                );
+            }
+            drift_adaptation = Some(AdaptationSummary {
+                frozen_post_shift: frozen.post_shift_hit_ratio(),
+                online_post_shift: online_dense.post_shift_hit_ratio(),
+            });
+        }
+        if scenario == "base" {
+            // Stationary workload: once warmed up, densely refreshed
+            // online serving must converge to within a fixed gap of the
+            // whole-trace oracle (compared on the final segment; the
+            // first is structurally cold).
+            let last = PHASES - 1;
+            let gap = fpa_cells[0].phase_hit_ratios[last] - online_dense.phase_hit_ratios[last];
+            assert!(
+                gap <= ONLINE_CONVERGENCE_GAP,
+                "base: online64 last-segment hit ratio trails the batch oracle \
+                 by {gap:.4} (> {ONLINE_CONVERGENCE_GAP}) — snapshot cadence or \
+                 refresh plumbing regressed"
+            );
+        }
+        fpa_cells.extend([frozen, online_sparse, online_dense]);
+
+        // Capped miner modes: whole-trace mining under node_cap pressure,
+        // plus the capped online combination.
+        for (mode, shards) in [("capped1", 1usize), ("capped4", 4usize)] {
+            let (snap, rate) = mine_sharded(&trace, capped_stream_cfg(&cfg, shards));
+            assert!(
+                snap.tracked_files <= CAPPED_NODE_CAP * shards,
+                "{scenario}/{mode}: node cap violated"
+            );
+            let (bytes, evictions) = (snap.state_bytes, snap.evictions);
+            let mut cell = fpa_cell(scenario, mode, &trace, snap, rate, bytes);
+            cell.miner_evictions = evictions;
+            fpa_cells.push(cell);
+        }
+        fpa_cells.push(online_cell(
+            scenario,
+            "online64capped",
+            &trace,
+            &OnlineConfig::every(
+                capped_stream_cfg(&cfg, 1),
+                refresh_interval(&trace, ONLINE_DENSE_REFRESHES),
+            ),
+        ));
+        if scale >= crate::refmodel::QUICK_SCALE && matches!(scenario, "tenants" | "churn") {
+            // At the calibrated profiles these scenarios touch far more
+            // distinct files than the cap tracks: the capped cells must
+            // actually exercise eviction, or they measure nothing.
+            for c in fpa_cells.iter().filter(|c| c.mode.contains("capped")) {
+                assert!(
+                    c.miner_evictions > 0,
+                    "{scenario}/{}: capped cell never evicted (cap {CAPPED_NODE_CAP})",
+                    c.mode
+                );
+            }
+        }
         cells.extend(fpa_cells);
 
         // Self-mining predictors.
@@ -423,6 +680,7 @@ pub fn run_matrix_with(
         cells,
         parity_scenarios,
         max_parity_delta,
+        drift_adaptation,
     }
 }
 
@@ -453,13 +711,14 @@ mod tests {
 
     #[test]
     fn single_scenario_matrix_has_full_predictor_axis() {
-        // One scenario end-to-end at tiny scale: 3 FPA modes + 4 self
+        // One scenario end-to-end at tiny scale: 9 FPA modes + 4 self
         // predictors, parity asserted, metrics sane (the per-cell asserts
         // run inside run_matrix_with).
         let report = run_matrix_with(0.05, &["churn"], &mut |_| {});
         assert_eq!(report.cells.len(), FPA_MODES.len() + SELF_PREDICTORS.len());
         assert_eq!(report.parity_scenarios, 1);
         assert!(report.max_parity_delta < 1e-12);
+        assert!(report.drift_adaptation.is_none(), "drift was not run");
         for c in &report.cells {
             assert_eq!(c.phase_hit_ratios.len(), PHASES);
             assert_eq!(c.phase_response_ms.len(), PHASES);
@@ -470,5 +729,54 @@ mod tests {
             .find(|c| c.predictor == "LRU")
             .expect("LRU cell");
         assert_eq!(lru.prefetch_accuracy, 0.0, "LRU never prefetches");
+        // The online axis really refreshed at its configured cadence, and
+        // the frozen cell froze.
+        let by_mode = |m: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.mode == m)
+                .unwrap_or_else(|| panic!("missing {m} cell"))
+        };
+        assert_eq!(by_mode("frozen").refreshes, 1);
+        // One refresh per interior interval boundary: (len-1)/interval.
+        let len = build_scenario("churn", 0.05).len();
+        let expected = |n: usize| ((len - 1) / (len / n).max(1)) as u64;
+        assert_eq!(
+            by_mode("online8").refreshes,
+            expected(ONLINE_SPARSE_REFRESHES)
+        );
+        assert_eq!(
+            by_mode("online64").refreshes,
+            expected(ONLINE_DENSE_REFRESHES)
+        );
+        for m in ["batch", "sharded1", "sharded4", "capped1", "capped4"] {
+            assert_eq!(by_mode(m).refreshes, 0, "{m} never refreshes");
+        }
+        // Churn at 0.05 scale already touches > CAPPED_NODE_CAP distinct
+        // files, so the single-shard capped cells must evict.
+        assert!(by_mode("capped1").miner_evictions > 0);
+        assert!(by_mode("online64capped").miner_evictions > 0);
+        for m in [
+            "batch", "sharded1", "sharded4", "frozen", "online8", "online64",
+        ] {
+            assert_eq!(by_mode(m).miner_evictions, 0, "{m} is uncapped");
+        }
+    }
+
+    #[test]
+    fn drift_scenario_online_beats_frozen_post_shift() {
+        // The acceptance property at reduced scale: after the co-access
+        // rotation, refreshed online serving must not fall below the
+        // frozen pre-shift snapshot (run_matrix_with asserts it; this
+        // test pins the recorded summary).
+        let report = run_matrix_with(0.1, &["drift"], &mut |_| {});
+        let a = report.drift_adaptation.expect("drift adaptation recorded");
+        assert!(
+            a.online_post_shift >= a.frozen_post_shift,
+            "online {:.4} < frozen {:.4}",
+            a.online_post_shift,
+            a.frozen_post_shift
+        );
     }
 }

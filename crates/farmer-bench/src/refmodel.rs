@@ -23,6 +23,16 @@
 
 use crate::evalmatrix::Cell;
 
+/// Version of the `BENCH_eval.json` record layout. Bump on any field
+/// addition, removal or rename so downstream tooling can dispatch. Lives
+/// next to the band tables (and is grepped against the checked-in
+/// `BENCH_eval.json` by CI) so a record regenerated from stale code fails
+/// fast.
+///
+/// v2: online/frozen/capped miner modes; per-cell `refreshes` and
+/// `miner_evictions`; top-level `fpa_modes` and `adaptation`.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Which band table a run is checked against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
@@ -91,8 +101,8 @@ pub struct CellBand {
 /// The band table for `profile`.
 pub fn bands(profile: Profile) -> &'static [CellBand] {
     match profile {
-        Profile::Quick => &QUICK_BANDS,
-        Profile::Full => &FULL_BANDS,
+        Profile::Quick => QUICK_BANDS,
+        Profile::Full => FULL_BANDS,
     }
 }
 
@@ -241,7 +251,8 @@ const fn cell(
 
 /// Bands for the CI smoke profile (`--quick`, scale [`QUICK_SCALE`]).
 /// Generated by `eval_matrix --quick --calibrate`.
-static QUICK_BANDS: [CellBand; 35] = [
+#[allow(clippy::approx_constant)] // mechanical --calibrate output; any band may land near a constant
+static QUICK_BANDS: &[CellBand] = &[
     cell(
         "base",
         "batch",
@@ -268,6 +279,60 @@ static QUICK_BANDS: [CellBand; 35] = [
         (0.381, 0.636),
         (0.339, 0.905),
         8380840,
+    ),
+    cell(
+        "base",
+        "frozen",
+        "FARMER",
+        (0.445, 0.744),
+        (0.373, 0.623),
+        (0.577, 1.54),
+        8448376,
+    ),
+    cell(
+        "base",
+        "online8",
+        "FARMER",
+        (0.477, 0.797),
+        (0.346, 0.578),
+        (0.515, 1.375),
+        8581944,
+    ),
+    cell(
+        "base",
+        "online64",
+        "FARMER",
+        (0.486, 0.811),
+        (0.345, 0.576),
+        (0.496, 1.325),
+        8625592,
+    ),
+    cell(
+        "base",
+        "capped1",
+        "FARMER",
+        (0.442, 0.738),
+        (0.451, 0.753),
+        (0.584, 1.56),
+        1122088,
+    ),
+    cell(
+        "base",
+        "capped4",
+        "FARMER",
+        (0.556, 0.928),
+        (0.367, 0.613),
+        (0.374, 0.998),
+        4878824,
+    ),
+    cell(
+        "base",
+        "online64capped",
+        "FARMER",
+        (0.426, 0.712),
+        (0.441, 0.736),
+        (0.616, 1.645),
+        2466648,
     ),
     cell(
         "base",
@@ -334,6 +399,60 @@ static QUICK_BANDS: [CellBand; 35] = [
     ),
     cell(
         "drift",
+        "frozen",
+        "FARMER",
+        (0.376, 0.628),
+        (0.209, 0.35),
+        (0.765, 2.042),
+        13017592,
+    ),
+    cell(
+        "drift",
+        "online8",
+        "FARMER",
+        (0.406, 0.678),
+        (0.332, 0.554),
+        (0.699, 1.865),
+        13181848,
+    ),
+    cell(
+        "drift",
+        "online64",
+        "FARMER",
+        (0.425, 0.71),
+        (0.341, 0.569),
+        (0.654, 1.747),
+        13322168,
+    ),
+    cell(
+        "drift",
+        "capped1",
+        "FARMER",
+        (0.394, 0.659),
+        (0.491, 0.819),
+        (0.717, 1.913),
+        1115872,
+    ),
+    cell(
+        "drift",
+        "capped4",
+        "FARMER",
+        (0.48, 0.801),
+        (0.42, 0.702),
+        (0.55, 1.468),
+        4878048,
+    ),
+    cell(
+        "drift",
+        "online64capped",
+        "FARMER",
+        (0.4, 0.668),
+        (0.397, 0.663),
+        (0.707, 1.886),
+        3360136,
+    ),
+    cell(
+        "drift",
         "self",
         "Nexus",
         (0.338, 0.565),
@@ -394,6 +513,60 @@ static QUICK_BANDS: [CellBand; 35] = [
         (0.452, 0.755),
         (0.721, 1.925),
         12377768,
+    ),
+    cell(
+        "tenants",
+        "frozen",
+        "FARMER",
+        (0.163, 0.273),
+        (0.438, 0.732),
+        (0.893, 2.384),
+        12458264,
+    ),
+    cell(
+        "tenants",
+        "online8",
+        "FARMER",
+        (0.19, 0.318),
+        (0.427, 0.713),
+        (0.847, 2.261),
+        12643192,
+    ),
+    cell(
+        "tenants",
+        "online64",
+        "FARMER",
+        (0.197, 0.33),
+        (0.429, 0.717),
+        (0.834, 2.226),
+        12652952,
+    ),
+    cell(
+        "tenants",
+        "capped1",
+        "FARMER",
+        (0.175, 0.293),
+        (0.572, 0.954),
+        (0.868, 2.317),
+        989136,
+    ),
+    cell(
+        "tenants",
+        "capped4",
+        "FARMER",
+        (0.239, 0.4),
+        (0.437, 0.729),
+        (0.762, 2.033),
+        4044704,
+    ),
+    cell(
+        "tenants",
+        "online64capped",
+        "FARMER",
+        (0.167, 0.28),
+        (0.56, 0.934),
+        (0.884, 2.359),
+        2953424,
     ),
     cell(
         "tenants",
@@ -460,6 +633,60 @@ static QUICK_BANDS: [CellBand; 35] = [
     ),
     cell(
         "storm",
+        "frozen",
+        "FARMER",
+        (0.39, 0.651),
+        (0.305, 0.51),
+        (0.71, 1.896),
+        12922864,
+    ),
+    cell(
+        "storm",
+        "online8",
+        "FARMER",
+        (0.414, 0.691),
+        (0.295, 0.493),
+        (0.695, 1.854),
+        13049072,
+    ),
+    cell(
+        "storm",
+        "online64",
+        "FARMER",
+        (0.425, 0.709),
+        (0.297, 0.496),
+        (0.671, 1.791),
+        13075184,
+    ),
+    cell(
+        "storm",
+        "capped1",
+        "FARMER",
+        (0.37, 0.618),
+        (0.489, 0.817),
+        (0.717, 1.913),
+        1086792,
+    ),
+    cell(
+        "storm",
+        "capped4",
+        "FARMER",
+        (0.492, 0.821),
+        (0.381, 0.636),
+        (0.606, 1.619),
+        4254096,
+    ),
+    cell(
+        "storm",
+        "online64capped",
+        "FARMER",
+        (0.361, 0.603),
+        (0.428, 0.714),
+        (0.723, 1.929),
+        3030560,
+    ),
+    cell(
+        "storm",
         "self",
         "Nexus",
         (0.386, 0.645),
@@ -523,6 +750,60 @@ static QUICK_BANDS: [CellBand; 35] = [
     ),
     cell(
         "churn",
+        "frozen",
+        "FARMER",
+        (0.451, 0.753),
+        (0.405, 0.676),
+        (0.812, 2.167),
+        7074304,
+    ),
+    cell(
+        "churn",
+        "online8",
+        "FARMER",
+        (0.479, 0.799),
+        (0.361, 0.603),
+        (0.743, 1.984),
+        7167952,
+    ),
+    cell(
+        "churn",
+        "online64",
+        "FARMER",
+        (0.487, 0.812),
+        (0.36, 0.601),
+        (0.724, 1.933),
+        7268336,
+    ),
+    cell(
+        "churn",
+        "capped1",
+        "FARMER",
+        (0.459, 0.766),
+        (0.493, 0.823),
+        (0.787, 2.1),
+        1114888,
+    ),
+    cell(
+        "churn",
+        "capped4",
+        "FARMER",
+        (0.565, 0.942),
+        (0.398, 0.664),
+        (0.57, 1.522),
+        4719192,
+    ),
+    cell(
+        "churn",
+        "online64capped",
+        "FARMER",
+        (0.441, 0.737),
+        (0.446, 0.745),
+        (0.832, 2.22),
+        2287872,
+    ),
+    cell(
+        "churn",
         "self",
         "Nexus",
         (0.399, 0.666),
@@ -561,7 +842,8 @@ static QUICK_BANDS: [CellBand; 35] = [
 
 /// Bands for the full checked-in matrix (scale 1.0).
 /// Generated by `eval_matrix --calibrate`.
-static FULL_BANDS: [CellBand; 35] = [
+#[allow(clippy::approx_constant)] // mechanical --calibrate output; any band may land near a constant
+static FULL_BANDS: &[CellBand] = &[
     cell(
         "base",
         "batch",
@@ -588,6 +870,60 @@ static FULL_BANDS: [CellBand; 35] = [
         (0.329, 0.55),
         (0.312, 0.834),
         17278888,
+    ),
+    cell(
+        "base",
+        "frozen",
+        "FARMER",
+        (0.479, 0.8),
+        (0.319, 0.533),
+        (0.518, 1.383),
+        17589720,
+    ),
+    cell(
+        "base",
+        "online8",
+        "FARMER",
+        (0.514, 0.858),
+        (0.316, 0.527),
+        (0.45, 1.203),
+        17962456,
+    ),
+    cell(
+        "base",
+        "online64",
+        "FARMER",
+        (0.528, 0.882),
+        (0.317, 0.53),
+        (0.42, 1.122),
+        18014520,
+    ),
+    cell(
+        "base",
+        "capped1",
+        "FARMER",
+        (0.439, 0.733),
+        (0.468, 0.781),
+        (0.588, 1.571),
+        1185488,
+    ),
+    cell(
+        "base",
+        "capped4",
+        "FARMER",
+        (0.515, 0.859),
+        (0.288, 0.481),
+        (0.455, 1.214),
+        4907880,
+    ),
+    cell(
+        "base",
+        "online64capped",
+        "FARMER",
+        (0.426, 0.711),
+        (0.43, 0.719),
+        (0.621, 1.658),
+        3527752,
     ),
     cell(
         "base",
@@ -654,6 +990,60 @@ static FULL_BANDS: [CellBand; 35] = [
     ),
     cell(
         "drift",
+        "frozen",
+        "FARMER",
+        (0.378, 0.632),
+        (0.266, 0.445),
+        (0.747, 1.995),
+        24501312,
+    ),
+    cell(
+        "drift",
+        "online8",
+        "FARMER",
+        (0.441, 0.736),
+        (0.299, 0.5),
+        (0.614, 1.64),
+        22536656,
+    ),
+    cell(
+        "drift",
+        "online64",
+        "FARMER",
+        (0.478, 0.798),
+        (0.305, 0.51),
+        (0.534, 1.426),
+        24602504,
+    ),
+    cell(
+        "drift",
+        "capped1",
+        "FARMER",
+        (0.387, 0.646),
+        (0.433, 0.723),
+        (0.725, 1.934),
+        1196016,
+    ),
+    cell(
+        "drift",
+        "capped4",
+        "FARMER",
+        (0.443, 0.74),
+        (0.256, 0.428),
+        (0.609, 1.625),
+        5010584,
+    ),
+    cell(
+        "drift",
+        "online64capped",
+        "FARMER",
+        (0.412, 0.687),
+        (0.411, 0.686),
+        (0.665, 1.775),
+        1995152,
+    ),
+    cell(
+        "drift",
         "self",
         "Nexus",
         (0.348, 0.582),
@@ -714,6 +1104,60 @@ static FULL_BANDS: [CellBand; 35] = [
         (0.324, 0.541),
         (0.656, 1.751),
         28226648,
+    ),
+    cell(
+        "tenants",
+        "frozen",
+        "FARMER",
+        (0.198, 0.332),
+        (0.388, 0.648),
+        (0.833, 2.224),
+        23375704,
+    ),
+    cell(
+        "tenants",
+        "online8",
+        "FARMER",
+        (0.234, 0.391),
+        (0.347, 0.58),
+        (0.773, 2.064),
+        24832264,
+    ),
+    cell(
+        "tenants",
+        "online64",
+        "FARMER",
+        (0.244, 0.408),
+        (0.345, 0.576),
+        (0.756, 2.018),
+        24576696,
+    ),
+    cell(
+        "tenants",
+        "capped1",
+        "FARMER",
+        (0.168, 0.282),
+        (0.528, 0.881),
+        (0.881, 2.351),
+        1011488,
+    ),
+    cell(
+        "tenants",
+        "capped4",
+        "FARMER",
+        (0.257, 0.429),
+        (0.32, 0.534),
+        (0.735, 1.961),
+        4162152,
+    ),
+    cell(
+        "tenants",
+        "online64capped",
+        "FARMER",
+        (0.166, 0.278),
+        (0.562, 0.937),
+        (0.886, 2.366),
+        2001088,
     ),
     cell(
         "tenants",
@@ -780,6 +1224,60 @@ static FULL_BANDS: [CellBand; 35] = [
     ),
     cell(
         "storm",
+        "frozen",
+        "FARMER",
+        (0.452, 0.754),
+        (0.295, 0.494),
+        (0.618, 1.651),
+        17405880,
+    ),
+    cell(
+        "storm",
+        "online8",
+        "FARMER",
+        (0.484, 0.807),
+        (0.288, 0.481),
+        (0.571, 1.525),
+        17329392,
+    ),
+    cell(
+        "storm",
+        "online64",
+        "FARMER",
+        (0.497, 0.829),
+        (0.289, 0.482),
+        (0.55, 1.469),
+        17665416,
+    ),
+    cell(
+        "storm",
+        "capped1",
+        "FARMER",
+        (0.407, 0.68),
+        (0.453, 0.756),
+        (0.686, 1.83),
+        1207040,
+    ),
+    cell(
+        "storm",
+        "capped4",
+        "FARMER",
+        (0.492, 0.821),
+        (0.295, 0.493),
+        (0.551, 1.47),
+        4764104,
+    ),
+    cell(
+        "storm",
+        "online64capped",
+        "FARMER",
+        (0.402, 0.671),
+        (0.427, 0.712),
+        (0.694, 1.851),
+        3726056,
+    ),
+    cell(
+        "storm",
         "self",
         "Nexus",
         (0.44, 0.734),
@@ -843,6 +1341,60 @@ static FULL_BANDS: [CellBand; 35] = [
     ),
     cell(
         "churn",
+        "frozen",
+        "FARMER",
+        (0.459, 0.767),
+        (0.322, 0.537),
+        (0.825, 2.202),
+        15505976,
+    ),
+    cell(
+        "churn",
+        "online8",
+        "FARMER",
+        (0.495, 0.827),
+        (0.322, 0.538),
+        (0.745, 1.988),
+        15843864,
+    ),
+    cell(
+        "churn",
+        "online64",
+        "FARMER",
+        (0.516, 0.861),
+        (0.329, 0.55),
+        (0.706, 1.884),
+        16033432,
+    ),
+    cell(
+        "churn",
+        "capped1",
+        "FARMER",
+        (0.421, 0.703),
+        (0.451, 0.753),
+        (0.906, 2.418),
+        1197416,
+    ),
+    cell(
+        "churn",
+        "capped4",
+        "FARMER",
+        (0.509, 0.85),
+        (0.299, 0.5),
+        (0.716, 1.911),
+        4843144,
+    ),
+    cell(
+        "churn",
+        "online64capped",
+        "FARMER",
+        (0.423, 0.707),
+        (0.449, 0.749),
+        (0.916, 2.445),
+        3527096,
+    ),
+    cell(
+        "churn",
         "self",
         "Nexus",
         (0.428, 0.715),
@@ -896,6 +1448,8 @@ mod tests {
             memory_bytes: 1024,
             phase_hit_ratios: vec![0.6; 4],
             phase_response_ms: vec![1.2; 4],
+            refreshes: 0,
+            miner_evictions: 0,
         }
     }
 

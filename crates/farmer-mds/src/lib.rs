@@ -36,5 +36,5 @@ pub mod server;
 pub use client::ClientTier;
 pub use cluster::{replay_cluster, ClusterConfig, ClusterReport, Partition};
 pub use latency::{LatencyModel, LatencyStats};
-pub use replay::{replay, ReplayConfig, ReplayReport};
+pub use replay::{replay, replay_online, OnlineReplayReport, ReplayConfig, ReplayReport};
 pub use server::MdsServer;

@@ -6,7 +6,8 @@
 //! paper reports (~1–2 ms average response): high enough that queueing and
 //! prefetch-service contention matter, low enough that queues stay stable.
 
-use farmer_prefetch::Predictor;
+use farmer_prefetch::{OnlineConfig, OnlineDriver, OnlineRunStats, Predictor};
+use farmer_trace::phases::{phase_count, phase_end};
 use farmer_trace::{Trace, TraceEvent, TraceFamily};
 
 use crate::latency::LatencyStats;
@@ -29,6 +30,13 @@ pub struct ReplayConfig {
     /// response time over ([`ReplayReport::phase_mean_ms`]). `1` disables
     /// segmentation; phase-shifting scenarios use ≥ 2 so latency spikes at
     /// correlation breaks are visible instead of averaged away.
+    ///
+    /// With `num_phases > 1` the run reports exactly
+    /// [`phase_count(len, num_phases)`](farmer_trace::phases::phase_count)
+    /// segments — `min(num_phases, max(len, 1))`, balanced — so a trace
+    /// shorter than the requested phase count degrades to one phase per
+    /// event instead of a wrong segment count. With `num_phases == 1`
+    /// [`ReplayReport::phase_mean_ms`] stays empty.
     pub num_phases: usize,
 }
 
@@ -125,7 +133,63 @@ impl ReplayReport {
 /// Replay a trace's metadata demand stream through an MDS, optionally
 /// fronted by per-host client caches.
 pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -> ReplayReport {
+    run_replay(trace, predictor, cfg, None).0
+}
+
+/// Online-mode counters of one [`replay_online`] run.
+#[derive(Debug, Clone)]
+pub struct OnlineReplayReport {
+    /// The replay report (identical accounting to [`replay`]).
+    pub replay: ReplayReport,
+    /// Miner-side counters: refreshes installed, tracked files,
+    /// evictions, resident bytes.
+    pub online: OnlineRunStats,
+}
+
+/// Run one **online** replay: the MDS's predictor serves from periodic
+/// snapshots of a live `farmer_stream::ShardedMiner` co-driven with the
+/// replay — the sibling of `farmer_prefetch::simulate_online` for the
+/// response-time axis. Per event, a due snapshot refresh is installed
+/// first ([`MdsServer::refresh_predictor`]), the event is routed to the
+/// miner (unlinks as forgets, metadata demands as observations), and the
+/// MDS then serves the demand from the last-installed snapshot.
+///
+/// # Panics
+/// Panics if the installed predictor rejects external sources
+/// (`Predictor::refresh_source` returns `false`) or if
+/// `online.refresh_interval` is zero.
+pub fn replay_online(
+    trace: &Trace,
+    predictor: Box<dyn Predictor>,
+    cfg: ReplayConfig,
+    online: &OnlineConfig,
+) -> OnlineReplayReport {
+    let (replay, stats) = run_replay(trace, predictor, cfg, Some(online));
+    OnlineReplayReport {
+        replay,
+        online: stats.expect("online stats present when an OnlineConfig is supplied"),
+    }
+}
+
+/// Shared core of [`replay`] and [`replay_online`]: one event loop, one
+/// phase-accounting rule, with the online refresh hook threaded through
+/// when configured.
+fn run_replay(
+    trace: &Trace,
+    predictor: Box<dyn Predictor>,
+    cfg: ReplayConfig,
+    online: Option<&OnlineConfig>,
+) -> (ReplayReport, Option<OnlineRunStats>) {
     let mut mds = MdsServer::new(trace, predictor, cfg.mds);
+    let mut driver = online.map(|o| {
+        let d = OnlineDriver::spawn(o);
+        assert!(
+            mds.refresh_predictor(OnlineDriver::initial_source(), 0),
+            "online replay requires a predictor that accepts external \
+             correlation sources (Predictor::refresh_source)"
+        );
+        d
+    });
     let mut clients = (cfg.client_cache > 0).then(|| {
         crate::client::ClientTier::new(
             trace.num_hosts.max(1) as usize,
@@ -137,7 +201,8 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
     let mut client_latency = LatencyStats::new();
     // Per-phase accounting: (count, total µs) over MDS + client responses,
     // snapshotted at equal event-index boundaries.
-    let phase_len = trace.len().div_ceil(cfg.num_phases.max(1)).max(1);
+    let segments = phase_count(trace.len(), cfg.num_phases);
+    let mut segment = 0usize;
     let mut phase_mean_ms = Vec::new();
     let mut mark = (0u64, 0.0f64);
     let close_phase = |mds: &MdsServer, client: &LatencyStats, mark: &mut (u64, f64)| {
@@ -153,9 +218,16 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
         }
     };
     for (i, event) in trace.events.iter().enumerate() {
-        if cfg.num_phases > 1 && i > 0 && i % phase_len == 0 {
+        if cfg.num_phases > 1 && i == phase_end(trace.len(), segments, segment) {
             let mean = close_phase(&mds, &client_latency, &mut mark);
             phase_mean_ms.push(mean);
+            segment += 1;
+        }
+        if let Some(d) = driver.as_mut() {
+            if let Some((source, events)) = d.snapshot_due(i) {
+                mds.refresh_predictor(source, events);
+            }
+            d.route(trace, event);
         }
         if !event.op.is_metadata_demand() {
             continue;
@@ -183,7 +255,7 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
     let mut latency = mds.stats().clone();
     let client_hits = clients.as_ref().map_or(0, |t| t.local_hits());
     latency.merge(&client_latency);
-    ReplayReport {
+    let report = ReplayReport {
         predictor: mds.predictor_name(),
         trace: trace.label.clone(),
         latency,
@@ -193,7 +265,8 @@ pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -
         predictor_memory: mds.predictor_memory(),
         client_hits,
         phase_mean_ms,
-    }
+    };
+    (report, driver.map(OnlineDriver::finish))
 }
 
 #[cfg(test)]
@@ -235,6 +308,67 @@ mod tests {
         assert!(p.phase_mean_ms.is_empty());
         assert_eq!(p.latency.count(), r.latency.count());
         assert!((p.avg_response_ms() - r.avg_response_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_count_normalized_to_trace_length() {
+        let full = WorkloadSpec::hp().scaled(0.02).generate();
+        let mut cfg = ReplayConfig::for_family(full.family);
+        cfg.num_phases = 5;
+        // A 3-event trace asked for 5 phases reports exactly 3.
+        let mut tiny = full.clone();
+        tiny.events.truncate(3);
+        let r = replay(&tiny, Box::new(LruOnly), cfg);
+        assert_eq!(r.phase_mean_ms.len(), 3);
+        // An empty trace reports one zero segment.
+        let mut empty = full.clone();
+        empty.events.clear();
+        let r = replay(&empty, Box::new(LruOnly), cfg);
+        assert_eq!(r.phase_mean_ms.len(), 1);
+        assert_eq!(r.phase_mean_ms[0], 0.0);
+        // A length not divisible by the phase count still reports the
+        // requested number (the old ceil-stride rule dropped a segment).
+        let mut five = full.clone();
+        five.events.truncate(5);
+        let mut cfg4 = ReplayConfig::for_family(five.family);
+        cfg4.num_phases = 4;
+        let r = replay(&five, Box::new(LruOnly), cfg4);
+        assert_eq!(r.phase_mean_ms.len(), 4);
+    }
+
+    #[test]
+    fn online_replay_refreshes_and_matches_accounting() {
+        use farmer_stream::StreamConfig;
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let mut cfg = ReplayConfig::for_family(trace.family);
+        cfg.num_phases = 4;
+        let online = OnlineConfig::every(
+            StreamConfig::default().with_node_cap(1 << 20),
+            (trace.len() / 8).max(1),
+        );
+        let r = replay_online(
+            &trace,
+            Box::new(FpaPredictor::for_trace(&trace)),
+            cfg,
+            &online,
+        );
+        assert_eq!(r.online.refreshes, 7, "one refresh per interior boundary");
+        assert_eq!(r.replay.phase_mean_ms.len(), 4);
+        assert!(r.online.miner_state_bytes > 0);
+        assert_eq!(r.online.miner_evictions, 0, "uncapped miner never evicts");
+        // Same demand accounting as the offline replay.
+        let off = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
+        assert_eq!(r.replay.latency.count(), off.latency.count());
+        assert!(r.replay.avg_response_ms() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepts external")]
+    fn online_replay_rejects_self_mining_predictors() {
+        use farmer_stream::StreamConfig;
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let online = OnlineConfig::every(StreamConfig::default(), 100);
+        let _ = replay_online(&trace, Box::new(LruOnly), ReplayConfig::default(), &online);
     }
 
     #[test]

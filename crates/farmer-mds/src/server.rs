@@ -220,6 +220,19 @@ impl MdsServer {
     pub fn predictor_name(&self) -> String {
         self.predictor.name().to_string()
     }
+
+    /// Swap an externally mined correlation source into the predictor
+    /// ([`farmer_prefetch::Predictor::refresh_source`]). Returns `false`
+    /// if the installed predictor mines internally and cannot serve
+    /// external state. This is the online-replay hook: the MDS keeps
+    /// serving while its prediction model is refreshed mid-run.
+    pub fn refresh_predictor(
+        &mut self,
+        source: Box<dyn farmer_core::CorrelationSource + Send>,
+        as_of_events: u64,
+    ) -> bool {
+        self.predictor.refresh_source(source, as_of_events)
+    }
 }
 
 #[cfg(test)]

@@ -86,15 +86,26 @@ impl CacheStats {
     /// Counter-wise difference `self - earlier`. All fields are monotone
     /// running counters, so the delta of two snapshots of the same cache is
     /// the activity between them — the basis of per-phase reporting.
+    ///
+    /// The subtraction saturates at zero: a mis-ordered snapshot pair
+    /// (possible when callers interleave snapshots with online refreshes)
+    /// reports an empty delta instead of silently underflowing into
+    /// astronomically large per-phase counters.
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            demand_accesses: self.demand_accesses - earlier.demand_accesses,
-            hits: self.hits - earlier.hits,
-            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
-            prefetches_issued: self.prefetches_issued - earlier.prefetches_issued,
-            useful_prefetches: self.useful_prefetches - earlier.useful_prefetches,
-            wasted_prefetches: self.wasted_prefetches - earlier.wasted_prefetches,
-            evictions: self.evictions - earlier.evictions,
+            demand_accesses: self.demand_accesses.saturating_sub(earlier.demand_accesses),
+            hits: self.hits.saturating_sub(earlier.hits),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetches_issued: self
+                .prefetches_issued
+                .saturating_sub(earlier.prefetches_issued),
+            useful_prefetches: self
+                .useful_prefetches
+                .saturating_sub(earlier.useful_prefetches),
+            wasted_prefetches: self
+                .wasted_prefetches
+                .saturating_sub(earlier.wasted_prefetches),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 }
@@ -347,5 +358,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = MetadataCache::new(0);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let mut c = MetadataCache::new(4);
+        c.insert_demand(f(1));
+        c.access(f(1));
+        let early = c.stats();
+        c.access(f(1));
+        c.access(f(2)); // miss
+        let late = c.stats();
+        let d = late.delta(&early);
+        assert_eq!(d.demand_accesses, 2);
+        assert_eq!(d.hits, 1);
+        // Mis-ordered pair: saturates to an empty delta, never underflows.
+        let back = early.delta(&late);
+        assert_eq!(back.demand_accesses, 0);
+        assert_eq!(back.hits, 0);
+        assert_eq!(back, CacheStats::default());
     }
 }

@@ -99,7 +99,13 @@ impl FpaPredictor {
     /// the type-level docs for the serving-mode switch this implies.
     /// `as_of_events` records which stream prefix the source reflects.
     pub fn refresh(&mut self, source: impl CorrelationSource + Send + 'static, as_of_events: u64) {
-        self.external = Some(Box::new(source));
+        self.refresh_boxed(Box::new(source), as_of_events);
+    }
+
+    /// [`FpaPredictor::refresh`] for an already-boxed source (what the
+    /// [`Predictor::refresh_source`] hook hands over).
+    pub fn refresh_boxed(&mut self, source: Box<dyn CorrelationSource + Send>, as_of_events: u64) {
+        self.external = Some(source);
         self.external_events = as_of_events;
     }
 
@@ -148,6 +154,15 @@ impl Predictor for FpaPredictor {
         self.farmer.memory_bytes()
             + self.external.as_ref().map_or(0, |s| s.heap_bytes())
             + self.topk.capacity() * std::mem::size_of::<Correlator>()
+    }
+
+    fn refresh_source(
+        &mut self,
+        source: Box<dyn CorrelationSource + Send>,
+        as_of_events: u64,
+    ) -> bool {
+        self.refresh_boxed(source, as_of_events);
+        true
     }
 }
 

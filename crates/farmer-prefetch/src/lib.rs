@@ -36,4 +36,7 @@ pub use nexus::NexusPredictor;
 pub use predictor::Predictor;
 pub use probgraph::ProbabilityGraph;
 pub use sdgraph::SdGraph;
-pub use sim::{simulate, SimConfig};
+pub use sim::{
+    simulate, simulate_online, OnlineConfig, OnlineDriver, OnlineRunStats, OnlineSimReport,
+    SimConfig,
+};

@@ -14,7 +14,10 @@
 //! Table 3 (accuracy) and Table 5 (attribute combinations). Response-time
 //! measurement needs queueing and service times and lives in `farmer-mds`.
 
-use farmer_trace::{Trace, TraceFamily};
+use farmer_core::CorrelatorTable;
+use farmer_stream::{ShardedMiner, StreamConfig};
+use farmer_trace::phases::{phase_count, phase_end};
+use farmer_trace::{Op, Trace, TraceFamily};
 
 use crate::cache::MetadataCache;
 use crate::metrics::SimReport;
@@ -32,6 +35,13 @@ pub struct SimConfig {
     /// reported over ([`SimReport::phases`]). `1` (the default) disables
     /// segmentation; phase-shifting scenarios use ≥ 2 so adaptation and
     /// post-shift recovery are visible instead of averaged away.
+    ///
+    /// With `num_phases > 1` the run reports exactly
+    /// [`phase_count(len, num_phases)`](farmer_trace::phases::phase_count)
+    /// segments — `min(num_phases, max(len, 1))`, balanced — so a trace
+    /// shorter than the requested phase count degrades to one phase per
+    /// event instead of a wrong segment count. With `num_phases == 1`
+    /// [`SimReport::phases`] stays empty.
     pub num_phases: usize,
 }
 
@@ -77,30 +87,168 @@ impl SimConfig {
 /// counter deltas: the trace's event-index range is cut into `num_phases`
 /// equal segments and the cache counters are snapshotted at each boundary.
 pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) -> SimReport {
+    run_sim(trace, predictor, cfg, None).0
+}
+
+/// Parameters of the online serving mode shared by
+/// [`simulate_online`] and `farmer-mds::replay_online`: a live
+/// [`ShardedMiner`] is co-driven with the simulation and the predictor is
+/// periodically refreshed from its snapshots.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Configuration of the co-driven miner (shards, `node_cap`, …).
+    pub stream: StreamConfig,
+    /// Events between snapshot refreshes: at every multiple of this event
+    /// index a consistent [`farmer_stream::StreamSnapshot`] is taken and
+    /// swapped into the predictor via
+    /// [`Predictor::refresh_source`]. Must be positive.
+    pub refresh_interval: usize,
+    /// Stop refreshing after this event index: the predictor keeps serving
+    /// the last snapshot taken at or before it — frozen-snapshot serving,
+    /// the baseline online adaptation is measured against. `None` never
+    /// freezes.
+    pub freeze_after: Option<usize>,
+}
+
+impl OnlineConfig {
+    /// Periodic refresh every `refresh_interval` events, never frozen.
+    pub fn every(stream: StreamConfig, refresh_interval: usize) -> Self {
+        OnlineConfig {
+            stream,
+            refresh_interval,
+            freeze_after: None,
+        }
+    }
+
+    /// One refresh at event `at`, frozen afterwards: the predictor serves
+    /// the `[0, at)` snapshot for the rest of the run.
+    pub fn frozen_at(stream: StreamConfig, at: usize) -> Self {
+        OnlineConfig {
+            stream,
+            refresh_interval: at,
+            freeze_after: Some(at),
+        }
+    }
+
+    /// Does a refresh fire at event index `i`?
+    pub fn refresh_due(&self, i: usize) -> bool {
+        i > 0
+            && i.is_multiple_of(self.refresh_interval.max(1))
+            && self.freeze_after.is_none_or(|stop| i <= stop)
+    }
+}
+
+/// Online-mode counters of one [`simulate_online`] run.
+#[derive(Debug, Clone)]
+pub struct OnlineSimReport {
+    /// The cache-simulation report (identical accounting to
+    /// [`simulate`]).
+    pub sim: SimReport,
+    /// Snapshot refreshes swapped into the predictor.
+    pub refreshes: u64,
+    /// Files tracked by the miner at end of run (≤ total node cap).
+    pub tracked_files: usize,
+    /// Files the miner evicted under `node_cap` pressure.
+    pub miner_evictions: u64,
+    /// Resident heap bytes of the miner at end of run.
+    pub miner_state_bytes: usize,
+}
+
+/// Run one **online** simulation: the predictor serves from periodic
+/// snapshots of a live [`ShardedMiner`] that is co-driven with the cache
+/// simulation, so per-phase hit-ratio deltas directly measure adaptation
+/// lag.
+///
+/// Per event, in order:
+///
+/// 1. at every `online.refresh_interval` boundary (unless frozen), a
+///    consistent snapshot reflecting exactly the events routed so far is
+///    swapped into the predictor ([`Predictor::refresh_source`]),
+/// 2. the cache-simulation demand step runs exactly as in [`simulate`]
+///    (the predictor serves from the *last installed* snapshot — state
+///    strictly older than the current event),
+/// 3. the event is routed to the miner under the matrix mining policy:
+///    unlinks as forgets, metadata demands as observations.
+///
+/// The predictor starts on an installed *empty* source, so serving is
+/// external for the whole run — adaptation lag is measured from a cold
+/// model, not hidden by self-mining.
+///
+/// # Panics
+/// Panics if the predictor rejects external sources
+/// ([`Predictor::refresh_source`] returns `false`) or if
+/// `online.refresh_interval` is zero.
+pub fn simulate_online(
+    trace: &Trace,
+    predictor: &mut dyn Predictor,
+    cfg: SimConfig,
+    online: &OnlineConfig,
+) -> OnlineSimReport {
+    let (sim, stats) = run_sim(trace, predictor, cfg, Some(online));
+    let stats = stats.expect("online stats present when an OnlineConfig is supplied");
+    OnlineSimReport {
+        sim,
+        refreshes: stats.refreshes,
+        tracked_files: stats.tracked_files,
+        miner_evictions: stats.miner_evictions,
+        miner_state_bytes: stats.miner_state_bytes,
+    }
+}
+
+/// Miner-side counters of one online run (the non-simulation half of an
+/// [`OnlineSimReport`]); what [`OnlineDriver::finish`] hands back so the
+/// MDS replay can reuse the driver with its own report type.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineRunStats {
+    /// Snapshot refreshes swapped into the predictor.
+    pub refreshes: u64,
+    /// Files tracked by the miner at end of run.
+    pub tracked_files: usize,
+    /// Files the miner evicted under `node_cap` pressure.
+    pub miner_evictions: u64,
+    /// Resident heap bytes of the miner at end of run.
+    pub miner_state_bytes: usize,
+}
+
+/// Shared core of [`simulate`] and [`simulate_online`]: one event loop,
+/// one phase-accounting rule, with the online refresh hook threaded
+/// through when configured.
+fn run_sim(
+    trace: &Trace,
+    predictor: &mut dyn Predictor,
+    cfg: SimConfig,
+    online: Option<&OnlineConfig>,
+) -> (SimReport, Option<OnlineRunStats>) {
+    let mut driver = online.map(|o| OnlineDriver::start(predictor, o));
     let mut cache = MetadataCache::new(cfg.cache_capacity);
-    let phase_len = trace.len().div_ceil(cfg.num_phases.max(1)).max(1);
+    let segments = phase_count(trace.len(), cfg.num_phases);
     let mut phases = Vec::new();
+    let mut segment = 0usize;
     let mut phase_mark = cache.stats();
     // One candidate buffer for the whole run: the predictor fills it in
     // place each access, so the demand loop allocates nothing per event.
     let mut candidates = Vec::new();
     for (i, event) in trace.events.iter().enumerate() {
-        if cfg.num_phases > 1 && i > 0 && i % phase_len == 0 {
+        if cfg.num_phases > 1 && i == phase_end(trace.len(), segments, segment) {
             let now = cache.stats();
             phases.push(now.delta(&phase_mark));
             phase_mark = now;
+            segment += 1;
         }
-        if !event.op.is_metadata_demand() {
-            continue;
+        if let Some(d) = driver.as_mut() {
+            d.maybe_refresh(i, predictor);
+            d.route(trace, event);
         }
-        let hit = cache.access(event.file);
-        if !hit {
-            cache.insert_demand(event.file);
-        }
-        predictor.on_access_into(trace, event, &mut candidates);
-        for &file in candidates.iter().take(cfg.prefetch_limit) {
-            if file != event.file {
-                cache.insert_prefetch(file);
+        if event.op.is_metadata_demand() {
+            let hit = cache.access(event.file);
+            if !hit {
+                cache.insert_demand(event.file);
+            }
+            predictor.on_access_into(trace, event, &mut candidates);
+            for &file in candidates.iter().take(cfg.prefetch_limit) {
+                if file != event.file {
+                    cache.insert_prefetch(file);
+                }
             }
         }
     }
@@ -108,13 +256,106 @@ pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) ->
     if cfg.num_phases > 1 {
         phases.push(stats.delta(&phase_mark));
     }
-    SimReport {
+    let sim = SimReport {
         predictor: predictor.name().to_string(),
         trace: trace.label.clone(),
         cache_capacity: cfg.cache_capacity,
         stats,
         phases,
         predictor_memory: predictor.memory_bytes(),
+    };
+    let online_stats = driver.map(OnlineDriver::finish);
+    (sim, online_stats)
+}
+
+/// The miner side of an online run: owns the co-driven [`ShardedMiner`]
+/// and the refresh cadence. Shared (crate-public via the functions above)
+/// logic so `farmer-mds::replay_online` behaves identically.
+pub struct OnlineDriver {
+    miner: ShardedMiner,
+    cfg: OnlineConfig,
+    refreshes: u64,
+}
+
+impl OnlineDriver {
+    /// Spawn the miner and install an empty initial source, switching the
+    /// predictor to external serving from event 0.
+    pub fn start(predictor: &mut dyn Predictor, online: &OnlineConfig) -> OnlineDriver {
+        let driver = OnlineDriver::spawn(online);
+        assert!(
+            predictor.refresh_source(OnlineDriver::initial_source(), 0),
+            "online simulation requires a predictor that accepts external \
+             correlation sources (Predictor::refresh_source)"
+        );
+        driver
+    }
+
+    /// Spawn the miner alone. The caller owns installing
+    /// [`OnlineDriver::initial_source`] into its predictor (used by
+    /// `farmer-mds::replay_online`, where the predictor lives inside the
+    /// MDS server).
+    pub fn spawn(online: &OnlineConfig) -> OnlineDriver {
+        assert!(
+            online.refresh_interval > 0,
+            "online refresh_interval must be positive"
+        );
+        OnlineDriver {
+            miner: ShardedMiner::spawn(online.stream.clone()),
+            cfg: online.clone(),
+            refreshes: 0,
+        }
+    }
+
+    /// The empty source every online run starts serving from (cold model:
+    /// adaptation is measured from nothing, not hidden by self-mining).
+    pub fn initial_source() -> Box<dyn farmer_core::CorrelationSource + Send> {
+        Box::new(CorrelatorTable::new())
+    }
+
+    /// At a refresh boundary, snapshot the miner — a consistent cut of
+    /// all events routed so far — and return it (with its stream
+    /// position) for the caller to install; `None` between boundaries.
+    pub fn snapshot_due(
+        &mut self,
+        i: usize,
+    ) -> Option<(Box<dyn farmer_core::CorrelationSource + Send>, u64)> {
+        if !self.cfg.refresh_due(i) {
+            return None;
+        }
+        let events = self.miner.events_routed();
+        let snap = self.miner.snapshot();
+        self.refreshes += 1;
+        Some((Box::new(snap), events))
+    }
+
+    /// [`OnlineDriver::snapshot_due`] + install: the one-liner for callers
+    /// holding the predictor directly.
+    pub fn maybe_refresh(&mut self, i: usize, predictor: &mut dyn Predictor) {
+        if let Some((source, events)) = self.snapshot_due(i) {
+            predictor.refresh_source(source, events);
+        }
+    }
+
+    /// Route one event to the miner under the matrix mining policy:
+    /// unlinks are forgotten, metadata demands observed, `Close` ignored.
+    pub fn route(&mut self, trace: &Trace, event: &farmer_trace::TraceEvent) {
+        if event.op == Op::Unlink {
+            self.miner.route_forget(event.file);
+        } else if event.op.is_metadata_demand() {
+            self.miner.route_event(trace, event);
+        }
+    }
+
+    /// Take the end-of-run snapshot (for state accounting) and return the
+    /// run's miner-side counters.
+    pub fn finish(mut self) -> OnlineRunStats {
+        let end = self.miner.snapshot();
+        OnlineRunStats {
+            refreshes: self.refreshes,
+            tracked_files: end.tracked_files,
+            miner_evictions: end.evictions,
+            miner_state_bytes: end.state_bytes,
+        }
     }
 }
 
@@ -211,6 +452,106 @@ mod tests {
         );
         assert!(r1.phases.is_empty());
         assert_eq!(r1.stats, r.stats, "segmentation must not change the run");
+    }
+
+    #[test]
+    fn phase_count_normalized_to_trace_length() {
+        // num_phases > len: exactly min(num_phases, len) segments.
+        let full = WorkloadSpec::ins().scaled(0.05).generate();
+        let mut tiny = full.clone();
+        tiny.events.truncate(2);
+        let cfg = SimConfig::for_family(tiny.family).with_phases(5);
+        let r = simulate(&tiny, &mut LruOnly, cfg);
+        assert_eq!(r.phases.len(), 2, "2-event trace reports 2 phases");
+        // Empty trace: one all-zero segment.
+        let mut empty = full.clone();
+        empty.events.clear();
+        let r = simulate(&empty, &mut LruOnly, cfg);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0], crate::cache::CacheStats::default());
+        // len not divisible by num_phases still yields the requested
+        // count (the old ceil-stride rule dropped a segment here).
+        let mut five = full.clone();
+        five.events.truncate(5);
+        let cfg4 = SimConfig::for_family(five.family).with_phases(4);
+        let r = simulate(&five, &mut LruOnly, cfg4);
+        assert_eq!(r.phases.len(), 4, "5 events / 4 phases must report 4");
+        let total: u64 = r.phases.iter().map(|p| p.demand_accesses).sum();
+        assert_eq!(total, r.stats.demand_accesses);
+    }
+
+    #[test]
+    fn online_refresh_follows_the_stream() {
+        let trace = WorkloadSpec::hp().scaled(0.1).generate();
+        let cfg = SimConfig::for_family(trace.family).with_phases(4);
+        let stream = StreamConfig::default().with_node_cap(1 << 20);
+        let online = OnlineConfig::every(stream, (trace.len() / 16).max(1));
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let r = simulate_online(&trace, &mut fpa, cfg, &online);
+        assert_eq!(r.refreshes, 15, "one refresh per interior boundary");
+        assert_eq!(r.sim.phases.len(), 4);
+        assert!(r.sim.stats.prefetches_issued > 0, "online FPA prefetches");
+        assert_eq!(r.miner_evictions, 0, "uncapped miner never evicts");
+        assert!(r.miner_state_bytes > 0);
+        // Serving is external for the whole run: nothing self-mined.
+        assert_eq!(fpa.farmer().observed(), 0);
+        assert!(fpa.external().is_some());
+    }
+
+    #[test]
+    fn online_converges_toward_offline_snapshot_quality() {
+        // On a stationary trace, frequently-refreshed online serving must
+        // land within a modest gap of the mine-everything-then-serve mode
+        // (which sees the future), and beat serving a frozen early
+        // snapshot for the whole run.
+        let trace = WorkloadSpec::hp().scaled(0.2).generate();
+        let cfg = SimConfig::for_family(trace.family);
+        let stream = StreamConfig::default().with_node_cap(1 << 20);
+
+        let mut offline_fpa = FpaPredictor::for_trace(&trace);
+        let offline = simulate(&trace, &mut offline_fpa, cfg);
+
+        let online_cfg = OnlineConfig::every(stream.clone(), (trace.len() / 64).max(1));
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let online = simulate_online(&trace, &mut fpa, cfg, &online_cfg);
+
+        let frozen_cfg = OnlineConfig::frozen_at(stream, (trace.len() / 8).max(1));
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let frozen = simulate_online(&trace, &mut fpa, cfg, &frozen_cfg);
+        assert_eq!(frozen.refreshes, 1, "frozen mode refreshes exactly once");
+
+        assert!(
+            offline.hit_ratio() - online.sim.hit_ratio() < 0.10,
+            "online {:.3} too far below offline {:.3}",
+            online.sim.hit_ratio(),
+            offline.hit_ratio()
+        );
+        assert!(
+            online.sim.hit_ratio() > frozen.sim.hit_ratio(),
+            "refreshing {:.3} must beat frozen-snapshot serving {:.3}",
+            online.sim.hit_ratio(),
+            frozen.sim.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn capped_online_miner_reports_evictions() {
+        let trace = WorkloadSpec::hp().scaled(0.1).generate();
+        let cfg = SimConfig::for_family(trace.family);
+        let stream = StreamConfig::default().with_node_cap(128);
+        let online = OnlineConfig::every(stream, (trace.len() / 8).max(1));
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let r = simulate_online(&trace, &mut fpa, cfg, &online);
+        assert!(r.miner_evictions > 0, "cap must force eviction");
+        assert!(r.tracked_files <= 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepts external")]
+    fn online_rejects_self_mining_predictors() {
+        let trace = WorkloadSpec::ins().scaled(0.01).generate();
+        let online = OnlineConfig::every(StreamConfig::default(), 100);
+        let _ = simulate_online(&trace, &mut LruOnly, SimConfig::default(), &online);
     }
 
     #[test]

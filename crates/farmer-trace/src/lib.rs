@@ -25,6 +25,7 @@ pub mod hash;
 pub mod ids;
 pub mod parser;
 pub mod path;
+pub mod phases;
 pub mod stats;
 pub mod stream;
 pub mod trace;

@@ -11,12 +11,17 @@
 //! hosts 32
 //! file <id> <dev> <size> <ro:0|1> <path|->
 //! ...
-//! ev <ts_us> <op> <file> <uid> <pid> <host> <bytes>
+//! ev <ts_us> <op> <file> <uid> <pid> <host> <app> <bytes>
 //! ...
 //! ```
 //!
 //! `path` is `-` for traces without path information (INS/RES style).
 //! Event `seq` is implicit in line order.
+//!
+//! Parsing is strict and total: every malformed input — truncated
+//! records, unknown tags, non-numeric fields, trailing garbage — returns
+//! a [`ParseError`] carrying the offending 1-based line number. The
+//! parser never panics on untrusted input.
 
 use std::fmt::Write as _;
 
@@ -97,7 +102,9 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
             continue;
         }
         let mut it = l.split_ascii_whitespace();
-        let tag = it.next().expect("non-empty line");
+        // `l` is non-empty after the trim above, but stay total anyway:
+        // this loop runs over attacker-controlled lines.
+        let Some(tag) = it.next() else { continue };
         match tag {
             "family" => {
                 let name = it.next().ok_or_else(|| err(line, "missing family name"))?;
@@ -161,6 +168,9 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
                 });
             }
             _ => return Err(err(line, "unknown record tag")),
+        }
+        if it.next().is_some() {
+            return Err(err(line, "trailing tokens after record"));
         }
     }
 
@@ -268,6 +278,86 @@ mod tests {
         let text = "family HP\nfile 0 0 10 1 /a/b\nev 1 open 0 0 0 0 0\n";
         let e = from_text(text).unwrap_err();
         assert!(e.message.contains("missing bytes"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_fields_with_line_numbers() {
+        // Non-numeric timestamp.
+        let text = "family HP\nfile 0 0 10 1 /a/b\nev abc open 0 0 0 0 0 0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("invalid timestamp"), "{e}");
+        assert_eq!(e.line, 3);
+        // Non-numeric uid.
+        let text = "family HP\nfile 0 0 10 1 /a/b\nev 1 open 0 x 0 0 0 0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("invalid uid"), "{e}");
+        assert_eq!(e.line, 3);
+        // Negative (hence invalid for u64) size on a file record.
+        let e = from_text("family HP\nfile 0 0 -5 1 /a/b\n").unwrap_err();
+        assert!(e.message.contains("invalid size"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_truncated_file_record() {
+        let e = from_text("family HP\nfile 0 0 10\n").unwrap_err();
+        assert!(e.message.contains("missing ro flag"), "{e}");
+        assert_eq!(e.line, 2);
+        let e = from_text("family HP\nfile 0 0 10 1\n").unwrap_err();
+        assert!(e.message.contains("missing path"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_truncated_header_records() {
+        let e = from_text("family\n").unwrap_err();
+        assert!(e.message.contains("missing family name"), "{e}");
+        assert_eq!(e.line, 1);
+        let e = from_text("family HP\nusers\n").unwrap_err();
+        assert!(e.message.contains("missing users"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = from_text("family HP extra\n").unwrap_err();
+        assert!(e.message.contains("trailing tokens"), "{e}");
+        assert_eq!(e.line, 1);
+        let text = "family HP\nfile 0 0 10 1 /a/b\nev 1 open 0 0 0 0 0 0 99\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("trailing tokens"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_tag_mid_file_after_valid_records() {
+        let text = "family HP\nfile 0 0 10 1 /a/b\nev 1 open 0 0 0 0 0 0\nxev 2 open 0 0 0 0 0 0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("unknown record tag"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn malformed_inputs_never_panic() {
+        // A grab-bag of hostile shapes: every one must come back as a
+        // ParseError (or a valid trace), never a panic.
+        let cases = [
+            "",
+            "\n\n\n",
+            "ev 1 open 0 0 0 0 0 0",
+            "file 0 0 10 1 /a",
+            "family HP\nfile 99999999999 0 10 1 /a",
+            "family HP\nfile 0 99999999999999999999 10 1 /a",
+            "family HP\nev 18446744073709551616 open 0 0 0 0 0 0",
+            "family XX",
+            "family HP\nusers -1",
+            "family HP\nfile 0 0 10 2 /a\nev 1 stat 0 0 0 0 0 0",
+            "family HP\nfile 0 0 10 1 //",
+            "# only a comment",
+        ];
+        for c in cases {
+            let _ = from_text(c);
+        }
     }
 
     #[test]

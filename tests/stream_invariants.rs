@@ -167,6 +167,82 @@ fn snapshot_refresh_matches_batch_predictions() {
     assert!(fpa.on_access(&trace, &trace.events[0]).is_empty());
 }
 
+/// Capped-eviction parity: under a small `node_cap` (the regime the
+/// matrix's `capped*` cells exercise), the threaded sharded path must
+/// evict *exactly* like the in-process engine — same victims, same
+/// order, same surviving lists — at every shard count. A divergence in
+/// eviction order between `ShardedMiner`'s worker loop and a direct
+/// `StreamMiner` (or between shard counts, given each shard's
+/// deterministic owned sub-stream) would silently change the capped
+/// matrix cells; this pins it outside the bench.
+#[test]
+fn capped_eviction_parity_batch_vs_sharded() {
+    let trace = WorkloadSpec::hp().scaled(0.05).generate();
+    let cap = 48;
+
+    // Drive one direct engine per shard count: for `n` shards, shard `i`
+    // is a StreamMiner::for_shard(i, n) fed the FULL stream (broadcast
+    // routing) with forgets applied at the same positions.
+    for shards in [1usize, 2, 4] {
+        let cfg = StreamConfig::default()
+            .with_node_cap(cap)
+            .with_shards(shards);
+        let mut sharded = ShardedMiner::spawn(cfg.clone());
+        let mut oracles: Vec<StreamMiner> = (0..shards)
+            .map(|i| StreamMiner::for_shard(cfg.clone(), i, shards))
+            .collect();
+        for (k, e) in trace.events.iter().enumerate() {
+            if k % 101 == 0 {
+                sharded.route_forget(e.file);
+                for o in oracles.iter_mut() {
+                    o.forget(e.file);
+                }
+            }
+            sharded.route_event(&trace, e);
+            for o in oracles.iter_mut() {
+                o.ingest_event(&trace, e);
+            }
+        }
+        let snap = sharded.snapshot();
+        let want = farmer::stream::StreamSnapshot::merge(oracles.iter().map(|o| o.snapshot()));
+        assert!(
+            want.evictions > 0,
+            "{shards} shard(s): cap {cap} never forced eviction; test is vacuous"
+        );
+        assert_eq!(
+            snap.evictions, want.evictions,
+            "{shards} shard(s): eviction counts diverged"
+        );
+        assert_eq!(
+            snap.tracked_files, want.tracked_files,
+            "{shards} shard(s): tracked-file counts diverged"
+        );
+        assert_eq!(
+            snap.num_lists(),
+            want.num_lists(),
+            "{shards} shard(s): surviving list sets diverged"
+        );
+        want.table.iter().for_each(|w| {
+            let got = snap.correlators(w.owner).unwrap_or_else(|| {
+                panic!(
+                    "{shards} shard(s): owner {} missing from sharded snapshot",
+                    w.owner
+                )
+            });
+            assert_eq!(
+                got.len(),
+                w.len(),
+                "{shards} shard(s): list length diverged for {}",
+                w.owner
+            );
+            for (g, x) in got.iter().zip(w.iter()) {
+                assert_eq!(g.file, x.file, "{shards} shard(s): successor diverged");
+                assert!((g.degree - x.degree).abs() < 1e-12);
+            }
+        });
+    }
+}
+
 /// Unbounded replay keeps the subsystem healthy: many laps, tight budget,
 /// stable state and fresh snapshots that reflect every routed event.
 #[test]
