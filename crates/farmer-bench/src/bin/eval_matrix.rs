@@ -17,16 +17,28 @@
 //! * `--calibrate` — after the run, emit a refreshed band table (Rust
 //!   source, with standard margins applied) on **stderr**; stdout stays
 //!   the JSON record.
+//! * `--obs` — additionally print the instrumented demo leg's metric
+//!   registry (the same dump embedded as the record's top-level `obs`
+//!   object) on stderr.
 //!
 //! Batch-vs-sharded snapshot parity and cross-mode FPA quality equality
 //! are asserted unconditionally — with or without `--check`, a run that
 //! breaks a cross-mode invariant panics instead of reporting.
 
 use farmer_bench::evalmatrix::{
-    run_matrix_with, Cell, MatrixReport, FPA_MODES, PHASES, SCENARIOS, SCHEMA_VERSION,
+    build_scenario, miner_config, run_matrix_with, Cell, MatrixReport, FPA_MODES, PHASES,
+    SCENARIOS, SCHEMA_VERSION,
 };
-use farmer_bench::format::{BenchArgs, Json};
+use farmer_bench::format::{obs_json, BenchArgs, Json};
 use farmer_bench::refmodel::{self, Profile, QUICK_SCALE};
+use farmer_mds::{replay_online_instrumented, ReplayConfig};
+use farmer_obs::Registry;
+use farmer_prefetch::{FpaPredictor, OnlineConfig};
+use farmer_stream::StreamConfig;
+
+fn ms_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Fixed(v, 3)).collect())
+}
 
 fn json_cell(c: &Cell, profile: Profile) -> Json {
     let mut j = Json::obj()
@@ -37,6 +49,9 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
         .field("prefetch_accuracy", Json::Fixed(c.prefetch_accuracy, 4))
         .field("prefetch_waste", Json::Fixed(c.prefetch_waste, 4))
         .field("avg_response_ms", Json::Fixed(c.avg_response_ms, 3))
+        .field("response_p50_ms", Json::Fixed(c.response_p50_ms, 3))
+        .field("response_p95_ms", Json::Fixed(c.response_p95_ms, 3))
+        .field("response_p99_ms", Json::Fixed(c.response_p99_ms, 3))
         .field("events_per_sec", Json::Fixed(c.events_per_sec, 0))
         .field("memory_bytes", Json::UInt(c.memory_bytes as u64))
         .field(
@@ -57,6 +72,9 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
                     .collect(),
             ),
         )
+        .field("phase_p50_ms", ms_arr(&c.phase_p50_ms))
+        .field("phase_p95_ms", ms_arr(&c.phase_p95_ms))
+        .field("phase_p99_ms", ms_arr(&c.phase_p99_ms))
         .field("refreshes", Json::UInt(c.refreshes))
         .field("miner_evictions", Json::UInt(c.miner_evictions));
     if let Some(b) = refmodel::find(profile, c.scenario, c.mode, c.predictor) {
@@ -87,7 +105,39 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
     j
 }
 
-fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
+/// One fully instrumented serving leg whose metric registry is embedded
+/// in the record as the top-level `obs` object: the `base` scenario at a
+/// small fixed scale through the online replay path, so the dump shows
+/// every registry scope the pipeline exports (`stream.*`, `online.*`,
+/// `fpa.*`, `cache.*`, `store.*`, `mds.*`). Quality counters in the dump
+/// are deterministic; `*_ns` histograms are wall-clock and machine-
+/// dependent, like `events_per_sec`.
+fn obs_demo() -> farmer_obs::ObsReport {
+    let trace = build_scenario("base", 0.05);
+    let stream = StreamConfig::default()
+        .with_farmer(miner_config(&trace))
+        .with_shards(1)
+        .with_node_cap(1 << 20);
+    let online = OnlineConfig::every(stream, (trace.len() / 8).max(1));
+    let mut rep_cfg = ReplayConfig::for_family(trace.family);
+    rep_cfg.num_phases = PHASES;
+    let reg = Registry::enabled();
+    let _ = replay_online_instrumented(
+        &trace,
+        Box::new(FpaPredictor::for_trace(&trace)),
+        rep_cfg,
+        &online,
+        &reg,
+    );
+    reg.snapshot()
+}
+
+fn json_report(
+    report: &MatrixReport,
+    profile: Profile,
+    scale: f64,
+    obs: &farmer_obs::ObsReport,
+) -> Json {
     let mut j = Json::obj()
         .field("bench", Json::str("eval_matrix"))
         .field("schema_version", Json::UInt(u64::from(SCHEMA_VERSION)))
@@ -119,7 +169,7 @@ fn json_report(report: &MatrixReport, profile: Profile, scale: f64) -> Json {
                 .field("online_post_shift", Json::Fixed(a.online_post_shift, 4)),
         );
     }
-    j.field(
+    j.field("obs", obs_json(obs)).field(
         "cells",
         Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
     )
@@ -170,7 +220,15 @@ fn main() {
         );
     }
 
-    println!("{}", json_report(&report, profile, args.scale).render());
+    let obs = obs_demo();
+    if args.obs && chatty {
+        eprintln!("eval_matrix: instrumented demo-leg registry:");
+        eprintln!("{}", obs.render());
+    }
+    println!(
+        "{}",
+        json_report(&report, profile, args.scale, &obs).render()
+    );
 
     if args.calibrate {
         eprintln!(

@@ -8,15 +8,23 @@
 //! lists at the end. The node cap holds *per shard*, so total tracked state
 //! grows with the shard count while each shard's memory stays capped.
 //!
+//! Output is one schema-stable JSON record on stdout (the CI smoke step
+//! captures it as `BENCH_stream.quick.json`); the human-readable table
+//! goes to stderr. `--obs` additionally runs every shard configuration
+//! against a live `farmer-obs` registry and embeds each run's `stream.*`
+//! metric dump in its shard object.
+//!
 //! ```text
-//! cargo run --release -p farmer-bench --bin stream_throughput        # 1M events
-//! cargo run --release -p farmer-bench --bin stream_throughput 0.1   # quick 100k
+//! cargo run --release -p farmer-bench --bin stream_throughput          # 1M events
+//! cargo run --release -p farmer-bench --bin stream_throughput -- --quick
+//! cargo run --release -p farmer-bench --bin stream_throughput 0.1     # explicit scale
+//! cargo run --release -p farmer-bench --bin stream_throughput -- --obs
 //! ```
 
 use std::time::Instant;
 
-use farmer_bench::format::TextTable;
-use farmer_bench::scale_from_args;
+use farmer_bench::format::{obs_json, BenchArgs, Json, TextTable};
+use farmer_obs::Registry;
 use farmer_stream::{ShardedMiner, StreamConfig};
 use farmer_trace::WorkloadSpec;
 
@@ -25,15 +33,18 @@ use farmer_trace::WorkloadSpec;
 /// shard axis then measures sharding itself, not budget differences.
 const TOTAL_NODE_BUDGET: usize = 8192;
 
+/// The `--quick` scale: 100k events, the CI smoke size.
+const QUICK_SCALE: f64 = 0.1;
+
 fn main() {
-    let scale = scale_from_args();
-    let events_target = ((1_000_000.0 * scale) as usize).max(10_000);
+    let args = BenchArgs::parse(QUICK_SCALE);
+    let events_target = ((1_000_000.0 * args.scale) as usize).max(10_000);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // A mid-size trace replayed cyclically: repeating laps keep the
     // correlation structure mineable while the stream length is unbounded.
     let trace = WorkloadSpec::hp().scaled(0.5).generate();
-    println!(
+    eprintln!(
         "streaming miner: {events_target} events (cyclic replay of {}, {} events/lap)\n\
          total node budget {TOTAL_NODE_BUDGET}, {cores} core(s) available\n",
         trace.label,
@@ -51,12 +62,21 @@ fn main() {
         "state MiB",
     ]);
     let mut base_rate = 0.0f64;
+    let mut shard_records = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
         let cfg = StreamConfig::default()
             .with_shards(shards)
             .with_node_cap((TOTAL_NODE_BUDGET / shards).max(1));
         let cap_per_shard = cfg.node_cap;
-        let mut miner = ShardedMiner::spawn(cfg);
+        // Under --obs the miner streams its metrics into a live registry
+        // (whose dump lands in the record); otherwise the handles are
+        // no-ops and the loop is the uninstrumented hot path.
+        let reg = if args.obs {
+            Registry::enabled()
+        } else {
+            Registry::disabled()
+        };
+        let mut miner = ShardedMiner::spawn_instrumented(cfg, &reg);
         let start = Instant::now();
         for e in trace.stream().take(events_target) {
             miner.route_event(&trace, &e);
@@ -85,9 +105,22 @@ fn main() {
             "node budget violated: {} > {TOTAL_NODE_BUDGET}",
             snap.tracked_files
         );
+        let mut rec = Json::obj()
+            .field("shards", Json::UInt(shards as u64))
+            .field("cap_per_shard", Json::UInt(cap_per_shard as u64))
+            .field("events_per_sec", Json::Fixed(rate, 0))
+            .field("speedup", Json::Fixed(rate / base_rate.max(1.0), 2))
+            .field("tracked_files", Json::UInt(snap.tracked_files as u64))
+            .field("evictions", Json::UInt(snap.evictions))
+            .field("lists", Json::UInt(snap.num_lists() as u64))
+            .field("state_bytes", Json::UInt(snap.state_bytes as u64));
+        if args.obs {
+            rec = rec.field("obs", obs_json(&reg.snapshot()));
+        }
+        shard_records.push(rec);
     }
-    println!("{}", t.render());
-    println!(
+    eprintln!("{}", t.render());
+    eprintln!(
         "expected shape: tracked files never exceed the total budget and\n\
          resident state stays bounded for every shard count — the hard\n\
          memory contract. events/s grows with shards on multi-core hosts\n\
@@ -95,4 +128,12 @@ fn main() {
          serial floor); on a single core the sharded runs instead show the\n\
          threading overhead the design pays for that scaling."
     );
+
+    let record = Json::obj()
+        .field("bench", Json::str("stream_throughput"))
+        .field("workload", Json::str(&trace.label))
+        .field("events", Json::UInt(events_target as u64))
+        .field("total_node_budget", Json::UInt(TOTAL_NODE_BUDGET as u64))
+        .field("shards", Json::Arr(shard_records));
+    println!("{}", record.render());
 }

@@ -187,6 +187,14 @@ pub struct Cell {
     pub prefetch_waste: f64,
     /// Mean response time of the MDS replay, in milliseconds.
     pub avg_response_ms: f64,
+    /// Median response time of the MDS replay (ms). Quantiles come from
+    /// the replay's log2-bucketed service-time histogram, so they are
+    /// bucket upper bounds — deterministic, but coarser than the mean.
+    pub response_p50_ms: f64,
+    /// 95th-percentile response time of the MDS replay (ms).
+    pub response_p95_ms: f64,
+    /// 99th-percentile response time of the MDS replay (ms).
+    pub response_p99_ms: f64,
     /// Events per second of the cell's drive loop: the mining pass for
     /// FARMER modes, the simulation demand loop for self predictors.
     /// Machine-dependent — excluded from reference bands.
@@ -198,6 +206,12 @@ pub struct Cell {
     pub phase_hit_ratios: Vec<f64>,
     /// Mean response (ms) per event-index segment ([`PHASES`] entries).
     pub phase_response_ms: Vec<f64>,
+    /// Median response (ms) per event-index segment.
+    pub phase_p50_ms: Vec<f64>,
+    /// 95th-percentile response (ms) per event-index segment.
+    pub phase_p95_ms: Vec<f64>,
+    /// 99th-percentile response (ms) per event-index segment.
+    pub phase_p99_ms: Vec<f64>,
     /// Snapshot refreshes swapped into the predictor (online modes; 0 for
     /// whole-trace serving).
     pub refreshes: u64,
@@ -468,12 +482,18 @@ fn finish_cell(
         prefetch_accuracy: sim.prefetch_accuracy(),
         prefetch_waste: sim.stats.prefetch_waste(),
         avg_response_ms: rep.avg_response_ms(),
+        response_p50_ms: rep.latency.percentile_us(0.50) as f64 / 1000.0,
+        response_p95_ms: rep.latency.percentile_us(0.95) as f64 / 1000.0,
+        response_p99_ms: rep.latency.percentile_us(0.99) as f64 / 1000.0,
         events_per_sec,
         memory_bytes: miner_bytes
             .max(sim.predictor_memory)
             .max(rep.predictor_memory),
         phase_hit_ratios: sim.phases.iter().map(|p| p.hit_ratio()).collect(),
         phase_response_ms: rep.phase_mean_ms.clone(),
+        phase_p50_ms: rep.phase_p50_ms.clone(),
+        phase_p95_ms: rep.phase_p95_ms.clone(),
+        phase_p99_ms: rep.phase_p99_ms.clone(),
         refreshes: 0,
         miner_evictions: 0,
     };
@@ -490,6 +510,16 @@ fn finish_cell(
     assert!(
         cell.avg_response_ms.is_finite() && cell.avg_response_ms > 0.0,
         "{scenario}/{mode}/{predictor}: bad response time"
+    );
+    assert!(
+        cell.response_p50_ms > 0.0
+            && cell.response_p50_ms <= cell.response_p95_ms
+            && cell.response_p95_ms <= cell.response_p99_ms,
+        "{scenario}/{mode}/{predictor}: response quantiles out of order: \
+         p50 {} p95 {} p99 {}",
+        cell.response_p50_ms,
+        cell.response_p95_ms,
+        cell.response_p99_ms
     );
     assert!(cell.events_per_sec.is_finite() && cell.events_per_sec > 0.0);
     cell
@@ -722,6 +752,11 @@ mod tests {
         for c in &report.cells {
             assert_eq!(c.phase_hit_ratios.len(), PHASES);
             assert_eq!(c.phase_response_ms.len(), PHASES);
+            assert_eq!(c.phase_p50_ms.len(), PHASES);
+            assert_eq!(c.phase_p95_ms.len(), PHASES);
+            assert_eq!(c.phase_p99_ms.len(), PHASES);
+            assert!(c.response_p50_ms <= c.response_p95_ms);
+            assert!(c.response_p95_ms <= c.response_p99_ms);
         }
         let lru = report
             .cells

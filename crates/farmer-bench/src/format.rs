@@ -134,7 +134,7 @@ fn write_escaped(s: &str, out: &mut String) {
 }
 
 /// Unified bench-bin command line: `[scale] [--quick] [--check]
-/// [--calibrate]`.
+/// [--calibrate] [--obs]`.
 ///
 /// `--quick` selects the bin's declared quick scale (the CI smoke size);
 /// an explicit positional scale always wins. Unknown arguments are
@@ -150,6 +150,10 @@ pub struct BenchArgs {
     pub check: bool,
     /// `--calibrate` was passed (emit refreshed reference bands).
     pub calibrate: bool,
+    /// `--obs` was passed: run with an enabled `farmer-obs` registry and
+    /// print its report (bins that support it also embed the dump in
+    /// their JSON record).
+    pub obs: bool,
 }
 
 impl BenchArgs {
@@ -167,6 +171,7 @@ impl BenchArgs {
             quick: false,
             check: false,
             calibrate: false,
+            obs: false,
         };
         let mut explicit_scale = None;
         for a in args {
@@ -174,6 +179,7 @@ impl BenchArgs {
                 "--quick" => out.quick = true,
                 "--check" => out.check = true,
                 "--calibrate" => out.calibrate = true,
+                "--obs" => out.obs = true,
                 other => {
                     if let Ok(s) = other.parse::<f64>() {
                         if s > 0.0 {
@@ -186,6 +192,35 @@ impl BenchArgs {
         out.scale = explicit_scale.unwrap_or(if out.quick { quick_scale } else { 1.0 });
         out
     }
+}
+
+/// Render an observability report as an ordered JSON object: one key per
+/// metric, in the registry's sorted order. Counters render as unsigned
+/// integers, gauges as (possibly negative) integers, histograms as
+/// `{count, mean, p50, p90, p99, max}` summaries.
+pub fn obs_json(report: &farmer_obs::ObsReport) -> Json {
+    let mut obj = Json::obj();
+    for entry in &report.entries {
+        let value = match &entry.value {
+            farmer_obs::ObsValue::Counter(v) => Json::UInt(*v),
+            farmer_obs::ObsValue::Gauge(v) => {
+                if *v >= 0 {
+                    Json::UInt(*v as u64)
+                } else {
+                    Json::F64(*v as f64)
+                }
+            }
+            farmer_obs::ObsValue::Histogram(h) => Json::obj()
+                .field("count", Json::UInt(h.count))
+                .field("mean", Json::Fixed(h.mean(), 1))
+                .field("p50", Json::UInt(h.quantile(0.50)))
+                .field("p90", Json::UInt(h.quantile(0.90)))
+                .field("p99", Json::UInt(h.quantile(0.99)))
+                .field("max", Json::UInt(h.max)),
+        };
+        obj = obj.field(&entry.name, value);
+    }
+    obj
 }
 
 /// A simple column-aligned table builder.
@@ -351,5 +386,27 @@ mod tests {
         // Junk (e.g. libtest flags) is ignored.
         let junk = BenchArgs::from_iter(vec!["--nocapture".to_string()], 0.1);
         assert_eq!(junk.scale, 1.0);
+        assert!(!junk.obs);
+        let obs = BenchArgs::from_iter(vec!["--obs".to_string()], 0.1);
+        assert!(obs.obs && !obs.quick);
+    }
+
+    #[test]
+    fn obs_json_orders_and_summarizes() {
+        let reg = farmer_obs::Registry::enabled();
+        reg.counter("stream.events").add(7);
+        reg.gauge("mds.queue_depth").set(-2);
+        let h = reg.histogram("cache.lookup_us");
+        h.record(100);
+        h.record(200);
+        let j = obs_json(&reg.snapshot()).render();
+        // Registry order is sorted by name.
+        let pos = |n: &str| j.find(n).unwrap_or_else(|| panic!("missing {n}"));
+        assert!(pos("cache.lookup_us") < pos("mds.queue_depth"));
+        assert!(pos("mds.queue_depth") < pos("stream.events"));
+        assert!(j.contains("\"stream.events\": 7"));
+        assert!(j.contains("\"mds.queue_depth\": -2"));
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\"max\": 200"));
     }
 }

@@ -31,7 +31,11 @@ use crate::evalmatrix::Cell;
 ///
 /// v2: online/frozen/capped miner modes; per-cell `refreshes` and
 /// `miner_evictions`; top-level `fpa_modes` and `adaptation`.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: per-cell service-time quantiles (`response_p{50,95,99}_ms` and the
+/// matching per-phase vectors) from the replay's log2-bucketed histogram;
+/// top-level `obs` dump of the instrumented demo run's metric registry.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Which band table a run is checked against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1444,10 +1448,16 @@ mod tests {
             prefetch_accuracy: 0.5,
             prefetch_waste: 0.3,
             avg_response_ms: 1.2,
+            response_p50_ms: 1.0,
+            response_p95_ms: 2.0,
+            response_p99_ms: 4.1,
             events_per_sec: 1e6,
             memory_bytes: 1024,
             phase_hit_ratios: vec![0.6; 4],
             phase_response_ms: vec![1.2; 4],
+            phase_p50_ms: vec![1.0; 4],
+            phase_p95_ms: vec![2.0; 4],
+            phase_p99_ms: vec![4.1; 4],
             refreshes: 0,
             miner_evictions: 0,
         }

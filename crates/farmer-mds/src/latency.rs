@@ -54,58 +54,36 @@ impl LatencyModel {
 
 /// Streaming response-time statistics (mean, extremes, percentiles).
 ///
-/// Percentiles come from a fixed log-spaced histogram (1 µs – ~67 s), which
-/// keeps the accumulator O(1) per sample and exact enough for reporting.
-#[derive(Debug, Clone)]
+/// Backed by the workspace observability histogram
+/// ([`farmer_obs::HistSnapshot`]): 64 log2 buckets keep the accumulator
+/// O(1) per sample while making it mergeable (multi-server and client-tier
+/// totals) and diffable (per-phase quantiles via
+/// [`LatencyStats::delta`]) — the mean stays exact, quantiles are exact to
+/// a power-of-two bucket and clamped to the observed maximum.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-    min_us: u64,
-    /// log2 buckets: bucket i counts samples in [2^i, 2^(i+1)).
-    buckets: [u64; 36],
-}
-
-impl Default for LatencyStats {
-    fn default() -> Self {
-        Self::new()
-    }
+    hist: farmer_obs::HistSnapshot,
 }
 
 impl LatencyStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        LatencyStats {
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-            min_us: u64::MAX,
-            buckets: [0; 36],
-        }
+        LatencyStats::default()
     }
 
     /// Record one response time in microseconds.
     pub fn record(&mut self, us: u64) {
-        self.count += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-        self.min_us = self.min_us.min(us);
-        let b = (64 - us.max(1).leading_zeros() as usize - 1).min(35);
-        self.buckets[b] += 1;
+        self.hist.record(us);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.hist.count
     }
 
     /// Mean in microseconds (0 for an empty accumulator).
     pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
+        self.hist.mean()
     }
 
     /// Mean in milliseconds.
@@ -115,44 +93,37 @@ impl LatencyStats {
 
     /// Largest sample.
     pub fn max_us(&self) -> u64 {
-        self.max_us
+        self.hist.max
     }
 
     /// Smallest sample (0 if empty).
     pub fn min_us(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_us
-        }
+        self.hist.min
     }
 
-    /// Approximate percentile (0 < q < 1) from the log histogram; returns
-    /// the upper bound of the bucket containing the q-quantile.
+    /// Approximate percentile (0 < q ≤ 1): the upper bound of the log2
+    /// bucket containing the q-quantile, clamped to the observed maximum.
     pub fn percentile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((self.count as f64) * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        self.max_us
+        self.hist.quantile(q)
     }
 
     /// Merge another accumulator into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.count += other.count;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
-        self.min_us = self.min_us.min(other.min_us);
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+        self.hist.merge(&other.hist);
+    }
+
+    /// Samples recorded since `earlier` (an older snapshot of this same
+    /// accumulator) — per-phase percentile accounting. Count, sum and
+    /// buckets are exact; min/max conservatively keep the run-level bounds.
+    pub fn delta(&self, earlier: &LatencyStats) -> LatencyStats {
+        LatencyStats {
+            hist: self.hist.delta(&earlier.hist),
         }
+    }
+
+    /// The underlying histogram snapshot (bucket-level export).
+    pub fn histogram(&self) -> &farmer_obs::HistSnapshot {
+        &self.hist
     }
 }
 
@@ -220,6 +191,28 @@ mod tests {
         assert!((a.mean_us() - 20.0).abs() < 1e-9);
         assert_eq!(a.max_us(), 30);
         assert_eq!(a.min_us(), 10);
+    }
+
+    #[test]
+    fn delta_gives_per_phase_percentiles() {
+        let mut s = LatencyStats::new();
+        for _ in 0..10 {
+            s.record(100);
+        }
+        let mark = s.clone();
+        for _ in 0..10 {
+            s.record(5000);
+        }
+        let d = s.delta(&mark);
+        assert_eq!(d.count(), 10);
+        assert!((d.mean_us() - 5000.0).abs() < 1e-9, "delta mean is exact");
+        // The slow phase's p50 reflects only the slow samples.
+        assert!(
+            d.percentile_us(0.5) >= 4096,
+            "p50 = {}",
+            d.percentile_us(0.5)
+        );
+        assert!(s.percentile_us(0.5) <= 128, "overall p50 still fast-half");
     }
 
     #[test]

@@ -36,5 +36,8 @@ pub mod server;
 pub use client::ClientTier;
 pub use cluster::{replay_cluster, ClusterConfig, ClusterReport, Partition};
 pub use latency::{LatencyModel, LatencyStats};
-pub use replay::{replay, replay_online, OnlineReplayReport, ReplayConfig, ReplayReport};
-pub use server::MdsServer;
+pub use replay::{
+    replay, replay_instrumented, replay_online, replay_online_instrumented, OnlineReplayReport,
+    ReplayConfig, ReplayReport,
+};
+pub use server::{MdsMetrics, MdsServer};

@@ -6,6 +6,7 @@
 //! paper reports (~1–2 ms average response): high enough that queueing and
 //! prefetch-service contention matter, low enough that queues stay stable.
 
+use farmer_obs::Registry;
 use farmer_prefetch::{OnlineConfig, OnlineDriver, OnlineRunStats, Predictor};
 use farmer_trace::phases::{phase_count, phase_end};
 use farmer_trace::{Trace, TraceEvent, TraceFamily};
@@ -96,6 +97,13 @@ pub struct ReplayReport {
     /// configured with `num_phases > 1`; empty otherwise. Segments with no
     /// demand requests report 0.
     pub phase_mean_ms: Vec<f64>,
+    /// Median response time (ms) per segment, from the phase-delta of the
+    /// latency histogram; same indexing as `phase_mean_ms`.
+    pub phase_p50_ms: Vec<f64>,
+    /// 95th-percentile response time (ms) per segment.
+    pub phase_p95_ms: Vec<f64>,
+    /// 99th-percentile response time (ms) per segment.
+    pub phase_p99_ms: Vec<f64>,
 }
 
 impl ReplayReport {
@@ -133,7 +141,20 @@ impl ReplayReport {
 /// Replay a trace's metadata demand stream through an MDS, optionally
 /// fronted by per-host client caches.
 pub fn replay(trace: &Trace, predictor: Box<dyn Predictor>, cfg: ReplayConfig) -> ReplayReport {
-    run_replay(trace, predictor, cfg, None).0
+    run_replay(trace, predictor, cfg, None, &Registry::disabled()).0
+}
+
+/// [`replay`] with live observability: the MDS's service-time histograms
+/// stream into `mds.*`, its cache into `cache.*` and its store into
+/// `store.*` of `reg`. With a disabled registry this is exactly
+/// [`replay`].
+pub fn replay_instrumented(
+    trace: &Trace,
+    predictor: Box<dyn Predictor>,
+    cfg: ReplayConfig,
+    reg: &Registry,
+) -> ReplayReport {
+    run_replay(trace, predictor, cfg, None, reg).0
 }
 
 /// Online-mode counters of one [`replay_online`] run.
@@ -164,7 +185,21 @@ pub fn replay_online(
     cfg: ReplayConfig,
     online: &OnlineConfig,
 ) -> OnlineReplayReport {
-    let (replay, stats) = run_replay(trace, predictor, cfg, Some(online));
+    replay_online_instrumented(trace, predictor, cfg, online, &Registry::disabled())
+}
+
+/// [`replay_online`] with live observability: the MDS under `mds.*` /
+/// `cache.*` / `store.*`, the co-driven miner under `stream.*` and the
+/// refresh cadence under `online.*` of `reg`. With a disabled registry
+/// this is exactly [`replay_online`].
+pub fn replay_online_instrumented(
+    trace: &Trace,
+    predictor: Box<dyn Predictor>,
+    cfg: ReplayConfig,
+    online: &OnlineConfig,
+    reg: &Registry,
+) -> OnlineReplayReport {
+    let (replay, stats) = run_replay(trace, predictor, cfg, Some(online), reg);
     OnlineReplayReport {
         replay,
         online: stats.expect("online stats present when an OnlineConfig is supplied"),
@@ -179,10 +214,12 @@ fn run_replay(
     predictor: Box<dyn Predictor>,
     cfg: ReplayConfig,
     online: Option<&OnlineConfig>,
+    reg: &Registry,
 ) -> (ReplayReport, Option<OnlineRunStats>) {
     let mut mds = MdsServer::new(trace, predictor, cfg.mds);
+    mds.instrument(reg);
     let mut driver = online.map(|o| {
-        let d = OnlineDriver::spawn(o);
+        let d = OnlineDriver::spawn_instrumented(o, reg);
         assert!(
             mds.refresh_predictor(OnlineDriver::initial_source(), 0),
             "online replay requires a predictor that accepts external \
@@ -199,28 +236,33 @@ fn run_replay(
     });
     let mut horizon = 0u64;
     let mut client_latency = LatencyStats::new();
-    // Per-phase accounting: (count, total µs) over MDS + client responses,
-    // snapshotted at equal event-index boundaries.
+    // Per-phase accounting: the combined MDS + client latency histogram is
+    // snapshotted at equal event-index boundaries; each segment's delta
+    // carries exact counts/sums (mean) and bucket counts (percentiles).
     let segments = phase_count(trace.len(), cfg.num_phases);
     let mut segment = 0usize;
     let mut phase_mean_ms = Vec::new();
-    let mut mark = (0u64, 0.0f64);
-    let close_phase = |mds: &MdsServer, client: &LatencyStats, mark: &mut (u64, f64)| {
-        let count = mds.stats().count() + client.count();
-        let total_us = mds.stats().mean_us() * mds.stats().count() as f64
-            + client.mean_us() * client.count() as f64;
-        let (dc, dt) = (count - mark.0, total_us - mark.1);
-        *mark = (count, total_us);
-        if dc == 0 {
-            0.0
-        } else {
-            dt / dc as f64 / 1000.0
-        }
+    let mut phase_p50_ms = Vec::new();
+    let mut phase_p95_ms = Vec::new();
+    let mut phase_p99_ms = Vec::new();
+    let mut mark = LatencyStats::new();
+    let close_phase = |mds: &MdsServer, client: &LatencyStats, mark: &mut LatencyStats| {
+        let mut now = mds.stats().clone();
+        now.merge(client);
+        let delta = now.delta(mark);
+        *mark = now;
+        delta
+    };
+    let mut push_phase = |delta: &LatencyStats| {
+        phase_mean_ms.push(delta.mean_ms());
+        phase_p50_ms.push(delta.percentile_us(0.50) as f64 / 1000.0);
+        phase_p95_ms.push(delta.percentile_us(0.95) as f64 / 1000.0);
+        phase_p99_ms.push(delta.percentile_us(0.99) as f64 / 1000.0);
     };
     for (i, event) in trace.events.iter().enumerate() {
         if cfg.num_phases > 1 && i == phase_end(trace.len(), segments, segment) {
-            let mean = close_phase(&mds, &client_latency, &mut mark);
-            phase_mean_ms.push(mean);
+            let delta = close_phase(&mds, &client_latency, &mut mark);
+            push_phase(&delta);
             segment += 1;
         }
         if let Some(d) = driver.as_mut() {
@@ -249,8 +291,8 @@ fn run_replay(
         }
     }
     if cfg.num_phases > 1 {
-        let mean = close_phase(&mds, &client_latency, &mut mark);
-        phase_mean_ms.push(mean);
+        let delta = close_phase(&mds, &client_latency, &mut mark);
+        push_phase(&delta);
     }
     let mut latency = mds.stats().clone();
     let client_hits = clients.as_ref().map_or(0, |t| t.local_hits());
@@ -265,6 +307,9 @@ fn run_replay(
         predictor_memory: mds.predictor_memory(),
         client_hits,
         phase_mean_ms,
+        phase_p50_ms,
+        phase_p95_ms,
+        phase_p99_ms,
     };
     (report, driver.map(OnlineDriver::finish))
 }
@@ -360,6 +405,66 @@ mod tests {
         let off = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
         assert_eq!(r.replay.latency.count(), off.latency.count());
         assert!(r.replay.avg_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn phase_quantiles_accompany_phase_means() {
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let mut cfg = ReplayConfig::for_family(trace.family);
+        cfg.num_phases = 4;
+        let r = replay(&trace, Box::new(LruOnly), cfg);
+        assert_eq!(r.phase_p50_ms.len(), 4);
+        assert_eq!(r.phase_p95_ms.len(), 4);
+        assert_eq!(r.phase_p99_ms.len(), 4);
+        for i in 0..4 {
+            assert!(r.phase_p50_ms[i] > 0.0);
+            assert!(r.phase_p50_ms[i] <= r.phase_p95_ms[i]);
+            assert!(r.phase_p95_ms[i] <= r.phase_p99_ms[i]);
+        }
+        // Single-phase runs carry no segmentation.
+        let mut plain = cfg;
+        plain.num_phases = 1;
+        let p = replay(&trace, Box::new(LruOnly), plain);
+        assert!(p.phase_p50_ms.is_empty());
+    }
+
+    #[test]
+    fn instrumented_replay_streams_service_times() {
+        use farmer_obs::Registry;
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let cfg = ReplayConfig::for_family(trace.family);
+        let reg = Registry::enabled();
+        let r = replay_instrumented(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mds.demands"), Some(r.counters.demands));
+        let resp = snap
+            .histogram("mds.demand_response_us")
+            .expect("response histogram");
+        assert_eq!(resp.count, r.counters.demands);
+        // The registry's distribution agrees with the report's accumulator
+        // (no client tier here, so they record the same samples).
+        assert_eq!(resp.quantile(0.95), r.latency.percentile_us(0.95));
+        assert!((resp.mean() - r.latency.mean_us()).abs() < 1e-9);
+        let pf = snap
+            .histogram("mds.prefetch_service_us")
+            .expect("prefetch histogram");
+        assert_eq!(pf.count, r.counters.prefetches_serviced);
+        assert_eq!(
+            snap.counter("mds.prefetches_dropped"),
+            Some(r.counters.prefetches_dropped)
+        );
+        // Cache and store stream into the same registry.
+        assert_eq!(snap.counter("cache.hits"), Some(r.cache.hits));
+        assert!(
+            snap.counter("store.page_reads")
+                .expect("store instrumented")
+                > 0,
+            "cold misses must descend into the store"
+        );
+        // Instrumentation must not change the simulated outcome.
+        let p = replay(&trace, Box::new(FpaPredictor::for_trace(&trace)), cfg);
+        assert_eq!(p.latency.count(), r.latency.count());
+        assert!((p.avg_response_ms() - r.avg_response_ms()).abs() < 1e-12);
     }
 
     #[test]

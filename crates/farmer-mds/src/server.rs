@@ -16,8 +16,9 @@
 //! in-service prefetch, never for the queue behind it — exactly the §4.1
 //! guarantee.
 
-use farmer_prefetch::{MetadataCache, Predictor};
-use farmer_store::{MetaStore, MetadataRecord};
+use farmer_obs::{Counter, Gauge, Histogram, Registry};
+use farmer_prefetch::{CacheMetrics, MetadataCache, Predictor};
+use farmer_store::{MetaStore, MetadataRecord, StoreMetrics};
 use farmer_trace::{Trace, TraceEvent};
 
 use crate::latency::{LatencyModel, LatencyStats};
@@ -47,6 +48,50 @@ impl Default for MdsConfig {
     }
 }
 
+/// Live observability handles for one MDS (the `mds.*` scope of the
+/// workspace registry map). Service times are *simulated* microseconds
+/// (`_us`), not wall-clock — the histograms replace the mean-only
+/// [`MdsCounters`] view with full distributions. No-op by default.
+#[derive(Debug, Clone, Default)]
+pub struct MdsMetrics {
+    /// Demand requests served (`mds.demands`).
+    pub demands: Counter,
+    /// Simulated service time per demand request, µs
+    /// (`mds.demand_service_us`) — queueing delay excluded.
+    pub demand_service_us: Histogram,
+    /// Simulated response time per demand request, µs
+    /// (`mds.demand_response_us`) — completion minus arrival, the paper's
+    /// Figure 6/8 metric as a distribution.
+    pub demand_response_us: Histogram,
+    /// Prefetch requests serviced (`mds.prefetches_serviced`).
+    pub prefetches_serviced: Counter,
+    /// Simulated service time per serviced prefetch, µs
+    /// (`mds.prefetch_service_us`).
+    pub prefetch_service_us: Histogram,
+    /// Prefetch requests dropped from the bounded queue
+    /// (`mds.prefetches_dropped`).
+    pub prefetches_dropped: Counter,
+    /// Prefetch-queue depth after the most recent enqueue/drain
+    /// (`mds.prefetch_queue_depth`).
+    pub prefetch_queue_depth: Gauge,
+}
+
+impl MdsMetrics {
+    /// Register the MDS metrics under `reg` (pass an `mds`-scoped
+    /// registry; [`MdsServer::instrument`] does this).
+    pub fn new(reg: &Registry) -> MdsMetrics {
+        MdsMetrics {
+            demands: reg.counter("demands"),
+            demand_service_us: reg.histogram("demand_service_us"),
+            demand_response_us: reg.histogram("demand_response_us"),
+            prefetches_serviced: reg.counter("prefetches_serviced"),
+            prefetch_service_us: reg.histogram("prefetch_service_us"),
+            prefetches_dropped: reg.counter("prefetches_dropped"),
+            prefetch_queue_depth: reg.gauge("prefetch_queue_depth"),
+        }
+    }
+}
+
 /// Aggregate counters of one MDS run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MdsCounters {
@@ -71,6 +116,9 @@ pub struct MdsServer {
     free_at_us: u64,
     stats: LatencyStats,
     counters: MdsCounters,
+    obs: MdsMetrics,
+    /// Queue drops already mirrored into `obs.prefetches_dropped`.
+    dropped_reported: u64,
     /// Reusable prefetch-candidate buffer, refilled per demand.
     candidates: Vec<farmer_trace::FileId>,
 }
@@ -101,9 +149,22 @@ impl MdsServer {
             free_at_us: 0,
             stats: LatencyStats::new(),
             counters: MdsCounters::default(),
+            obs: MdsMetrics::default(),
+            dropped_reported: 0,
             candidates: Vec::new(),
             cfg,
         }
+    }
+
+    /// Register this server's metrics under the `mds`, `cache` and
+    /// `store` scopes of `reg` (pass the run's *root* registry). With a
+    /// disabled registry all handles stay no-ops.
+    pub fn instrument(&mut self, reg: &Registry) {
+        self.obs = MdsMetrics::new(&reg.scope("mds"));
+        self.cache
+            .instrument(CacheMetrics::new(&reg.scope("cache")));
+        self.store
+            .instrument(StoreMetrics::new(&reg.scope("store")));
     }
 
     /// Handle one demand arrival; returns its response time in µs.
@@ -154,6 +215,9 @@ impl MdsServer {
         self.counters.demands += 1;
         let response = completion - now;
         self.stats.record(response);
+        self.obs.demands.inc();
+        self.obs.demand_service_us.record(service);
+        self.obs.demand_response_us.record(response);
 
         // Ask the predictor for candidates (into the reusable buffer) and
         // queue them at low priority.
@@ -166,6 +230,16 @@ impl MdsServer {
                     enqueued_at_us: completion,
                 });
             }
+        }
+        if self.obs.prefetch_queue_depth.is_enabled() {
+            self.obs
+                .prefetch_queue_depth
+                .set(self.prefetch_q.len() as i64);
+            let dropped = self.prefetch_q.dropped;
+            self.obs
+                .prefetches_dropped
+                .add(dropped - self.dropped_reported);
+            self.dropped_reported = dropped;
         }
         response
     }
@@ -186,6 +260,8 @@ impl MdsServer {
             self.free_at_us = start + service;
             self.counters.busy_us += service;
             self.counters.prefetches_serviced += 1;
+            self.obs.prefetches_serviced.inc();
+            self.obs.prefetch_service_us.record(service);
         }
     }
 

@@ -1,0 +1,135 @@
+//! Property tests for the observability primitives: the histogram algebra
+//! (record/merge associativity, delta inversion), quantile monotonicity and
+//! bucket-bound correctness, and counter consistency under concurrent
+//! recorders.
+
+use farmer_obs::{Counter, HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistSnapshot {
+    let mut h = HistSnapshot::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning several buckets, including 0 and the top bucket.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 0..128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in values(), b in values(), c in values(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_of_splits_equals_record_of_concat(a in values(), b in values()) {
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let whole = hist_of(&concat);
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        prop_assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_bounded(
+        vals in proptest::collection::vec(0u64..=u64::MAX, 1..128),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let h = hist_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for &q in &qs {
+            let est = h.quantile(q);
+            prop_assert!(est >= prev, "quantile must be monotone in q");
+            prev = est;
+
+            // Bucket-bound correctness: the estimate brackets the true
+            // rank-k sample — never below it, never above twice it (and
+            // never outside the observed range).
+            let k = ((vals.len() as f64 * q).ceil() as usize).clamp(1, vals.len());
+            let truth = sorted[k - 1];
+            prop_assert!(est >= truth, "q={q}: {est} < true sample {truth}");
+            prop_assert!(est <= truth.saturating_mul(2).max(2), "q={q}: {est} > 2x {truth}");
+            prop_assert!(est <= h.max && (est >= h.min || truth == h.min));
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max, "p100 is exactly the max");
+    }
+
+    #[test]
+    fn delta_inverts_merge(a in values(), b in values()) {
+        let ha = hist_of(&a);
+        let mut whole = ha.clone();
+        whole.merge(&hist_of(&b));
+        let d = whole.delta(&ha);
+        let hb = hist_of(&b);
+        // Buckets, count, and sum recover the second batch exactly
+        // (min/max are conservative and not compared).
+        prop_assert_eq!(d.count, hb.count);
+        prop_assert_eq!(d.sum, hb.sum);
+        prop_assert_eq!(d.buckets, hb.buckets);
+    }
+
+    #[test]
+    fn atomic_histogram_agrees_with_plain(vals in values()) {
+        let atomic = Histogram::live();
+        for &v in &vals {
+            atomic.record(v);
+        }
+        prop_assert_eq!(atomic.snapshot(), hist_of(&vals));
+    }
+
+    #[test]
+    fn counters_are_exact_under_concurrent_recorders(
+        per_thread in proptest::collection::vec(1u64..2000, 2..6),
+    ) {
+        let c = Counter::live();
+        let h = Histogram::live();
+        std::thread::scope(|s| {
+            for &n in &per_thread {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..n {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let total: u64 = per_thread.iter().sum();
+        prop_assert_eq!(c.get(), total);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, total);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), total,
+            "every record lands in exactly one bucket");
+    }
+}

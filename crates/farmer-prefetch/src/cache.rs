@@ -10,6 +10,7 @@
 //! * **cache pollution** — prefetched entries evicted unused, having
 //!   displaced demand-resident metadata.
 
+use farmer_obs::{Counter, Registry};
 use farmer_trace::hash::FxHashMap;
 use farmer_trace::FileId;
 
@@ -110,6 +111,43 @@ impl CacheStats {
     }
 }
 
+/// Live observability handles mirroring [`CacheStats`], bumped inline as
+/// the cache runs — hit/miss traffic streams into the registry instead of
+/// waiting for an end-of-run report. No-op by default.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMetrics {
+    /// Demand lookups (`cache.demand_accesses`).
+    pub demand_accesses: Counter,
+    /// Demand hits (`cache.hits`).
+    pub hits: Counter,
+    /// First demand hits on prefetched entries (`cache.prefetch_hits`).
+    pub prefetch_hits: Counter,
+    /// Prefetch insertions (`cache.prefetches_issued`).
+    pub prefetches_issued: Counter,
+    /// Prefetches demanded before eviction (`cache.useful_prefetches`).
+    pub useful_prefetches: Counter,
+    /// Prefetches evicted unused (`cache.wasted_prefetches`).
+    pub wasted_prefetches: Counter,
+    /// Evictions of any origin (`cache.evictions`).
+    pub evictions: Counter,
+}
+
+impl CacheMetrics {
+    /// Register the cache's counters under `reg` (pass a `cache`-scoped
+    /// registry; see the workspace naming scheme in `farmer-obs`).
+    pub fn new(reg: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            demand_accesses: reg.counter("demand_accesses"),
+            hits: reg.counter("hits"),
+            prefetch_hits: reg.counter("prefetch_hits"),
+            prefetches_issued: reg.counter("prefetches_issued"),
+            useful_prefetches: reg.counter("useful_prefetches"),
+            wasted_prefetches: reg.counter("wasted_prefetches"),
+            evictions: reg.counter("evictions"),
+        }
+    }
+}
+
 /// Fixed-capacity metadata cache with LRU replacement.
 #[derive(Debug)]
 pub struct MetadataCache {
@@ -117,6 +155,7 @@ pub struct MetadataCache {
     lru: LruList<Entry>,
     index: FxHashMap<u32, u32>, // file -> slot handle
     stats: CacheStats,
+    obs: CacheMetrics,
 }
 
 impl MetadataCache {
@@ -131,7 +170,15 @@ impl MetadataCache {
             lru: LruList::with_capacity(capacity + 1),
             index: FxHashMap::default(),
             stats: CacheStats::default(),
+            obs: CacheMetrics::default(),
         }
+    }
+
+    /// Attach live observability counters (a no-op set is installed by
+    /// default); every [`CacheStats`] field is mirrored into the registry
+    /// as the cache runs.
+    pub fn instrument(&mut self, obs: CacheMetrics) {
+        self.obs = obs;
     }
 
     /// Capacity in entries.
@@ -163,13 +210,17 @@ impl MetadataCache {
     /// `false` on miss (caller decides whether to insert).
     pub fn access(&mut self, file: FileId) -> bool {
         self.stats.demand_accesses += 1;
+        self.obs.demand_accesses.inc();
         if let Some(&slot) = self.index.get(&file.raw()) {
             self.stats.hits += 1;
+            self.obs.hits.inc();
             let e = self.lru.get_mut(slot).expect("indexed slot is live");
             if e.origin == Origin::Prefetch && !e.used {
                 e.used = true;
                 self.stats.prefetch_hits += 1;
                 self.stats.useful_prefetches += 1;
+                self.obs.prefetch_hits.inc();
+                self.obs.useful_prefetches.inc();
             }
             self.lru.move_to_front(slot);
             true
@@ -190,6 +241,7 @@ impl MetadataCache {
             return;
         }
         self.stats.prefetches_issued += 1;
+        self.obs.prefetches_issued.inc();
         self.insert(file, Origin::Prefetch);
     }
 
@@ -227,8 +279,10 @@ impl MetadataCache {
 
     fn account_eviction(&mut self, e: &Entry) {
         self.stats.evictions += 1;
+        self.obs.evictions.inc();
         if e.origin == Origin::Prefetch && !e.used {
             self.stats.wasted_prefetches += 1;
+            self.obs.wasted_prefetches.inc();
         }
     }
 

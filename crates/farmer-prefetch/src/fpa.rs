@@ -14,9 +14,32 @@
 //! in steady state regardless of which back-end is installed.
 
 use farmer_core::{CorrelationSource, Correlator, Farmer, FarmerConfig};
+use farmer_obs::{Counter, Histogram, Registry};
 use farmer_trace::{FileId, Trace, TraceEvent};
 
 use crate::predictor::Predictor;
+
+/// Live observability handles for the predictor (the `fpa.*` scope of the
+/// workspace registry map). No-op by default.
+#[derive(Debug, Clone, Default)]
+pub struct FpaMetrics {
+    /// External correlation sources installed (`fpa.refreshes`).
+    pub refreshes: Counter,
+    /// Wall-clock nanoseconds per top-k correlator query (`fpa.topk_ns`) —
+    /// the serving-path latency, excluding self-mining observation cost.
+    pub topk_ns: Histogram,
+}
+
+impl FpaMetrics {
+    /// Register the predictor metrics under `reg` (pass an `fpa`-scoped
+    /// registry; [`FpaPredictor::instrument`] does this).
+    pub fn new(reg: &Registry) -> FpaMetrics {
+        FpaMetrics {
+            refreshes: reg.counter("refreshes"),
+            topk_ns: reg.histogram("topk_ns"),
+        }
+    }
+}
 
 /// The FARMER-enabled prefetcher.
 ///
@@ -43,6 +66,7 @@ pub struct FpaPredictor {
     external_events: u64,
     /// Reusable top-k buffer (zero steady-state allocation).
     topk: Vec<Correlator>,
+    obs: FpaMetrics,
 }
 
 impl std::fmt::Debug for FpaPredictor {
@@ -69,6 +93,7 @@ impl FpaPredictor {
             external: None,
             external_events: 0,
             topk: Vec::new(),
+            obs: FpaMetrics::default(),
         }
     }
 
@@ -95,6 +120,13 @@ impl FpaPredictor {
         &self.farmer
     }
 
+    /// Register this predictor's metrics under the `fpa` scope of `reg`
+    /// (pass the run's *root* registry). Serving stays allocation-free;
+    /// with a disabled registry the handles are no-ops.
+    pub fn instrument(&mut self, reg: &Registry) {
+        self.obs = FpaMetrics::new(&reg.scope("fpa"));
+    }
+
     /// Install (or replace) an externally mined correlation source; see
     /// the type-level docs for the serving-mode switch this implies.
     /// `as_of_events` records which stream prefix the source reflects.
@@ -107,6 +139,7 @@ impl FpaPredictor {
     pub fn refresh_boxed(&mut self, source: Box<dyn CorrelationSource + Send>, as_of_events: u64) {
         self.external = Some(source);
         self.external_events = as_of_events;
+        self.obs.refreshes.inc();
     }
 
     /// Drop the external source and return to self-mining.
@@ -141,9 +174,11 @@ impl Predictor for FpaPredictor {
         // via `refresh` — must not leak them into prefetch proposals.
         let threshold = self.farmer.config().max_strength;
         if let Some(source) = &self.external {
+            let _span = self.obs.topk_ns.span();
             source.top_k_into(event.file, self.group_limit, threshold, &mut self.topk);
         } else {
             self.farmer.observe_event(trace, event);
+            let _span = self.obs.topk_ns.span();
             self.farmer
                 .top_k_into(event.file, self.group_limit, threshold, &mut self.topk);
         }

@@ -29,14 +29,14 @@ pub mod probgraph;
 pub mod sdgraph;
 pub mod sim;
 
-pub use cache::{CacheStats, MetadataCache, Origin};
-pub use fpa::FpaPredictor;
+pub use cache::{CacheMetrics, CacheStats, MetadataCache, Origin};
+pub use fpa::{FpaMetrics, FpaPredictor};
 pub use metrics::SimReport;
 pub use nexus::NexusPredictor;
 pub use predictor::Predictor;
 pub use probgraph::ProbabilityGraph;
 pub use sdgraph::SdGraph;
 pub use sim::{
-    simulate, simulate_online, OnlineConfig, OnlineDriver, OnlineRunStats, OnlineSimReport,
-    SimConfig,
+    simulate, simulate_instrumented, simulate_online, simulate_online_instrumented, OnlineConfig,
+    OnlineDriver, OnlineRunStats, OnlineSimReport, SimConfig,
 };

@@ -15,11 +15,12 @@
 //! measurement needs queueing and service times and lives in `farmer-mds`.
 
 use farmer_core::CorrelatorTable;
+use farmer_obs::{Counter, Histogram, Registry};
 use farmer_stream::{ShardedMiner, StreamConfig};
 use farmer_trace::phases::{phase_count, phase_end};
 use farmer_trace::{Op, Trace, TraceFamily};
 
-use crate::cache::MetadataCache;
+use crate::cache::{CacheMetrics, MetadataCache};
 use crate::metrics::SimReport;
 use crate::predictor::Predictor;
 
@@ -87,7 +88,20 @@ impl SimConfig {
 /// counter deltas: the trace's event-index range is cut into `num_phases`
 /// equal segments and the cache counters are snapshotted at each boundary.
 pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor, cfg: SimConfig) -> SimReport {
-    run_sim(trace, predictor, cfg, None).0
+    run_sim(trace, predictor, cfg, None, &Registry::disabled()).0
+}
+
+/// [`simulate`] with live observability: the cache's hit/miss counters
+/// stream into the `cache.*` scope of `reg` as the run progresses (same
+/// end-of-run numbers as [`SimReport::stats`]). With a disabled registry
+/// this is exactly [`simulate`].
+pub fn simulate_instrumented(
+    trace: &Trace,
+    predictor: &mut dyn Predictor,
+    cfg: SimConfig,
+    reg: &Registry,
+) -> SimReport {
+    run_sim(trace, predictor, cfg, None, reg).0
 }
 
 /// Parameters of the online serving mode shared by
@@ -184,7 +198,21 @@ pub fn simulate_online(
     cfg: SimConfig,
     online: &OnlineConfig,
 ) -> OnlineSimReport {
-    let (sim, stats) = run_sim(trace, predictor, cfg, Some(online));
+    simulate_online_instrumented(trace, predictor, cfg, online, &Registry::disabled())
+}
+
+/// [`simulate_online`] with live observability: the cache streams into
+/// `cache.*`, the co-driven miner into `stream.*`, and the refresh cadence
+/// into `online.*` of `reg`. With a disabled registry this is exactly
+/// [`simulate_online`].
+pub fn simulate_online_instrumented(
+    trace: &Trace,
+    predictor: &mut dyn Predictor,
+    cfg: SimConfig,
+    online: &OnlineConfig,
+    reg: &Registry,
+) -> OnlineSimReport {
+    let (sim, stats) = run_sim(trace, predictor, cfg, Some(online), reg);
     let stats = stats.expect("online stats present when an OnlineConfig is supplied");
     OnlineSimReport {
         sim,
@@ -218,9 +246,11 @@ fn run_sim(
     predictor: &mut dyn Predictor,
     cfg: SimConfig,
     online: Option<&OnlineConfig>,
+    reg: &Registry,
 ) -> (SimReport, Option<OnlineRunStats>) {
-    let mut driver = online.map(|o| OnlineDriver::start(predictor, o));
+    let mut driver = online.map(|o| OnlineDriver::start_instrumented(predictor, o, reg));
     let mut cache = MetadataCache::new(cfg.cache_capacity);
+    cache.instrument(CacheMetrics::new(&reg.scope("cache")));
     let segments = phase_count(trace.len(), cfg.num_phases);
     let mut phases = Vec::new();
     let mut segment = 0usize;
@@ -275,13 +305,28 @@ pub struct OnlineDriver {
     miner: ShardedMiner,
     cfg: OnlineConfig,
     refreshes: u64,
+    /// Refreshes swapped into the predictor (`online.refreshes`).
+    obs_refreshes: Counter,
+    /// Wall-clock nanoseconds per refresh — consistent-cut snapshot plus
+    /// merge, as seen by the serving loop (`online.refresh_ns`).
+    obs_refresh_ns: Histogram,
 }
 
 impl OnlineDriver {
     /// Spawn the miner and install an empty initial source, switching the
     /// predictor to external serving from event 0.
     pub fn start(predictor: &mut dyn Predictor, online: &OnlineConfig) -> OnlineDriver {
-        let driver = OnlineDriver::spawn(online);
+        OnlineDriver::start_instrumented(predictor, online, &Registry::disabled())
+    }
+
+    /// [`OnlineDriver::start`] with the refresh cadence and the co-driven
+    /// miner registered under the `online.*` / `stream.*` scopes of `reg`.
+    pub fn start_instrumented(
+        predictor: &mut dyn Predictor,
+        online: &OnlineConfig,
+        reg: &Registry,
+    ) -> OnlineDriver {
+        let driver = OnlineDriver::spawn_instrumented(online, reg);
         assert!(
             predictor.refresh_source(OnlineDriver::initial_source(), 0),
             "online simulation requires a predictor that accepts external \
@@ -295,14 +340,23 @@ impl OnlineDriver {
     /// `farmer-mds::replay_online`, where the predictor lives inside the
     /// MDS server).
     pub fn spawn(online: &OnlineConfig) -> OnlineDriver {
+        OnlineDriver::spawn_instrumented(online, &Registry::disabled())
+    }
+
+    /// [`OnlineDriver::spawn`] with observability: refresh metrics under
+    /// `online.*`, shard-fleet metrics under `stream.*` of `reg`.
+    pub fn spawn_instrumented(online: &OnlineConfig, reg: &Registry) -> OnlineDriver {
         assert!(
             online.refresh_interval > 0,
             "online refresh_interval must be positive"
         );
+        let scoped = reg.scope("online");
         OnlineDriver {
-            miner: ShardedMiner::spawn(online.stream.clone()),
+            miner: ShardedMiner::spawn_instrumented(online.stream.clone(), reg),
             cfg: online.clone(),
             refreshes: 0,
+            obs_refreshes: scoped.counter("refreshes"),
+            obs_refresh_ns: scoped.histogram("refresh_ns"),
         }
     }
 
@@ -322,9 +376,11 @@ impl OnlineDriver {
         if !self.cfg.refresh_due(i) {
             return None;
         }
+        let _span = self.obs_refresh_ns.span();
         let events = self.miner.events_routed();
         let snap = self.miner.snapshot();
         self.refreshes += 1;
+        self.obs_refreshes.inc();
         Some((Box::new(snap), events))
     }
 
@@ -552,6 +608,49 @@ mod tests {
         let trace = WorkloadSpec::ins().scaled(0.01).generate();
         let online = OnlineConfig::every(StreamConfig::default(), 100);
         let _ = simulate_online(&trace, &mut LruOnly, SimConfig::default(), &online);
+    }
+
+    #[test]
+    fn instrumented_run_streams_cache_and_online_metrics() {
+        let trace = WorkloadSpec::hp().scaled(0.05).generate();
+        let cfg = SimConfig::for_family(trace.family);
+        let stream = StreamConfig::default().with_node_cap(1 << 20);
+        let online = OnlineConfig::every(stream, (trace.len() / 8).max(1));
+        let reg = farmer_obs::Registry::enabled();
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        fpa.instrument(&reg);
+        let r = simulate_online_instrumented(&trace, &mut fpa, cfg, &online, &reg);
+        let snap = reg.snapshot();
+        // Cache counters mirror the report's end-of-run stats exactly.
+        assert_eq!(
+            snap.counter("cache.demand_accesses"),
+            Some(r.sim.stats.demand_accesses)
+        );
+        assert_eq!(snap.counter("cache.hits"), Some(r.sim.stats.hits));
+        assert_eq!(
+            snap.counter("cache.prefetches_issued"),
+            Some(r.sim.stats.prefetches_issued)
+        );
+        assert_eq!(snap.counter("cache.evictions"), Some(r.sim.stats.evictions));
+        // Online refresh cadence and the co-driven miner share the registry.
+        assert_eq!(snap.counter("online.refreshes"), Some(r.refreshes));
+        let refresh_ns = snap.histogram("online.refresh_ns").expect("refresh spans");
+        assert_eq!(refresh_ns.count, r.refreshes);
+        // The predictor counts the initial empty source too.
+        assert_eq!(snap.counter("fpa.refreshes"), Some(r.refreshes + 1));
+        let topk = snap.histogram("fpa.topk_ns").expect("topk spans");
+        assert_eq!(topk.count, r.sim.stats.demand_accesses);
+        assert_eq!(
+            snap.counter("stream.events_mined"),
+            Some(r.sim.stats.demand_accesses),
+            "every demand event routed to the miner is mined once"
+        );
+        // Instrumentation must not change the simulation outcome.
+        let mut plain = FpaPredictor::for_trace(&trace);
+        let stream = StreamConfig::default().with_node_cap(1 << 20);
+        let online = OnlineConfig::every(stream, (trace.len() / 8).max(1));
+        let baseline = simulate_online(&trace, &mut plain, cfg, &online);
+        assert_eq!(baseline.sim.stats, r.sim.stats);
     }
 
     #[test]

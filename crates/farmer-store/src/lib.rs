@@ -31,6 +31,6 @@ pub mod tree;
 pub mod view;
 
 pub use snapshot::SnapshotError;
-pub use store::{CorrelatorRecord, IoStats, MetaStore, MetadataRecord};
+pub use store::{CorrelatorRecord, IoStats, MetaStore, MetadataRecord, StoreMetrics};
 pub use tree::BTree;
 pub use view::CorrelatorView;

@@ -11,6 +11,7 @@
 //! latency model per page touched, so store shape (tree depth, record
 //! sizes) propagates into simulated response times.
 
+use farmer_obs::{Counter, Registry};
 use farmer_trace::FileId;
 
 use crate::codec::{DecodeError, Reader, Writer};
@@ -85,12 +86,40 @@ pub struct IoStats {
     pub updates: u64,
 }
 
+/// Live observability handles mirroring [`IoStats`], fed by `sync_io` as
+/// page traffic is drained from the trees. No-op by default.
+#[derive(Debug, Clone, Default)]
+pub struct StoreMetrics {
+    /// Pages read (`store.page_reads`).
+    pub page_reads: Counter,
+    /// Pages written (`store.page_writes`).
+    pub page_writes: Counter,
+    /// Record-level lookups (`store.lookups`).
+    pub lookups: Counter,
+    /// Record-level writes (`store.updates`).
+    pub updates: Counter,
+}
+
+impl StoreMetrics {
+    /// Register the store's counters under `reg` (use a `store`-scoped
+    /// registry; see the workspace naming scheme in `farmer-obs`).
+    pub fn new(reg: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            page_reads: reg.counter("page_reads"),
+            page_writes: reg.counter("page_writes"),
+            lookups: reg.counter("lookups"),
+            updates: reg.counter("updates"),
+        }
+    }
+}
+
 /// The embedded metadata store.
 #[derive(Debug, Default)]
 pub struct MetaStore {
     metadata: BTree,
     correlators: BTree,
     stats: IoStats,
+    obs: StoreMetrics,
 }
 
 impl MetaStore {
@@ -107,10 +136,18 @@ impl MetaStore {
         self.sync_io();
     }
 
+    /// Attach live observability counters (a no-op set is installed by
+    /// default). Page/record traffic from this point on streams into the
+    /// registry the metrics were built from, alongside [`IoStats`].
+    pub fn instrument(&mut self, obs: StoreMetrics) {
+        self.obs = obs;
+    }
+
     /// Insert or replace one metadata record.
     pub fn put_metadata(&mut self, rec: &MetadataRecord) {
         self.metadata.insert(rec.file.raw() as u64, &rec.encode());
         self.stats.updates += 1;
+        self.obs.updates.inc();
         self.sync_io();
     }
 
@@ -124,6 +161,7 @@ impl MetaStore {
             .map(|b| MetadataRecord::decode(b).expect("store corruption"));
         let pages = self.metadata.io().page_reads - before;
         self.stats.lookups += 1;
+        self.obs.lookups.inc();
         self.sync_io();
         (rec, pages)
     }
@@ -132,6 +170,7 @@ impl MetaStore {
     pub fn remove_metadata(&mut self, file: FileId) -> bool {
         let existed = self.metadata.remove(file.raw() as u64);
         self.stats.updates += 1;
+        self.obs.updates.inc();
         self.sync_io();
         existed
     }
@@ -158,6 +197,7 @@ impl MetaStore {
         }
         self.correlators.insert(owner.raw() as u64, &w.finish());
         self.stats.updates += 1;
+        self.obs.updates.inc();
         self.sync_io();
     }
 
@@ -165,6 +205,7 @@ impl MetaStore {
     pub fn get_correlators(&mut self, owner: FileId) -> Option<Vec<CorrelatorRecord>> {
         let buf = self.correlators.get(owner.raw() as u64)?.to_vec();
         self.stats.lookups += 1;
+        self.obs.lookups.inc();
         self.sync_io();
         let mut r = Reader::new(&buf);
         let n = r.u32().expect("store corruption");
@@ -215,14 +256,19 @@ impl MetaStore {
             metadata,
             correlators,
             stats: IoStats::default(),
+            obs: StoreMetrics::default(),
         }
     }
 
     fn sync_io(&mut self) {
         let m = self.metadata.take_io();
         let c = self.correlators.take_io();
-        self.stats.page_reads += m.page_reads + c.page_reads;
-        self.stats.page_writes += m.page_writes + c.page_writes;
+        let reads = m.page_reads + c.page_reads;
+        let writes = m.page_writes + c.page_writes;
+        self.stats.page_reads += reads;
+        self.stats.page_writes += writes;
+        self.obs.page_reads.add(reads);
+        self.obs.page_writes.add(writes);
     }
 }
 
@@ -306,6 +352,26 @@ mod tests {
         assert!(s.metadata_depth() >= 2, "1000 records should split");
         let scan = s.scan_metadata(FileId::new(10), FileId::new(19));
         assert_eq!(scan.len(), 10);
+    }
+
+    #[test]
+    fn obs_counters_mirror_io_stats() {
+        let mut s = MetaStore::new();
+        let reg = farmer_obs::Registry::enabled();
+        s.instrument(StoreMetrics::new(&reg.scope("store")));
+        for i in 0..100 {
+            s.put_metadata(&rec(i, i as u64));
+        }
+        s.get_metadata(FileId::new(7));
+        s.put_correlators(FileId::new(1), &[]);
+        s.get_correlators(FileId::new(1));
+        let snap = reg.snapshot();
+        let io = s.stats();
+        assert_eq!(snap.counter("store.page_reads"), Some(io.page_reads));
+        assert_eq!(snap.counter("store.page_writes"), Some(io.page_writes));
+        assert_eq!(snap.counter("store.lookups"), Some(io.lookups));
+        assert_eq!(snap.counter("store.updates"), Some(io.updates));
+        assert!(io.page_writes > 0 && io.page_reads > 0);
     }
 
     #[test]

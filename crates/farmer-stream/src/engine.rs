@@ -39,6 +39,7 @@ use farmer_core::{CorrelatorList, Farmer, Request};
 use farmer_trace::hash::{fx_hash_u64, FxHashMap};
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
+use crate::metrics::StreamMetrics;
 use crate::snapshot::ShardSnapshot;
 use crate::StreamConfig;
 
@@ -64,6 +65,7 @@ pub struct StreamMiner {
     events_seen: u64,
     owned_events: u64,
     evictions: u64,
+    obs: StreamMetrics,
 }
 
 impl StreamMiner {
@@ -88,7 +90,15 @@ impl StreamMiner {
             events_seen: 0,
             owned_events: 0,
             evictions: 0,
+            obs: StreamMetrics::default(),
         }
+    }
+
+    /// Attach live observability handles (a no-op set is installed by
+    /// default). Shards of one [`crate::ShardedMiner`] share one set, so
+    /// the counters report fleet totals.
+    pub fn instrument(&mut self, obs: StreamMetrics) {
+        self.obs = obs;
     }
 
     /// Does this miner own `file`?
@@ -103,6 +113,7 @@ impl StreamMiner {
         self.events_seen += 1;
         if self.owns(req.file) {
             self.owned_events += 1;
+            self.obs.events_mined.inc();
             self.admit(req.file);
         }
         let (shard_id, num_shards) = (self.shard_id, self.num_shards);
@@ -117,6 +128,7 @@ impl StreamMiner {
                 *c *= self.cfg.count_decay;
             }
             self.count_floor *= self.cfg.count_decay;
+            self.obs.decay_ticks.inc();
         }
     }
 
@@ -138,6 +150,7 @@ impl StreamMiner {
     pub fn forget(&mut self, file: FileId) {
         self.counts.remove(&file.raw());
         self.farmer.forget_files(&[file]);
+        self.obs.forgets.inc();
     }
 
     /// Bump `file`'s counter, admitting (and evicting) as needed.
@@ -175,11 +188,13 @@ impl StreamMiner {
         self.farmer.forget_files(&victims);
         self.count_floor = evicted_max;
         self.evictions += batch as u64;
+        self.obs.evictions.add(batch as u64);
     }
 
     /// A consistent snapshot of this shard's state: every tracked owned
     /// file's Correlator List (empty lists omitted) plus counters.
     pub fn snapshot(&self) -> ShardSnapshot {
+        let _span = self.obs.snapshot_build_ns.span();
         let mut lists: Vec<CorrelatorList> = self
             .counts
             .keys()

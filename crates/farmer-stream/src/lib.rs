@@ -45,12 +45,14 @@
 //! ```
 
 pub mod engine;
+pub mod metrics;
 pub mod shard;
 pub mod snapshot;
 
 use farmer_core::FarmerConfig;
 
 pub use engine::StreamMiner;
+pub use metrics::StreamMetrics;
 pub use shard::ShardedMiner;
 pub use snapshot::{ShardSnapshot, StreamSnapshot};
 

@@ -1,0 +1,58 @@
+//! Observability handles for the streaming miner (the `stream.*` scope of
+//! the workspace registry map).
+//!
+//! One [`StreamMetrics`] set is shared by the router and *all* shard
+//! workers — the handles are relaxed-atomic, so per-shard increments sum
+//! into fleet totals without any coordination. Counters cover owned work
+//! only (ownership is disjoint across shards), so totals are stream-level
+//! facts, not `× num_shards` inflation of the broadcast.
+
+use farmer_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Live handles for the `stream.*` metrics. No-op by default.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMetrics {
+    /// Owned events mined, summed across shards (`stream.events_mined`).
+    /// Equals the routed event count: the broadcast copies a shard merely
+    /// *windows* are not counted.
+    pub events_mined: Counter,
+    /// Space-Saving evictions across shards (`stream.evictions`).
+    pub evictions: Counter,
+    /// Retention-counter decay sweeps across shards (`stream.decay_ticks`).
+    pub decay_ticks: Counter,
+    /// Forget tombstones applied, per shard (`stream.forgets`).
+    pub forgets: Counter,
+    /// Events per dispatched batch (`stream.batch_events`), recorded by
+    /// the router at broadcast time.
+    pub batch_events: Histogram,
+    /// Wall-clock nanoseconds one shard spends building its snapshot
+    /// (`stream.snapshot_build_ns`).
+    pub snapshot_build_ns: Histogram,
+    /// Wall-clock nanoseconds the router spends merging shard snapshots
+    /// (`stream.snapshot_merge_ns`).
+    pub snapshot_merge_ns: Histogram,
+    /// Files tracked across shards at the last snapshot
+    /// (`stream.tracked_files`).
+    pub tracked_files: Gauge,
+    /// Resident miner-state bytes across shards at the last snapshot
+    /// (`stream.state_bytes`).
+    pub state_bytes: Gauge,
+}
+
+impl StreamMetrics {
+    /// Register the stream metrics under `reg` (pass a `stream`-scoped
+    /// registry; [`crate::ShardedMiner::spawn_instrumented`] does this).
+    pub fn new(reg: &Registry) -> StreamMetrics {
+        StreamMetrics {
+            events_mined: reg.counter("events_mined"),
+            evictions: reg.counter("evictions"),
+            decay_ticks: reg.counter("decay_ticks"),
+            forgets: reg.counter("forgets"),
+            batch_events: reg.histogram("batch_events"),
+            snapshot_build_ns: reg.histogram("snapshot_build_ns"),
+            snapshot_merge_ns: reg.histogram("snapshot_merge_ns"),
+            tracked_files: reg.gauge("tracked_files"),
+            state_bytes: reg.gauge("state_bytes"),
+        }
+    }
+}

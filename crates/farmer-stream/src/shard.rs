@@ -24,10 +24,12 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use farmer_core::Request;
+use farmer_obs::Registry;
 use farmer_trace::hash::FxHashMap;
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
 use crate::engine::StreamMiner;
+use crate::metrics::StreamMetrics;
 use crate::snapshot::{ShardSnapshot, StreamSnapshot};
 use crate::StreamConfig;
 
@@ -72,18 +74,30 @@ pub struct ShardedMiner {
     /// file instead of one per event (see [`ShardedMiner::route`]).
     path_cache: FxHashMap<u32, Arc<FilePath>>,
     routed: u64,
+    obs: StreamMetrics,
 }
 
 impl ShardedMiner {
     /// Spawn `cfg.num_shards` worker threads, each owning one shard's
     /// [`StreamMiner`] (with `cfg.node_cap` applying per shard).
     pub fn spawn(cfg: StreamConfig) -> Self {
+        Self::spawn_instrumented(cfg, &Registry::disabled())
+    }
+
+    /// [`ShardedMiner::spawn`] with observability: registers the
+    /// `stream.*` metrics under `reg` and shares one [`StreamMetrics`] set
+    /// between the router and every shard worker (relaxed-atomic handles,
+    /// so per-shard increments sum into fleet totals for free). With a
+    /// disabled registry this is exactly `spawn`.
+    pub fn spawn_instrumented(cfg: StreamConfig, reg: &Registry) -> Self {
+        let obs = StreamMetrics::new(&reg.scope("stream"));
         let n = cfg.num_shards.max(1);
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for shard_id in 0..n {
             let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
-            let miner = StreamMiner::for_shard(cfg.clone(), shard_id, n);
+            let mut miner = StreamMiner::for_shard(cfg.clone(), shard_id, n);
+            miner.instrument(obs.clone());
             handles.push(
                 thread::Builder::new()
                     .name(format!("farmer-stream-shard-{shard_id}"))
@@ -99,6 +113,7 @@ impl ShardedMiner {
             pending: Vec::new(),
             path_cache: FxHashMap::default(),
             routed: 0,
+            obs,
         }
     }
 
@@ -151,6 +166,7 @@ impl ShardedMiner {
             return;
         }
         let batch = std::mem::take(&mut self.pending);
+        self.obs.batch_events.record(batch.len() as u64);
         let (last, rest) = self.senders.split_last().expect("at least one shard");
         for tx in rest {
             tx.send(Msg::Batch(batch.clone()))
@@ -189,7 +205,12 @@ impl ShardedMiner {
         // in shard order so the snapshot — including the iteration order of
         // its table — is a deterministic function of the routed stream.
         parts.sort_by_key(|p| p.shard_id);
-        StreamSnapshot::merge(parts)
+        let span = self.obs.snapshot_merge_ns.span();
+        let snap = StreamSnapshot::merge(parts);
+        span.finish();
+        self.obs.tracked_files.set(snap.tracked_files as i64);
+        self.obs.state_bytes.set(snap.state_bytes as i64);
+        snap
     }
 
     /// Number of miner shards.
@@ -369,6 +390,40 @@ mod tests {
         }
         m.flush();
         assert_eq!(m.events_routed(), 3 * trace.len() as u64);
+    }
+
+    #[test]
+    fn instrumented_metrics_report_fleet_totals() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let reg = Registry::enabled();
+        let mut m = ShardedMiner::spawn_instrumented(StreamConfig::default().with_shards(3), &reg);
+        for e in &trace.events {
+            m.route_event(&trace, e);
+        }
+        let victim = trace.events[0].file;
+        m.route_forget(victim);
+        let snap = m.snapshot();
+        let obs = reg.snapshot();
+        // Ownership is disjoint, so owned-event counters sum to the
+        // routed stream length regardless of the broadcast fan-out.
+        assert_eq!(obs.counter("stream.events_mined"), Some(snap.events));
+        assert_eq!(obs.counter("stream.forgets"), Some(3), "one per shard");
+        assert_eq!(
+            obs.gauge("stream.tracked_files"),
+            Some(snap.tracked_files as i64)
+        );
+        let batches = obs.histogram("stream.batch_events").unwrap();
+        assert!(batches.count > 0);
+        assert!(batches.max <= m.config().route_batch as u64);
+        assert!(obs.histogram("stream.snapshot_build_ns").unwrap().count == 3);
+        assert!(obs.histogram("stream.snapshot_merge_ns").unwrap().count == 1);
+        // The plain spawn stays observability-free.
+        let mut plain = ShardedMiner::spawn(StreamConfig::default());
+        for e in trace.events.iter().take(100) {
+            plain.route_event(&trace, e);
+        }
+        plain.flush();
+        assert_eq!(obs.counter("stream.events_mined"), Some(snap.events));
     }
 
     #[test]

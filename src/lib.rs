@@ -22,7 +22,11 @@
 //!   and replica groups) and the §7 attribute regression,
 //! * [`stream`] — the sharded online mining service: unbounded event
 //!   streams mined under a hard memory budget, with consistent snapshots
-//!   that refresh the prefetcher mid-flight.
+//!   that refresh the prefetcher mid-flight,
+//! * [`obs`] — zero-dependency observability: relaxed-atomic counters and
+//!   gauges, log2-bucketed latency histograms, RAII spans and a
+//!   hierarchical registry; every pipeline layer streams its metrics here
+//!   when instrumented, and compiles to no-op handles when not.
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@
 pub use farmer_apps as apps;
 pub use farmer_core as core;
 pub use farmer_mds as mds;
+pub use farmer_obs as obs;
 pub use farmer_prefetch as prefetch;
 pub use farmer_store as store;
 pub use farmer_stream as stream;
@@ -56,6 +61,7 @@ pub mod prelude {
         Farmer, FarmerConfig, PathMode, Request,
     };
     pub use farmer_mds::{replay, LatencyModel, MdsServer, ReplayConfig, ReplayReport};
+    pub use farmer_obs::Registry;
     pub use farmer_prefetch::{
         simulate, FpaPredictor, MetadataCache, NexusPredictor, Predictor, SimConfig, SimReport,
     };
