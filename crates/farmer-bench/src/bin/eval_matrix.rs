@@ -14,12 +14,13 @@
 //! * `--check` — verify every cell against `refmodel`'s bands for the
 //!   active profile and exit non-zero listing every violation. Requires
 //!   the profile's calibrated scale (no positional override).
-//! * `--calibrate` — after the run, emit a refreshed band table (Rust
-//!   source, with standard margins applied) on **stderr**; stdout stays
-//!   the JSON record.
-//! * `--obs` — additionally print the instrumented demo leg's metric
-//!   registry (the same dump embedded as the record's top-level `obs`
-//!   object) on stderr.
+//! * `--calibrate` — after the run, emit the refreshed band tables (Rust
+//!   source, with standard margins applied) on **stderr**: the cell table
+//!   and the `failure`-family durability table; stdout stays the JSON
+//!   record.
+//! * `--obs` — additionally print the instrumented demo legs' metric
+//!   registries (the same dumps embedded as the record's top-level `obs`
+//!   and `obs_recovery` objects) on stderr.
 //!
 //! Batch-vs-sharded snapshot parity and cross-mode FPA quality equality
 //! are asserted unconditionally — with or without `--check`, a run that
@@ -29,12 +30,14 @@ use farmer_bench::evalmatrix::{
     build_scenario, miner_config, run_matrix_with, Cell, MatrixReport, FPA_MODES, PHASES,
     SCENARIOS, SCHEMA_VERSION,
 };
+use farmer_bench::faults::FAILURE_MODES;
 use farmer_bench::format::{obs_json, BenchArgs, Json};
 use farmer_bench::refmodel::{self, Profile, QUICK_SCALE};
 use farmer_mds::{replay_online_instrumented, ReplayConfig};
 use farmer_obs::Registry;
 use farmer_prefetch::{FpaPredictor, OnlineConfig};
-use farmer_stream::StreamConfig;
+use farmer_stream::{recover_instrumented, DurableConfig, DurableMiner, StreamConfig};
+use farmer_trace::Op;
 
 fn ms_arr(values: &[f64]) -> Json {
     Json::Arr(values.iter().map(|&v| Json::Fixed(v, 3)).collect())
@@ -76,7 +79,35 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
         .field("phase_p95_ms", ms_arr(&c.phase_p95_ms))
         .field("phase_p99_ms", ms_arr(&c.phase_p99_ms))
         .field("refreshes", Json::UInt(c.refreshes))
-        .field("miner_evictions", Json::UInt(c.miner_evictions));
+        .field("miner_evictions", Json::UInt(c.miner_evictions))
+        .field("recoveries", Json::UInt(c.recoveries))
+        .field("recovery_events", Json::UInt(c.recovery_events))
+        .field("recovery_ms", Json::Fixed(c.recovery_ms, 3))
+        .field("hit_ratio_dip", Json::Fixed(c.hit_ratio_dip, 4))
+        .field("wal_bytes", Json::UInt(c.wal_bytes));
+    if c.scenario == "failure" {
+        if let Some(f) = refmodel::find_failure(profile, c.mode) {
+            j = j.field(
+                "failure_band",
+                Json::obj()
+                    .field("recoveries", Json::UInt(f.recoveries))
+                    .field(
+                        "recovery_events",
+                        Json::Arr(vec![
+                            Json::F64(f.recovery_events.lo),
+                            Json::F64(f.recovery_events.hi),
+                        ]),
+                    )
+                    .field(
+                        "hit_ratio_dip",
+                        Json::Arr(vec![
+                            Json::F64(f.hit_ratio_dip.lo),
+                            Json::F64(f.hit_ratio_dip.hi),
+                        ]),
+                    ),
+            );
+        }
+    }
     if let Some(b) = refmodel::find(profile, c.scenario, c.mode, c.predictor) {
         j = j.field(
             "band",
@@ -132,11 +163,51 @@ fn obs_demo() -> farmer_obs::ObsReport {
     reg.snapshot()
 }
 
+/// A second instrumented demo leg covering the durability scopes the
+/// serving demo cannot reach: a [`DurableMiner`] over a tiny `failure`
+/// trace, crashed mid-stream and recovered with the registry attached, so
+/// the record's `obs_recovery` dump shows the `wal.*` scope end to end —
+/// appends, syncs, checkpoints, and the recovery counters/histogram
+/// (`wal.recoveries`, `wal.recovery_replay_events`, `wal.recovery_ns`).
+fn obs_recovery_demo() -> farmer_obs::ObsReport {
+    let trace = build_scenario("failure", 0.02);
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("target");
+    dir.push("failure-cells");
+    dir.push(format!("obs-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create obs-demo scratch dir");
+    let wal = dir.join("obs.wal");
+    let stream = StreamConfig::default()
+        .with_farmer(miner_config(&trace))
+        .with_shards(1)
+        .with_node_cap(1 << 20);
+    let cfg = DurableConfig::new(stream).with_checkpoint_interval((trace.len() / 2).max(1) as u64);
+    let reg = Registry::enabled();
+    let mut miner =
+        DurableMiner::create_instrumented(&wal, cfg.clone(), &reg).expect("create durable miner");
+    for e in trace.events.iter().take(trace.len() * 3 / 4) {
+        if e.op == Op::Unlink {
+            miner.forget(e.file);
+        } else if e.op.is_metadata_demand() {
+            miner.ingest_event(&trace, e);
+        }
+    }
+    miner.crash();
+    let (_recovered, _report) =
+        recover_instrumented(&wal, cfg, &reg).expect("recover durable miner");
+    let snap = reg.snapshot();
+    let _ = std::fs::remove_dir_all(&dir);
+    snap
+}
+
 fn json_report(
     report: &MatrixReport,
     profile: Profile,
     scale: f64,
     obs: &farmer_obs::ObsReport,
+    obs_recovery: &farmer_obs::ObsReport,
 ) -> Json {
     let mut j = Json::obj()
         .field("bench", Json::str("eval_matrix"))
@@ -151,6 +222,10 @@ fn json_report(
         .field(
             "fpa_modes",
             Json::Arr(FPA_MODES.iter().map(|&m| Json::str(m)).collect()),
+        )
+        .field(
+            "failure_modes",
+            Json::Arr(FAILURE_MODES.iter().map(|&m| Json::str(m)).collect()),
         )
         .field(
             "parity",
@@ -169,10 +244,12 @@ fn json_report(
                 .field("online_post_shift", Json::Fixed(a.online_post_shift, 4)),
         );
     }
-    j.field("obs", obs_json(obs)).field(
-        "cells",
-        Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
-    )
+    j.field("obs", obs_json(obs))
+        .field("obs_recovery", obs_json(obs_recovery))
+        .field(
+            "cells",
+            Json::Arr(report.cells.iter().map(|c| json_cell(c, profile)).collect()),
+        )
 }
 
 fn main() {
@@ -221,13 +298,16 @@ fn main() {
     }
 
     let obs = obs_demo();
+    let obs_recovery = obs_recovery_demo();
     if args.obs && chatty {
         eprintln!("eval_matrix: instrumented demo-leg registry:");
         eprintln!("{}", obs.render());
+        eprintln!("eval_matrix: instrumented crash/recover demo registry:");
+        eprintln!("{}", obs_recovery.render());
     }
     println!(
         "{}",
-        json_report(&report, profile, args.scale, &obs).render()
+        json_report(&report, profile, args.scale, &obs, &obs_recovery).render()
     );
 
     if args.calibrate {
@@ -236,6 +316,11 @@ fn main() {
             profile.name()
         );
         eprintln!("{}", refmodel::calibrate(&report.cells));
+        eprintln!(
+            "// {} profile durability band table (paste over the matching table in refmodel.rs):",
+            profile.name()
+        );
+        eprintln!("{}", refmodel::calibrate_failure(&report.cells));
     }
     if args.check {
         match refmodel::check(&report.cells, profile) {

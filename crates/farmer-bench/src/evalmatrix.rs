@@ -16,8 +16,21 @@
 //! boundary, which a single average hides).
 //!
 //! **Scenario axis** (one control + the four adversarial generators from
-//! [`farmer_trace::workload::adversarial`]): `base`, `drift`, `tenants`,
-//! `storm`, `churn`.
+//! [`farmer_trace::workload::adversarial`], plus the correlated-failure
+//! family): `base`, `drift`, `tenants`, `storm`, `churn`, `failure`.
+//!
+//! The `failure` scenario is special: instead of the miner-mode ×
+//! predictor grid it runs one cell per **failure mode**
+//! ([`crate::faults::FAILURE_MODES`]) — a durable ([`farmer_stream::DurableMiner`])
+//! online-serving pipeline that is killed mid-stream at deterministic
+//! event indices, optionally has its write-ahead log torn, and is then
+//! recovered and cold-restarted (cache cleared, MDS restarted). Every
+//! recovery is asserted **bitwise identical** to an uninterrupted oracle
+//! fed the recovered operation prefix, and the cells additionally report
+//! recovery counts, replayed events, wall-clock recovery time, the
+//! post-recovery hit-ratio dip, and the final WAL size (see
+//! [`crate::faults`]). Batch-vs-sharded parity does not apply to this
+//! family, so it does not count toward `parity_scenarios`.
 //!
 //! **Miner-mode axis** (FARMER's FPA only — the other predictors mine
 //! internally and run as mode `self`):
@@ -77,8 +90,10 @@ pub use crate::refmodel::SCHEMA_VERSION;
 /// Event-index segments each cell is additionally reported over.
 pub const PHASES: usize = 4;
 
-/// The scenario axis, in emission order.
-pub const SCENARIOS: [&str; 5] = ["base", "drift", "tenants", "storm", "churn"];
+/// The scenario axis, in emission order. `failure` is the
+/// correlated-failure family: one cell per [`crate::faults::FAILURE_MODES`]
+/// entry instead of the miner-mode × predictor grid.
+pub const SCENARIOS: [&str; 6] = ["base", "drift", "tenants", "storm", "churn", "failure"];
 
 /// The miner-mode axis for the FARMER predictor: the three exact-parity
 /// whole-trace modes, the adaptation-lag serving modes (`frozen`,
@@ -153,6 +168,11 @@ pub fn build_scenario(name: &str, scale: f64) -> Trace {
         "storm" => ScanStormSpec::new(WorkloadSpec::hp().scaled(0.3 * scale)).generate(),
         // Create/co-access/unlink generations over the HP base.
         "churn" => ChurnSpec::new(WorkloadSpec::hp().scaled(0.3 * scale)).generate(),
+        // The correlated-failure family reuses the churn generator: the
+        // unlink stream exercises both WAL record kinds (ingest + forget)
+        // at every kill point, and generational turnover makes a stale
+        // recovered model actually hurt.
+        "failure" => ChurnSpec::new(WorkloadSpec::hp().scaled(0.3 * scale)).generate(),
         other => panic!("unknown scenario {other:?}"),
     }
 }
@@ -218,6 +238,19 @@ pub struct Cell {
     /// Files the miner evicted under `node_cap` pressure (capped modes; 0
     /// when uncapped).
     pub miner_evictions: u64,
+    /// Crash/recover cycles survived (failure cells; 0 elsewhere).
+    pub recoveries: u64,
+    /// Logged events replayed across all recoveries (failure cells).
+    pub recovery_events: u64,
+    /// Wall-clock milliseconds the recoveries took, summed over both
+    /// co-driven legs (failure cells). Machine-dependent — reported but
+    /// excluded from reference bands.
+    pub recovery_ms: f64,
+    /// Worst per-kill demand hit-ratio dip: the ratio over the window
+    /// before a kill minus the window after it (failure cells).
+    pub hit_ratio_dip: f64,
+    /// Final write-ahead-log size in bytes (failure cells; 0 elsewhere).
+    pub wal_bytes: u64,
 }
 
 impl Cell {
@@ -496,6 +529,11 @@ fn finish_cell(
         phase_p99_ms: rep.phase_p99_ms.clone(),
         refreshes: 0,
         miner_evictions: 0,
+        recoveries: 0,
+        recovery_events: 0,
+        recovery_ms: 0.0,
+        hit_ratio_dip: 0.0,
+        wal_bytes: 0,
     };
     for (name, v) in [
         ("hit_ratio", cell.hit_ratio),
@@ -549,6 +587,44 @@ pub fn run_matrix_with(
         progress(scenario);
         let trace = build_scenario(scenario, scale);
         let cfg = miner_config(&trace);
+
+        if scenario == "failure" {
+            // The correlated-failure family: one durable online-serving
+            // cell per kill plan, each proven bitwise-recoverable inside
+            // run_failure_cell. No batch/sharded parity applies (the
+            // whole point is crashing the only miner), so this scenario
+            // does not count toward parity_scenarios.
+            for mode in crate::faults::FAILURE_MODES {
+                let r = crate::faults::run_failure_cell(
+                    &trace,
+                    cfg.clone(),
+                    mode,
+                    ONLINE_DENSE_REFRESHES,
+                    PHASES,
+                );
+                let mut cell = finish_cell(
+                    scenario,
+                    mode,
+                    "FARMER",
+                    r.sim,
+                    r.replay,
+                    r.events_per_sec,
+                    r.miner_state_bytes,
+                );
+                cell.refreshes = r.refreshes;
+                cell.recoveries = r.recoveries;
+                cell.recovery_events = r.recovery_events;
+                cell.recovery_ms = r.recovery_ms;
+                cell.hit_ratio_dip = r.hit_ratio_dip;
+                cell.wal_bytes = r.wal_bytes;
+                assert!(
+                    cell.recoveries > 0 && cell.recovery_events > 0,
+                    "{scenario}/{mode}: failure cell never recovered"
+                );
+                cells.push(cell);
+            }
+            continue;
+        }
 
         // FARMER's three exact-parity miner modes over the identical
         // mining policy.
@@ -797,6 +873,32 @@ mod tests {
         ] {
             assert_eq!(by_mode(m).miner_evictions, 0, "{m} is uncapped");
         }
+    }
+
+    #[test]
+    fn failure_family_runs_one_cell_per_mode() {
+        use crate::faults::FAILURE_MODES;
+        let report = run_matrix_with(0.05, &["failure"], &mut |_| {});
+        assert_eq!(report.cells.len(), FAILURE_MODES.len());
+        // Crashing the only miner leaves nothing to compare against:
+        // parity does not apply to this family.
+        assert_eq!(report.parity_scenarios, 0);
+        for (c, mode) in report.cells.iter().zip(FAILURE_MODES) {
+            assert_eq!(c.scenario, "failure");
+            assert_eq!(c.mode, mode);
+            assert_eq!(c.predictor, "FARMER");
+            assert!(c.refreshes > 0, "{mode}: online refreshes ran");
+            assert!(c.recovery_events > 0, "{mode}: recovery replayed events");
+            assert!(c.recovery_ms > 0.0);
+            assert!(c.wal_bytes > 4096, "{mode}: more than a WAL header logged");
+            assert!(c.hit_ratio_dip.abs() <= 1.0);
+            assert_eq!(c.phase_hit_ratios.len(), PHASES);
+            assert_eq!(c.phase_response_ms.len(), PHASES);
+        }
+        let by_mode = |m: &str| report.cells.iter().find(|c| c.mode == m).unwrap();
+        assert_eq!(by_mode("kill50").recoveries, 1);
+        assert_eq!(by_mode("kill50torn").recoveries, 1);
+        assert_eq!(by_mode("kill25x3").recoveries, 3);
     }
 
     #[test]

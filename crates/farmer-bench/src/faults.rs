@@ -1,0 +1,651 @@
+//! Fault injection for the durable mining tier: correlated miner + MDS
+//! crash/restart cells of the evaluation matrix.
+//!
+//! Each **failure mode** ([`FAILURE_MODES`]) is a deterministic kill plan
+//! — event indices at which the co-driven [`DurableMiner`] is crashed
+//! ([`DurableMiner::crash`]: the unsynced WAL tail is dropped, as a power
+//! cut would drop it), optionally followed by a torn-write injection on
+//! the log file, then recovered ([`farmer_stream::recover`]) and the
+//! serving tier cold-restarted (cache cleared, predictor refreshed from
+//! the recovered snapshot; on the response-time leg,
+//! `MdsServer::restart_cold`).
+//!
+//! The cell runs the same two co-driven legs as the matrix's online
+//! modes — the cache simulation and the MDS replay — each with its *own*
+//! WAL, and at every kill point asserts the recovered mining state is
+//! **bitwise identical** to an uninterrupted oracle fed exactly the
+//! recovered operation prefix (the same invariant the `farmer-stream`
+//! crash-point matrix test pins, here exercised through the full serving
+//! pipeline). A failure cell that recovers to an almost-right state
+//! panics instead of reporting.
+//!
+//! What the cell measures on top of the usual quality metrics:
+//!
+//! * `recoveries` / `recovery_events` — how many restarts happened and
+//!   how many logged events the replays rebuilt (deterministic, banded);
+//! * `hit_ratio_dip` — demand hit ratio in the window before the kill
+//!   minus the window after it (window = `len / 16` events): the
+//!   serving-quality cost of a cold restart (deterministic, banded);
+//! * `recovery_ms` — wall-clock time the recoveries took, summed over
+//!   both legs (machine-dependent, reported but never banded);
+//! * `wal_bytes` — final log size of the simulation leg.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use farmer_core::{CorrelationSource, CorrelatorTable, FarmerConfig};
+use farmer_mds::{LatencyStats, MdsServer, ReplayConfig, ReplayReport};
+use farmer_prefetch::{FpaPredictor, MetadataCache, Predictor, SimConfig, SimReport};
+use farmer_stream::{
+    recover, snapshots_bitwise_equal, DurableConfig, DurableMiner, ShardedMiner, StreamConfig,
+    StreamSnapshot,
+};
+use farmer_trace::phases::{phase_count, phase_end};
+use farmer_trace::{FileId, Op, Trace};
+
+/// The failure-mode axis of the `failure` scenario family, in emission
+/// order: one mid-stream kill, the same kill with a torn WAL tail, and
+/// three evenly spaced kills.
+pub const FAILURE_MODES: [&str; 3] = ["kill50", "kill50torn", "kill25x3"];
+
+/// Hit-ratio dip window divisor: the dip compares the `len /
+/// DIP_WINDOW_DIV` events before each kill against the same span after
+/// it.
+pub const DIP_WINDOW_DIV: usize = 16;
+
+/// A torn-write injection applied to the WAL file between crash and
+/// recovery (the tail-scan corruption modes the WAL must tolerate).
+#[derive(Debug, Clone, Copy)]
+pub enum TornTail {
+    /// Truncate the last `n` bytes (a chopped final write).
+    Chop(usize),
+    /// Append `n` garbage bytes (a half-written block after the tail).
+    Garbage(usize),
+    /// Flip one bit `n` bytes before the end (silent media corruption).
+    FlipBit(usize),
+}
+
+/// One failure mode's deterministic plan: kill at these event indices,
+/// optionally tearing the log tail at each kill.
+#[derive(Debug, Clone)]
+pub struct KillPlan {
+    /// Event indices at which the miner is crashed (before the event is
+    /// routed: a kill at `k` means exactly the events `[0, k)` reached
+    /// the miner).
+    pub kills: Vec<usize>,
+    /// Applied to the WAL file after every crash, before recovery.
+    pub torn: Option<TornTail>,
+}
+
+/// Build the kill plan of one failure mode over a `len`-event trace.
+///
+/// Panics on an unknown mode — failure-mode names are part of the
+/// reference model's identity, exactly like scenario names.
+pub fn kill_plan(mode: &str, len: usize) -> KillPlan {
+    let at = |num: usize, den: usize| (len * num / den).max(1);
+    match mode {
+        "kill50" => KillPlan {
+            kills: vec![at(1, 2)],
+            torn: None,
+        },
+        "kill50torn" => KillPlan {
+            kills: vec![at(1, 2)],
+            torn: Some(TornTail::Chop(11)),
+        },
+        "kill25x3" => KillPlan {
+            kills: vec![at(1, 4), at(1, 2), at(3, 4)],
+            torn: None,
+        },
+        other => panic!("unknown failure mode {other:?}"),
+    }
+}
+
+/// Apply one torn-write injection to a WAL file. Skips (rather than
+/// corrupting the header page) when the file is too small to tear —
+/// which the calibrated scales never are.
+pub fn inject_torn_tail(path: &Path, torn: TornTail) -> std::io::Result<()> {
+    let mut data = fs::read(path)?;
+    let len = data.len();
+    match torn {
+        TornTail::Chop(n) => {
+            if len > 4096 + n {
+                data.truncate(len - n);
+            }
+        }
+        TornTail::Garbage(n) => data.extend(std::iter::repeat_n(0xA5, n)),
+        TornTail::FlipBit(n) => {
+            if len > 4096 + n {
+                data[len - n] ^= 0x10;
+            }
+        }
+    }
+    fs::write(path, &data)
+}
+
+/// What one failure cell measured, spanning both co-driven legs.
+#[derive(Debug)]
+pub struct FailureCellReport {
+    /// The cache-simulation leg's report (cumulative across restarts).
+    pub sim: SimReport,
+    /// The MDS-replay leg's report (cumulative across restarts).
+    pub replay: ReplayReport,
+    /// Periodic snapshot refreshes per leg (legs asserted equal).
+    pub refreshes: u64,
+    /// Crash/recover cycles per leg (legs asserted equal).
+    pub recoveries: u64,
+    /// Logged events replayed across all recoveries of one leg.
+    pub recovery_events: u64,
+    /// Wall-clock milliseconds all recoveries took, summed over both
+    /// legs. Machine-dependent — never banded.
+    pub recovery_ms: f64,
+    /// Worst per-kill demand hit-ratio dip of the simulation leg.
+    pub hit_ratio_dip: f64,
+    /// Final WAL size of the simulation leg, in bytes.
+    pub wal_bytes: u64,
+    /// Resident miner bytes at end of the simulation leg.
+    pub miner_state_bytes: usize,
+    /// Events driven per second across both legs, including recoveries.
+    pub events_per_sec: f64,
+}
+
+/// One mirrored logical operation, for oracle reconstruction.
+#[derive(Clone, Copy)]
+enum MirrorOp {
+    Ev(usize),
+    Forget(FileId),
+}
+
+/// One leg's durable miner plus everything needed to kill, tear,
+/// recover, and prove the recovery exact: the mirrored op stream is the
+/// uninterrupted oracle's script, truncated to the recovered prefix at
+/// every crash.
+struct DurableLeg {
+    leg: &'static str,
+    wal: PathBuf,
+    cfg: DurableConfig,
+    miner: Option<DurableMiner>,
+    ops: Vec<MirrorOp>,
+    kills: Vec<usize>,
+    next_kill: usize,
+    torn: Option<TornTail>,
+    recoveries: u64,
+    recovery_events: u64,
+    recovery_ns: u64,
+}
+
+/// Totals one leg hands back, plus its final state for cross-leg parity.
+struct LegStats {
+    snap: StreamSnapshot,
+    recoveries: u64,
+    recovery_events: u64,
+    recovery_ns: u64,
+    wal_bytes: u64,
+    miner_state_bytes: usize,
+}
+
+impl DurableLeg {
+    fn new(leg: &'static str, wal: PathBuf, cfg: DurableConfig, plan: &KillPlan) -> DurableLeg {
+        let miner = DurableMiner::create(&wal, cfg.clone())
+            .unwrap_or_else(|e| panic!("{leg}: create durable miner: {e:?}"));
+        DurableLeg {
+            leg,
+            wal,
+            cfg,
+            miner: Some(miner),
+            ops: Vec::new(),
+            kills: plan.kills.clone(),
+            next_kill: 0,
+            torn: plan.torn,
+            recoveries: 0,
+            recovery_events: 0,
+            recovery_ns: 0,
+        }
+    }
+
+    /// Route one event under the matrix mining policy, mirroring it for
+    /// the oracle.
+    fn route(&mut self, trace: &Trace, i: usize) {
+        let e = &trace.events[i];
+        let m = self.miner.as_mut().expect("miner alive");
+        if e.op == Op::Unlink {
+            m.forget(e.file);
+            self.ops.push(MirrorOp::Forget(e.file));
+        } else if e.op.is_metadata_demand() {
+            m.ingest_event(trace, e);
+            self.ops.push(MirrorOp::Ev(i));
+        }
+    }
+
+    /// A consistent snapshot of the live miner, for a periodic predictor
+    /// refresh.
+    fn snapshot_source(&mut self) -> (Box<dyn CorrelationSource + Send>, u64) {
+        let m = self.miner.as_mut().expect("miner alive");
+        let events = m.events_logged();
+        (Box::new(m.snapshot()), events)
+    }
+
+    /// Feed the mirrored op prefix to an uninterrupted plain miner and
+    /// return its snapshot — the state recovery must land on bit for bit.
+    fn oracle_snapshot(&self, trace: &Trace) -> StreamSnapshot {
+        let mut oracle = ShardedMiner::spawn(self.cfg.stream.clone());
+        for op in &self.ops {
+            match *op {
+                MirrorOp::Ev(i) => oracle.route_event(trace, &trace.events[i]),
+                MirrorOp::Forget(f) => oracle.route_forget(f),
+            }
+        }
+        oracle.snapshot()
+    }
+
+    /// If event `i` is a kill point: crash the miner (dropping the
+    /// unsynced tail), tear the log if the plan says so, recover, prove
+    /// the recovered state bitwise-equal to the oracle over the recovered
+    /// prefix, and hand back the recovered snapshot for the serving
+    /// tier's restart.
+    fn maybe_kill(
+        &mut self,
+        trace: &Trace,
+        i: usize,
+    ) -> Option<(Box<dyn CorrelationSource + Send>, u64)> {
+        if self.next_kill >= self.kills.len() || i != self.kills[self.next_kill] {
+            return None;
+        }
+        self.next_kill += 1;
+        self.miner.take().expect("miner alive").crash();
+        if let Some(torn) = self.torn {
+            inject_torn_tail(&self.wal, torn)
+                .unwrap_or_else(|e| panic!("{}: torn-tail injection: {e}", self.leg));
+        }
+        let (mut recovered, report) = recover(&self.wal, self.cfg.clone())
+            .unwrap_or_else(|e| panic!("{}: recovery at kill {i}: {e:?}", self.leg));
+        let replayed = report.ops_replayed as usize;
+        assert!(
+            replayed <= self.ops.len(),
+            "{}: recovery replayed ops that were never routed",
+            self.leg
+        );
+        self.ops.truncate(replayed);
+        if let Some(v) = report.checkpoint_verified {
+            assert!(
+                v,
+                "{}: checkpoint self-verification failed at kill {i}",
+                self.leg
+            );
+        }
+        assert!(
+            snapshots_bitwise_equal(&recovered.snapshot(), &self.oracle_snapshot(trace)),
+            "{}: recovered mining state diverged from the uninterrupted \
+             oracle at kill {i} (replayed {replayed} ops)",
+            self.leg
+        );
+        self.recoveries += 1;
+        self.recovery_events += report.events_replayed;
+        self.recovery_ns += report.replay_ns;
+        let events = recovered.events_logged();
+        let snap = recovered.snapshot();
+        self.miner = Some(recovered);
+        Some((Box::new(snap), events))
+    }
+
+    /// End of stream: one final oracle-parity proof over the whole
+    /// surviving op sequence, then the leg's totals.
+    fn finish(mut self, trace: &Trace) -> LegStats {
+        let m = self.miner.as_mut().expect("miner alive");
+        let wal_bytes = m.wal_len_bytes();
+        let snap = m.snapshot();
+        assert!(
+            snapshots_bitwise_equal(&snap, &self.oracle_snapshot(trace)),
+            "{}: end-of-stream mining state diverged from the oracle",
+            self.leg
+        );
+        LegStats {
+            miner_state_bytes: snap.state_bytes,
+            snap,
+            recoveries: self.recoveries,
+            recovery_events: self.recovery_events,
+            recovery_ns: self.recovery_ns,
+            wal_bytes,
+        }
+    }
+}
+
+/// Fresh per-cell scratch directory under the workspace `target/` (WAL +
+/// checkpoint sidecars live here; removed when the cell finishes).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("target");
+    dir.push("failure-cells");
+    dir.push(format!(
+        "{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).expect("create failure-cell scratch dir");
+    dir
+}
+
+/// The durable-tier configuration every failure cell uses: one uncapped
+/// shard (so the oracle comparison measures recovery, not eviction
+/// policy) checkpointing four times over the run.
+fn failure_config(farmer: FarmerConfig, len: usize) -> DurableConfig {
+    let stream = StreamConfig::default()
+        .with_farmer(farmer)
+        .with_shards(1)
+        .with_node_cap(1 << 20);
+    DurableConfig::new(stream).with_checkpoint_interval((len / 4).max(1) as u64)
+}
+
+/// Does a periodic refresh fire at event `i`? Matches
+/// `OnlineConfig::every` semantics (one refresh per interior interval
+/// boundary).
+fn refresh_due(i: usize, interval: usize) -> bool {
+    i > 0 && i.is_multiple_of(interval.max(1))
+}
+
+/// Demand hit ratio over `hits[range]` (−1 = not a demand, 0 = miss,
+/// 1 = hit); 0 when the window holds no demands.
+fn hit_ratio_in(hits: &[i8], range: std::ops::Range<usize>) -> f64 {
+    let mut demands = 0u64;
+    let mut hit = 0u64;
+    for &v in &hits[range] {
+        if v >= 0 {
+            demands += 1;
+            hit += u64::from(v == 1);
+        }
+    }
+    if demands == 0 {
+        0.0
+    } else {
+        hit as f64 / demands as f64
+    }
+}
+
+/// The empty source both legs start serving from (cold model, exactly
+/// like the matrix's online modes).
+fn empty_source() -> Box<dyn CorrelationSource + Send> {
+    Box::new(CorrelatorTable::new())
+}
+
+/// Run one failure cell: the cache-simulation and MDS-replay legs, each
+/// co-driving its own durable miner through `mode`'s kill plan, with
+/// `refreshes` periodic snapshot refreshes and `phases` reporting
+/// segments. Every recovery is proven bitwise-exact against an
+/// uninterrupted oracle; the two legs' final mining states are asserted
+/// identical.
+pub fn run_failure_cell(
+    trace: &Trace,
+    farmer: FarmerConfig,
+    mode: &'static str,
+    refreshes: usize,
+    phases: usize,
+) -> FailureCellReport {
+    let len = trace.len();
+    let plan = kill_plan(mode, len);
+    let interval = (len / refreshes.max(1)).max(1);
+    let dir = scratch_dir(mode);
+    let start = Instant::now();
+
+    // ---- Leg 1: cache simulation (hit ratio, accuracy, dip). ----
+    let sim_cfg = SimConfig::for_family(trace.family).with_phases(phases);
+    let mut leg = DurableLeg::new(
+        "sim",
+        dir.join("sim.wal"),
+        failure_config(farmer.clone(), len),
+        &plan,
+    );
+    let mut fpa = FpaPredictor::for_trace(trace);
+    assert!(
+        fpa.refresh_source(empty_source(), 0),
+        "FPA serves externally"
+    );
+    let mut cache = MetadataCache::new(sim_cfg.cache_capacity);
+    let mut sim_refreshes = 0u64;
+    // Per-event hit log for the dip windows: −1 not a demand, 0 miss,
+    // 1 hit.
+    let mut hits = vec![-1i8; len];
+    let segments = phase_count(len, sim_cfg.num_phases);
+    let mut phase_stats = Vec::new();
+    let mut segment = 0usize;
+    let mut phase_mark = cache.stats();
+    let mut candidates = Vec::new();
+    for (i, event) in trace.events.iter().enumerate() {
+        if sim_cfg.num_phases > 1 && i == phase_end(len, segments, segment) {
+            let now = cache.stats();
+            phase_stats.push(now.delta(&phase_mark));
+            phase_mark = now;
+            segment += 1;
+        }
+        if let Some((source, events)) = leg.maybe_kill(trace, i) {
+            // Correlated restart: the serving tier dies with the miner.
+            cache.clear();
+            fpa.refresh_source(source, events);
+        }
+        if refresh_due(i, interval) {
+            let (source, events) = leg.snapshot_source();
+            fpa.refresh_source(source, events);
+            sim_refreshes += 1;
+        }
+        leg.route(trace, i);
+        if event.op.is_metadata_demand() {
+            let hit = cache.access(event.file);
+            hits[i] = i8::from(hit);
+            if !hit {
+                cache.insert_demand(event.file);
+            }
+            fpa.on_access_into(trace, event, &mut candidates);
+            for &file in candidates.iter().take(sim_cfg.prefetch_limit) {
+                if file != event.file {
+                    cache.insert_prefetch(file);
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    if sim_cfg.num_phases > 1 {
+        phase_stats.push(stats.delta(&phase_mark));
+    }
+    let sim = SimReport {
+        predictor: "FARMER".to_string(),
+        trace: trace.label.clone(),
+        cache_capacity: sim_cfg.cache_capacity,
+        stats,
+        phases: phase_stats,
+        predictor_memory: fpa.memory_bytes(),
+    };
+    let sim_leg = leg.finish(trace);
+
+    // Worst per-kill dip: hit ratio just before the kill minus just
+    // after it.
+    let w = (len / DIP_WINDOW_DIV).max(1);
+    let mut hit_ratio_dip = 0.0f64;
+    for &k in &plan.kills {
+        let before = hit_ratio_in(&hits, k.saturating_sub(w)..k);
+        let after = hit_ratio_in(&hits, k..(k + w).min(len));
+        hit_ratio_dip = hit_ratio_dip.max(before - after);
+    }
+
+    // ---- Leg 2: MDS replay (response times), same plan. ----
+    let mut rep_cfg = ReplayConfig::for_family(trace.family);
+    rep_cfg.num_phases = phases;
+    let mut leg = DurableLeg::new(
+        "replay",
+        dir.join("replay.wal"),
+        failure_config(farmer, len),
+        &plan,
+    );
+    let mut mds = MdsServer::new(trace, Box::new(FpaPredictor::for_trace(trace)), rep_cfg.mds);
+    assert!(
+        mds.refresh_predictor(empty_source(), 0),
+        "FPA serves externally"
+    );
+    let mut rep_refreshes = 0u64;
+    let mut horizon = 0u64;
+    let segments = phase_count(len, rep_cfg.num_phases);
+    let mut segment = 0usize;
+    let mut phase_mean_ms = Vec::new();
+    let mut phase_p50_ms = Vec::new();
+    let mut phase_p95_ms = Vec::new();
+    let mut phase_p99_ms = Vec::new();
+    let mut mark = LatencyStats::new();
+    for (i, event) in trace.events.iter().enumerate() {
+        if rep_cfg.num_phases > 1 && i == phase_end(len, segments, segment) {
+            let now = mds.stats().clone();
+            let delta = now.delta(&mark);
+            mark = now;
+            phase_mean_ms.push(delta.mean_ms());
+            phase_p50_ms.push(delta.percentile_us(0.50) as f64 / 1000.0);
+            phase_p95_ms.push(delta.percentile_us(0.95) as f64 / 1000.0);
+            phase_p99_ms.push(delta.percentile_us(0.99) as f64 / 1000.0);
+            segment += 1;
+        }
+        if let Some((source, events)) = leg.maybe_kill(trace, i) {
+            mds.restart_cold();
+            mds.refresh_predictor(source, events);
+        }
+        if refresh_due(i, interval) {
+            let (source, events) = leg.snapshot_source();
+            mds.refresh_predictor(source, events);
+            rep_refreshes += 1;
+        }
+        leg.route(trace, i);
+        if !event.op.is_metadata_demand() {
+            continue;
+        }
+        let mut e = *event;
+        e.timestamp_us = (event.timestamp_us as f64 * rep_cfg.time_scale) as u64;
+        horizon = e.timestamp_us;
+        mds.demand(trace, &e);
+    }
+    if rep_cfg.num_phases > 1 {
+        let delta = mds.stats().delta(&mark);
+        phase_mean_ms.push(delta.mean_ms());
+        phase_p50_ms.push(delta.percentile_us(0.50) as f64 / 1000.0);
+        phase_p95_ms.push(delta.percentile_us(0.95) as f64 / 1000.0);
+        phase_p99_ms.push(delta.percentile_us(0.99) as f64 / 1000.0);
+    }
+    let replay = ReplayReport {
+        predictor: mds.predictor_name(),
+        trace: trace.label.clone(),
+        latency: mds.stats().clone(),
+        counters: mds.counters(),
+        cache: mds.cache_stats(),
+        horizon_us: horizon,
+        predictor_memory: mds.predictor_memory(),
+        client_hits: 0,
+        phase_mean_ms,
+        phase_p50_ms,
+        phase_p95_ms,
+        phase_p99_ms,
+    };
+    let rep_leg = leg.finish(trace);
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let _ = fs::remove_dir_all(&dir);
+
+    // The legs route the identical op stream through the identical plan:
+    // everything deterministic must agree, down to the mined bits.
+    assert_eq!(
+        (sim_refreshes, sim_leg.recoveries, sim_leg.recovery_events),
+        (rep_refreshes, rep_leg.recoveries, rep_leg.recovery_events),
+        "{mode}: sim and replay legs diverged"
+    );
+    assert!(
+        snapshots_bitwise_equal(&sim_leg.snap, &rep_leg.snap),
+        "{mode}: the two legs' final mining states diverged"
+    );
+    assert_eq!(
+        sim_leg.recoveries as usize,
+        plan.kills.len(),
+        "{mode}: every planned kill must recover"
+    );
+
+    FailureCellReport {
+        sim,
+        replay,
+        refreshes: sim_refreshes,
+        recoveries: sim_leg.recoveries,
+        recovery_events: sim_leg.recovery_events,
+        recovery_ms: (sim_leg.recovery_ns + rep_leg.recovery_ns) as f64 / 1e6,
+        hit_ratio_dip,
+        wal_bytes: sim_leg.wal_bytes,
+        miner_state_bytes: sim_leg.miner_state_bytes,
+        events_per_sec: (2 * len) as f64 / elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::workload::ChurnSpec;
+    use farmer_trace::WorkloadSpec;
+
+    #[test]
+    fn kill_plans_are_deterministic_and_in_range() {
+        for mode in FAILURE_MODES {
+            let p = kill_plan(mode, 10_000);
+            assert!(!p.kills.is_empty(), "{mode}: empty kill plan");
+            assert!(p.kills.iter().all(|&k| k > 0 && k < 10_000));
+            assert!(p.kills.windows(2).all(|w| w[0] < w[1]), "{mode}: sorted");
+            let q = kill_plan(mode, 10_000);
+            assert_eq!(p.kills, q.kills);
+        }
+        assert!(kill_plan("kill50torn", 10_000).torn.is_some());
+        assert!(kill_plan("kill50", 10_000).torn.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown failure mode")]
+    fn unknown_mode_rejected() {
+        let _ = kill_plan("nope", 100);
+    }
+
+    #[test]
+    fn dip_window_ratio_counts_only_demands() {
+        let hits = [-1, 1, 0, 1, -1, 0];
+        assert_eq!(hit_ratio_in(&hits, 0..6), 2.0 / 4.0);
+        assert_eq!(hit_ratio_in(&hits, 0..1), 0.0, "no demands in window");
+        assert_eq!(hit_ratio_in(&hits, 1..2), 1.0);
+    }
+
+    #[test]
+    fn failure_cell_recovers_exactly_and_reports_dip_fields() {
+        // A small end-to-end run of the single-kill mode: the oracle
+        // parity asserts inside run_failure_cell are the meat; this test
+        // pins the reported totals.
+        let trace = ChurnSpec::new(WorkloadSpec::hp().scaled(0.015)).generate();
+        let r = run_failure_cell(&trace, FarmerConfig::default(), "kill50", 16, 4);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.recovery_events > 0, "the kill point is mid-stream");
+        assert!(r.recovery_ms > 0.0);
+        assert!(r.wal_bytes > 4096, "more than a header page was logged");
+        assert!(r.refreshes > 0);
+        assert_eq!(r.sim.phases.len(), 4);
+        assert_eq!(r.replay.phase_mean_ms.len(), 4);
+        assert!(r.sim.hit_ratio() > 0.0 && r.sim.hit_ratio() <= 1.0);
+        assert!(r.replay.avg_response_ms() > 0.0);
+        assert!(r.hit_ratio_dip.abs() <= 1.0);
+        assert!(r.miner_state_bytes > 0);
+    }
+
+    #[test]
+    fn torn_mode_still_recovers_bitwise() {
+        // The torn variant chops the synced tail: recovery must drop the
+        // damage and still land on the oracle prefix (asserted inside).
+        let trace = ChurnSpec::new(WorkloadSpec::hp().scaled(0.015)).generate();
+        let r = run_failure_cell(&trace, FarmerConfig::default(), "kill50torn", 16, 4);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.recovery_events > 0);
+    }
+
+    #[test]
+    fn triple_kill_mode_recovers_every_time() {
+        let trace = ChurnSpec::new(WorkloadSpec::hp().scaled(0.015)).generate();
+        let r = run_failure_cell(&trace, FarmerConfig::default(), "kill25x3", 16, 4);
+        assert_eq!(r.recoveries, 3);
+        assert!(r.recovery_events > 0);
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod evalmatrix;
 pub mod experiments;
+pub mod faults;
 pub mod format;
 pub mod paper;
 pub mod refmodel;

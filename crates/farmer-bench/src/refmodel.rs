@@ -19,7 +19,10 @@
 //! and replace the matching table below with the emitted rows — the
 //! margins (±25 % relative, floor ±0.05 absolute on ratios; −40 %/+60 %
 //! on response; 2× on memory) are applied by the calibration emitter, so
-//! the tables stay mechanical.
+//! the tables stay mechanical. The `failure` family additionally has a
+//! durability table per profile ([`FailureBand`]; exact recovery counts,
+//! banded replay volume and hit-ratio dip), emitted by the same
+//! `--calibrate` runs via [`calibrate_failure`].
 
 use crate::evalmatrix::Cell;
 
@@ -35,7 +38,12 @@ use crate::evalmatrix::Cell;
 /// v3: per-cell service-time quantiles (`response_p{50,95,99}_ms` and the
 /// matching per-phase vectors) from the replay's log2-bucketed histogram;
 /// top-level `obs` dump of the instrumented demo run's metric registry.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the correlated-`failure` scenario family — per-cell `recoveries`,
+/// `recovery_events`, `recovery_ms`, `hit_ratio_dip` and `wal_bytes`;
+/// top-level `failure_modes` axis and `obs_recovery` dump of an
+/// instrumented crash/recover demo (`wal.*` scope).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Which band table a run is checked against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,12 +110,42 @@ pub struct CellBand {
     pub memory_hi: u64,
 }
 
+/// The durability bands of one `failure`-family cell, on top of its
+/// regular [`CellBand`]: kill counts are part of the plan (exact), the
+/// replayed-event volume and the post-recovery hit-ratio dip are banded.
+/// Wall-clock recovery time is machine-dependent and never banded.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureBand {
+    /// Failure mode (one of [`crate::faults::FAILURE_MODES`]).
+    pub mode: &'static str,
+    /// Exact expected crash/recover cycles (the kill plan is
+    /// deterministic; anything else is a harness bug, not drift).
+    pub recoveries: u64,
+    /// Expected logged events replayed across all recoveries of one leg.
+    pub recovery_events: Band,
+    /// Expected worst per-kill demand hit-ratio dip.
+    pub hit_ratio_dip: Band,
+}
+
 /// The band table for `profile`.
 pub fn bands(profile: Profile) -> &'static [CellBand] {
     match profile {
         Profile::Quick => QUICK_BANDS,
         Profile::Full => FULL_BANDS,
     }
+}
+
+/// The failure-family durability band table for `profile`.
+pub fn failure_bands(profile: Profile) -> &'static [FailureBand] {
+    match profile {
+        Profile::Quick => FAILURE_QUICK,
+        Profile::Full => FAILURE_FULL,
+    }
+}
+
+/// Look up the durability band of one failure mode.
+pub fn find_failure(profile: Profile, mode: &str) -> Option<&'static FailureBand> {
+    failure_bands(profile).iter().find(|b| b.mode == mode)
 }
 
 /// Look up the band of one cell.
@@ -131,6 +169,38 @@ pub fn find(
 pub fn check(cells: &[Cell], profile: Profile) -> Result<usize, Vec<String>> {
     let mut violations = Vec::new();
     for c in cells {
+        // Failure-family durability bands apply regardless of whether the
+        // cell's regular quality band exists yet.
+        if c.scenario == "failure" {
+            if let Some(f) = find_failure(profile, c.mode) {
+                if c.recoveries != f.recoveries {
+                    violations.push(format!(
+                        "failure/{}: recoveries = {} but the kill plan expects exactly {}",
+                        c.mode, c.recoveries, f.recoveries
+                    ));
+                }
+                for (metric, v, band) in [
+                    (
+                        "recovery_events",
+                        c.recovery_events as f64,
+                        f.recovery_events,
+                    ),
+                    ("hit_ratio_dip", c.hit_ratio_dip, f.hit_ratio_dip),
+                ] {
+                    if !band.contains(v) {
+                        violations.push(format!(
+                            "failure/{}: {metric} = {v:.4} outside [{:.4}, {:.4}]",
+                            c.mode, band.lo, band.hi
+                        ));
+                    }
+                }
+            } else {
+                violations.push(format!(
+                    "failure/{}: no durability band (run --calibrate and check in the table)",
+                    c.mode
+                ));
+            }
+        }
         let Some(b) = find(profile, c.scenario, c.mode, c.predictor) else {
             violations.push(format!(
                 "{}/{}/{}: no reference band (run --calibrate and check in the new table)",
@@ -169,6 +239,21 @@ pub fn check(cells: &[Cell], profile: Profile) -> Result<usize, Vec<String>> {
                 "{}/{}/{}: stale reference band (no such cell was measured)",
                 b.scenario, b.mode, b.predictor
             ));
+        }
+    }
+    // Only cross-check durability-band staleness when the run included
+    // the failure family at all — a scenario-subset run must not trip it.
+    if cells.iter().any(|c| c.scenario == "failure") {
+        for f in failure_bands(profile) {
+            if !cells
+                .iter()
+                .any(|c| c.scenario == "failure" && c.mode == f.mode)
+            {
+                violations.push(format!(
+                    "failure/{}: stale durability band (no such cell was measured)",
+                    f.mode
+                ));
+            }
         }
     }
     if violations.is_empty() {
@@ -223,6 +308,42 @@ pub fn calibrate(cells: &[Cell]) -> String {
     out
 }
 
+/// Emit a refreshed durability band table (Rust source) from the measured
+/// `failure`-family cells. Recoveries are exact (the kill plan is
+/// deterministic); replayed events get the standard ±25 % margin; the
+/// hit-ratio dip gets ±max(25 % relative, 0.05 absolute), clamped to
+/// [−1, 1] — a dip can legitimately be negative when the post-kill window
+/// lands on an easier stretch.
+pub fn calibrate_failure(cells: &[Cell]) -> String {
+    fn lit(v: f64) -> String {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+    let mut out = String::from("[\n");
+    for c in cells.iter().filter(|c| c.scenario == "failure") {
+        let ev = c.recovery_events as f64;
+        let (elo, ehi) = ((ev * 0.75).floor(), (ev * 1.25).ceil());
+        let m = (0.25 * c.hit_ratio_dip.abs()).max(0.05);
+        let dlo = ((c.hit_ratio_dip - m).max(-1.0) * 1000.0).floor() / 1000.0;
+        let dhi = ((c.hit_ratio_dip + m).min(1.0) * 1000.0).ceil() / 1000.0;
+        out.push_str(&format!(
+            "    fcell(\"{}\", {}, ({}, {}), ({}, {})),\n",
+            c.mode,
+            c.recoveries,
+            lit(elo),
+            lit(ehi),
+            lit(dlo),
+            lit(dhi),
+        ));
+    }
+    out.push_str("];\n");
+    out
+}
+
 /// Shorthand constructor keeping the tables one row per cell.
 const fn cell(
     scenario: &'static str,
@@ -252,6 +373,43 @@ const fn cell(
         memory_hi,
     }
 }
+
+/// Shorthand constructor for the durability band tables.
+const fn fcell(
+    mode: &'static str,
+    recoveries: u64,
+    events: (f64, f64),
+    dip: (f64, f64),
+) -> FailureBand {
+    FailureBand {
+        mode,
+        recoveries,
+        recovery_events: Band {
+            lo: events.0,
+            hi: events.1,
+        },
+        hit_ratio_dip: Band {
+            lo: dip.0,
+            hi: dip.1,
+        },
+    }
+}
+
+/// Durability bands for the CI smoke profile. Generated by
+/// `eval_matrix --quick --calibrate`.
+static FAILURE_QUICK: &[FailureBand] = &[
+    fcell("kill50", 1, (6006.0, 10010.0), (0.002, 0.103)),
+    fcell("kill50torn", 1, (6005.0, 10009.0), (0.002, 0.103)),
+    fcell("kill25x3", 3, (18009.0, 30015.0), (0.09, 0.191)),
+];
+
+/// Durability bands for the full profile. Generated by
+/// `eval_matrix --calibrate`.
+static FAILURE_FULL: &[FailureBand] = &[
+    fcell("kill50", 1, (22878.0, 38130.0), (-0.05, 0.05)),
+    fcell("kill50torn", 1, (22877.0, 38129.0), (-0.05, 0.05)),
+    fcell("kill25x3", 3, (68628.0, 114380.0), (-0.027, 0.074)),
+];
 
 /// Bands for the CI smoke profile (`--quick`, scale [`QUICK_SCALE`]).
 /// Generated by `eval_matrix --quick --calibrate`.
@@ -841,6 +999,33 @@ static QUICK_BANDS: &[CellBand] = &[
         (0.0, 0.05),
         (0.954, 2.545),
         0,
+    ),
+    cell(
+        "failure",
+        "kill50",
+        "FARMER",
+        (0.485, 0.81),
+        (0.36, 0.602),
+        (0.728, 1.942),
+        7214992,
+    ),
+    cell(
+        "failure",
+        "kill50torn",
+        "FARMER",
+        (0.485, 0.81),
+        (0.361, 0.602),
+        (0.728, 1.942),
+        7215120,
+    ),
+    cell(
+        "failure",
+        "kill25x3",
+        "FARMER",
+        (0.483, 0.806),
+        (0.362, 0.604),
+        (0.755, 2.015),
+        7183952,
     ),
 ];
 
@@ -1433,6 +1618,33 @@ static FULL_BANDS: &[CellBand] = &[
         (1.078, 2.876),
         0,
     ),
+    cell(
+        "failure",
+        "kill50",
+        "FARMER",
+        (0.516, 0.861),
+        (0.329, 0.55),
+        (0.715, 1.909),
+        15926104,
+    ),
+    cell(
+        "failure",
+        "kill50torn",
+        "FARMER",
+        (0.516, 0.861),
+        (0.329, 0.55),
+        (0.715, 1.909),
+        15926840,
+    ),
+    cell(
+        "failure",
+        "kill25x3",
+        "FARMER",
+        (0.515, 0.86),
+        (0.329, 0.55),
+        (0.723, 1.93),
+        15887736,
+    ),
 ];
 
 #[cfg(test)]
@@ -1460,6 +1672,11 @@ mod tests {
             phase_p99_ms: vec![4.1; 4],
             refreshes: 0,
             miner_evictions: 0,
+            recoveries: 0,
+            recovery_events: 0,
+            recovery_ms: 0.0,
+            hit_ratio_dip: 0.0,
+            wal_bytes: 0,
         }
     }
 
@@ -1482,6 +1699,44 @@ mod tests {
         );
         assert!(src.contains("(0.72, 1.92)"), "{src}");
         assert!(src.contains("2048)"), "memory ceiling is 2x: {src}");
+    }
+
+    #[test]
+    fn calibrate_failure_emits_exact_recoveries_and_banded_metrics() {
+        let mut c = sample_cell();
+        c.scenario = "failure";
+        c.mode = "kill50";
+        c.recoveries = 1;
+        c.recovery_events = 1000;
+        c.hit_ratio_dip = 0.2;
+        let src = calibrate_failure(&[c, sample_cell()]);
+        // Only the failure-family cell is emitted; events ±25 %, dip
+        // ±max(25 % rel, 0.05 abs).
+        assert_eq!(src.matches("fcell(").count(), 1, "{src}");
+        assert!(
+            src.contains("fcell(\"kill50\", 1, (750.0, 1250.0)"),
+            "{src}"
+        );
+        assert!(src.contains("(0.15, 0.25)"), "{src}");
+    }
+
+    #[test]
+    fn check_enforces_durability_bands_on_failure_cells() {
+        let mut c = sample_cell();
+        c.scenario = "failure";
+        c.mode = "kill50";
+        c.recoveries = 2; // plan says 1
+        c.recovery_events = 0;
+        let err = check(&[c], Profile::Quick).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|m| m.contains("kill plan expects exactly 1")),
+            "{err:?}"
+        );
+        assert!(
+            err.iter().any(|m| m.contains("stale durability band")),
+            "the unmeasured modes must be flagged: {err:?}"
+        );
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub struct MdsMetrics {
     /// Prefetch-queue depth after the most recent enqueue/drain
     /// (`mds.prefetch_queue_depth`).
     pub prefetch_queue_depth: Gauge,
+    /// Cold restarts survived (`mds.restarts`).
+    pub restarts: Counter,
 }
 
 impl MdsMetrics {
@@ -88,6 +90,7 @@ impl MdsMetrics {
             prefetch_service_us: reg.histogram("prefetch_service_us"),
             prefetches_dropped: reg.counter("prefetches_dropped"),
             prefetch_queue_depth: reg.gauge("prefetch_queue_depth"),
+            restarts: reg.counter("restarts"),
         }
     }
 }
@@ -308,6 +311,25 @@ impl MdsServer {
         as_of_events: u64,
     ) -> bool {
         self.predictor.refresh_source(source, as_of_events)
+    }
+
+    /// Cold-restart the server, as a crash + process replacement would:
+    /// the metadata cache empties, queued prefetches are lost, and any
+    /// in-flight backlog dies with the process (the replacement starts
+    /// idle). Durable state survives — the metadata store, the running
+    /// latency/hit statistics (they describe the *experiment*, which
+    /// spans the restart), and the installed predictor, which the caller
+    /// re-primes via [`MdsServer::refresh_predictor`] from whatever its
+    /// mining tier recovered (see `farmer-stream::durable`). Recovery
+    /// *time* is the mining tier's to report; this transition is
+    /// instantaneous in simulated time so the post-restart hit-ratio dip
+    /// measures cache loss alone.
+    pub fn restart_cold(&mut self) {
+        self.cache.clear();
+        while self.prefetch_q.pop().is_some() {}
+        self.free_at_us = 0;
+        self.obs.prefetch_queue_depth.set(0);
+        self.obs.restarts.inc();
     }
 }
 

@@ -262,6 +262,19 @@ impl MetadataCache {
     }
 
     /// Drop a specific entry (metadata invalidation on unlink).
+    /// Drop every resident entry (a cold restart), keeping the running
+    /// [`CacheStats`] and live observability handles.
+    ///
+    /// Unlike eviction, clearing charges nothing: entries lost to a
+    /// crash were not *displaced*, so resident-but-unused prefetches do
+    /// not count as waste (the predictor didn't mispredict — the process
+    /// died). The post-restart hit-ratio dip the eval matrix bands comes
+    /// purely from re-missing on the emptied cache.
+    pub fn clear(&mut self) {
+        while self.lru.pop_back().is_some() {}
+        self.index.clear();
+    }
+
     pub fn invalidate(&mut self, file: FileId) {
         if let Some(slot) = self.index.remove(&file.raw()) {
             if let Some(e) = self.lru.remove(slot) {

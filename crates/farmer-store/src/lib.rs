@@ -13,7 +13,10 @@
 //!   I/O accounting that the metadata-server latency model consumes,
 //! * [`codec`] — compact binary encode/decode for the record types,
 //! * [`store`] — the [`MetaStore`] façade: a metadata table and a
-//!   correlator-list table with typed accessors.
+//!   correlator-list table with typed accessors,
+//! * [`wal`] — an append-only, page-structured write-ahead log the
+//!   durable mining tier journals its operation stream into (per-record
+//!   checksums, monotone LSNs, truncation-tolerant tail scan).
 //!
 //! Every metadata-server cache miss performs a real tree descent here, so
 //! experiment response times inherit the store's actual page-touch counts.
@@ -29,8 +32,10 @@ pub mod snapshot;
 pub mod store;
 pub mod tree;
 pub mod view;
+pub mod wal;
 
 pub use snapshot::SnapshotError;
 pub use store::{CorrelatorRecord, IoStats, MetaStore, MetadataRecord, StoreMetrics};
 pub use tree::BTree;
 pub use view::CorrelatorView;
+pub use wal::{TailReport, Wal, WalEntry, WalError, WalMetrics};

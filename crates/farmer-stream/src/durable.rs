@@ -1,0 +1,854 @@
+//! The durable mining tier: WAL-backed logging and crash recovery for
+//! the sharded miner.
+//!
+//! [`DurableMiner`] wraps a [`ShardedMiner`] and journals the *logical
+//! operation stream* — every ingest (attribute tuple + optional path)
+//! and every forget — into a [`farmer_store::Wal`] before the operation
+//! can mutate any shard's graph (the [`WalSink`] hook on the router).
+//! Appends are group-committed on the router's existing two-phase batch
+//! boundary: one write+fsync per `route_batch` dispatch, so durability
+//! cost amortizes across the batch instead of taxing every event.
+//!
+//! ## Recovery model
+//!
+//! Miner state is a deterministic function of the operation sequence
+//! (same ingests and forgets, in order, rebuild the same graph bit for
+//! bit — including eviction tie-breaks and decay epochs, which depend
+//! only on insertion history). [`recover`] therefore replays the logged
+//! operations through a fresh miner and lands on the *exact* pre-crash
+//! state; the crash-point matrix test asserts bitwise snapshot parity
+//! against an uninterrupted oracle at every kill point.
+//!
+//! Checkpoints make recovery cheap to *serve from*, not cheaper to
+//! replay: [`DurableMiner::checkpoint`] persists the consistent
+//! [`StreamSnapshot`] at that cut into a sidecar file
+//! (`<wal>.ckpt<seq>`, written via tmp+rename) and appends a CHECKPOINT
+//! record referencing it (sequence, operation counts, length, CRC). On
+//! recovery the sidecar snapshot is available *immediately* — a restarted
+//! MDS serves correlation queries from it while the log replays — and
+//! when the replay cursor passes the checkpoint's operation count the
+//! rebuilt state is compared bitwise against the persisted snapshot
+//! ([`RecoveryReport::checkpoint_verified`]), an end-to-end integrity
+//! check on both the WAL and the snapshot codec. Truncating the log at
+//! a checkpoint (so replay covers only the suffix) needs state-image
+//! checkpoints of the full mining graph and is a ROADMAP follow-up.
+//!
+//! The loss window is explicit: operations appended since the last
+//! completed sync (at most one route batch, plus any explicitly
+//! unflushed tail) are lost on a crash, exactly as a real power cut
+//! would lose them. [`DurableMiner::crash`] simulates that for tests and
+//! fault injection.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use farmer_core::{CorrelatorList, Request};
+use farmer_obs::Registry;
+use farmer_store::codec::{DecodeError, Reader, Writer};
+use farmer_store::wal::{crc32, record_kind, Wal, WalError, WalMetrics};
+use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
+
+use crate::shard::WalSink;
+use crate::snapshot::StreamSnapshot;
+use crate::{ShardedMiner, StreamConfig};
+
+/// One logical mining operation, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// One access: the Stage-1 attribute tuple plus (for path-bearing
+    /// traces) the file's path components.
+    Ingest {
+        /// The extracted request.
+        req: Request,
+        /// The file's path, when the trace carries one.
+        path: Option<FilePath>,
+    },
+    /// Drop all state for a file (unlink/churn tombstone).
+    Forget(FileId),
+}
+
+// Op payload tags. A tag is the first payload byte; the record kind
+// (`record_kind::OP`) stays coarse so the tail scan needs no op-level
+// knowledge.
+const TAG_INGEST: u8 = 1;
+const TAG_INGEST_PATH: u8 = 2;
+const TAG_FORGET: u8 = 3;
+
+fn encode_ingest(req: &Request, path: Option<&FilePath>) -> Vec<u8> {
+    let mut w = Writer::with_capacity(26 + path.map_or(0, |p| 4 + 4 * p.components().len()));
+    match path {
+        None => {
+            w.u8(TAG_INGEST);
+        }
+        Some(_) => {
+            w.u8(TAG_INGEST_PATH);
+        }
+    }
+    w.u32(req.file.raw())
+        .u32(req.uid.raw())
+        .u32(req.pid.raw())
+        .u32(req.host.raw())
+        .u32(req.dev.raw());
+    if let Some(p) = path {
+        w.u32(p.components().len() as u32);
+        for &c in p.components() {
+            w.u32(c);
+        }
+    }
+    w.finish()
+}
+
+fn encode_forget(file: FileId) -> Vec<u8> {
+    let mut w = Writer::with_capacity(5);
+    w.u8(TAG_FORGET).u32(file.raw());
+    w.finish()
+}
+
+/// Encode one op into a WAL payload.
+pub fn encode_op(op: &WalOp) -> Vec<u8> {
+    match op {
+        WalOp::Ingest { req, path } => encode_ingest(req, path.as_ref()),
+        WalOp::Forget(file) => encode_forget(*file),
+    }
+}
+
+/// Decode one op payload. Errors only on malformed bytes, which a
+/// checksum-verified log never yields.
+pub fn decode_op(payload: &[u8]) -> Result<WalOp, DecodeError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    match tag {
+        TAG_INGEST | TAG_INGEST_PATH => {
+            let req = Request {
+                file: FileId::new(r.u32()?),
+                uid: farmer_trace::UserId::new(r.u32()?),
+                pid: farmer_trace::ProcId::new(r.u32()?),
+                host: farmer_trace::HostId::new(r.u32()?),
+                dev: farmer_trace::DevId::new(r.u32()?),
+            };
+            let path = if tag == TAG_INGEST_PATH {
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(DecodeError::BadLength);
+                }
+                let mut comps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    comps.push(r.u32()?);
+                }
+                Some(FilePath::from_components(comps))
+            } else {
+                None
+            };
+            Ok(WalOp::Ingest { req, path })
+        }
+        TAG_FORGET => Ok(WalOp::Forget(FileId::new(r.u32()?))),
+        _ => Err(DecodeError::BadLength),
+    }
+}
+
+/// Serialize a consistent snapshot for the checkpoint sidecar. Degrees
+/// are stored as raw f64 bits, so the round trip is bit-exact.
+pub fn encode_snapshot(s: &StreamSnapshot) -> Vec<u8> {
+    let mut w = Writer::with_capacity(40 + 16 * s.table.num_entries());
+    w.u64(s.events)
+        .u32(s.shards as u32)
+        .u64(s.tracked_files as u64)
+        .u64(s.evictions)
+        .u64(s.state_bytes as u64)
+        .u32(s.table.len() as u32);
+    for list in s.table.iter() {
+        w.u32(list.owner.raw()).u32(list.len() as u32);
+        for c in list.iter() {
+            w.u32(c.file.raw()).u64(c.degree.to_bits());
+        }
+    }
+    w.finish()
+}
+
+/// Decode a checkpoint sidecar back into a snapshot, preserving list
+/// order (and therefore table iteration order) exactly.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<StreamSnapshot, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let events = r.u64()?;
+    let shards = r.u32()? as usize;
+    let tracked_files = r.u64()? as usize;
+    let evictions = r.u64()?;
+    let state_bytes = r.u64()? as usize;
+    let num_lists = r.u32()? as usize;
+    let mut snap = StreamSnapshot {
+        events,
+        shards,
+        tracked_files,
+        evictions,
+        state_bytes,
+        ..StreamSnapshot::default()
+    };
+    for _ in 0..num_lists {
+        let owner = FileId::new(r.u32()?);
+        let n = r.u32()? as usize;
+        if n > r.remaining() / 12 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let file = FileId::new(r.u32()?);
+            let degree = f64::from_bits(r.u64()?);
+            entries.push(farmer_core::Correlator { file, degree });
+        }
+        snap.table
+            .insert(CorrelatorList::from_sorted(owner, entries));
+    }
+    Ok(snap)
+}
+
+/// Bitwise snapshot equality: every mining-state scalar, every list in
+/// order, every degree compared on raw bits. This is the recovery parity
+/// invariant — stricter than the epsilon comparisons the cross-mode
+/// tests use.
+///
+/// `state_bytes` is deliberately *not* compared: it reports resident
+/// heap including memo-cache capacity, which grows as a side effect of
+/// *building snapshots* — so it reflects observation history, not mined
+/// state, and two bit-identical graphs can legitimately report slightly
+/// different resident footprints.
+pub fn snapshots_bitwise_equal(a: &StreamSnapshot, b: &StreamSnapshot) -> bool {
+    if a.events != b.events
+        || a.shards != b.shards
+        || a.tracked_files != b.tracked_files
+        || a.evictions != b.evictions
+        || a.table.len() != b.table.len()
+    {
+        return false;
+    }
+    a.table.iter().zip(b.table.iter()).all(|(la, lb)| {
+        la.owner == lb.owner
+            && la.len() == lb.len()
+            && la
+                .iter()
+                .zip(lb.iter())
+                .all(|(ca, cb)| ca.file == cb.file && ca.degree.to_bits() == cb.degree.to_bits())
+    })
+}
+
+/// Configuration for the durable tier.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// The wrapped miner's configuration. Recovery must use the same
+    /// shard count the log was written under (ownership partitioning is
+    /// part of the replayed state).
+    pub stream: StreamConfig,
+    /// Events between automatic checkpoints (0 = only explicit
+    /// [`DurableMiner::checkpoint`] calls).
+    pub checkpoint_interval: u64,
+}
+
+impl DurableConfig {
+    /// Durability around `stream` with no automatic checkpoints.
+    pub fn new(stream: StreamConfig) -> Self {
+        DurableConfig {
+            stream,
+            checkpoint_interval: 0,
+        }
+    }
+
+    /// Checkpoint every `n` ingested events.
+    pub fn with_checkpoint_interval(mut self, n: u64) -> Self {
+        self.checkpoint_interval = n;
+        self
+    }
+}
+
+/// A checkpoint record's contents: which sidecar it references and the
+/// cut it was taken at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Monotone checkpoint sequence number (names the sidecar file).
+    pub seq: u64,
+    /// Events ingested at the cut.
+    pub events: u64,
+    /// Operations (ingests + forgets) logged at the cut.
+    pub ops: u64,
+    /// Sidecar length in bytes.
+    pub snapshot_len: u64,
+    /// CRC-32 of the sidecar bytes.
+    pub snapshot_crc: u32,
+}
+
+fn encode_checkpoint(c: &CheckpointInfo) -> Vec<u8> {
+    let mut w = Writer::with_capacity(36);
+    w.u64(c.seq)
+        .u64(c.events)
+        .u64(c.ops)
+        .u64(c.snapshot_len)
+        .u32(c.snapshot_crc);
+    w.finish()
+}
+
+fn decode_checkpoint(payload: &[u8]) -> Result<CheckpointInfo, DecodeError> {
+    let mut r = Reader::new(payload);
+    Ok(CheckpointInfo {
+        seq: r.u64()?,
+        events: r.u64()?,
+        ops: r.u64()?,
+        snapshot_len: r.u64()?,
+        snapshot_crc: r.u32()?,
+    })
+}
+
+/// What [`recover`] found and rebuilt.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Operations replayed from the log.
+    pub ops_replayed: u64,
+    /// Ingest events among them (forgets excluded).
+    pub events_replayed: u64,
+    /// True when the log ended in a torn/corrupt tail that was dropped.
+    pub torn_tail: bool,
+    /// Bytes the tail scan discarded.
+    pub dropped_bytes: u64,
+    /// The last checkpoint record found, if any.
+    pub checkpoint: Option<CheckpointInfo>,
+    /// Whether the state rebuilt at the checkpoint's cut matched the
+    /// persisted sidecar snapshot bitwise (`None` when there was no
+    /// loadable checkpoint to verify against).
+    pub checkpoint_verified: Option<bool>,
+    /// The checkpoint's snapshot, available for serving the moment
+    /// recovery starts (before replay finishes).
+    pub serving_snapshot: Option<StreamSnapshot>,
+    /// Wall-clock nanoseconds the recovery (scan + replay) took.
+    pub replay_ns: u64,
+}
+
+fn sidecar_path(wal: &Path, seq: u64) -> PathBuf {
+    PathBuf::from(format!("{}.ckpt{}", wal.display(), seq))
+}
+
+fn write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    drop(f);
+    fs::rename(&tmp, path)
+}
+
+fn wal_io(e: WalError) -> io::Error {
+    match e {
+        WalError::Io(e) => e,
+        other => io::Error::other(other),
+    }
+}
+
+/// The router-side sink: appends each routed op, group-commits at the
+/// dispatch boundary. Shares the log with the owning [`DurableMiner`]
+/// (single-threaded access; the mutex is uncontended).
+struct WalLogger {
+    wal: Arc<Mutex<Wal>>,
+}
+
+impl WalSink for WalLogger {
+    fn log_event(&mut self, req: &Request, path: Option<&FilePath>) -> io::Result<()> {
+        let payload = encode_ingest(req, path);
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .append(record_kind::OP, &payload)
+            .map_err(wal_io)?;
+        Ok(())
+    }
+
+    fn log_forget(&mut self, file: FileId) -> io::Result<()> {
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .append(record_kind::OP, &encode_forget(file))
+            .map_err(wal_io)?;
+        Ok(())
+    }
+
+    fn on_batch(&mut self) -> io::Result<()> {
+        self.wal.lock().expect("wal lock poisoned").sync()
+    }
+}
+
+/// A [`ShardedMiner`] whose operation stream is journaled to a WAL, with
+/// periodic snapshot checkpoints. See the module docs for the recovery
+/// and loss-window contract.
+pub struct DurableMiner {
+    inner: ShardedMiner,
+    wal: Arc<Mutex<Wal>>,
+    path: PathBuf,
+    cfg: DurableConfig,
+    events: u64,
+    ops: u64,
+    ckpt_seq: u64,
+}
+
+impl DurableMiner {
+    /// Create a fresh durable miner logging to `path` (truncates any
+    /// existing log).
+    pub fn create(path: &Path, cfg: DurableConfig) -> Result<DurableMiner, WalError> {
+        DurableMiner::create_instrumented(path, cfg, &Registry::disabled())
+    }
+
+    /// [`DurableMiner::create`] with observability: the WAL's `wal.*`
+    /// metrics and the inner miner's `stream.*` metrics register under
+    /// `reg`.
+    pub fn create_instrumented(
+        path: &Path,
+        cfg: DurableConfig,
+        reg: &Registry,
+    ) -> Result<DurableMiner, WalError> {
+        let mut wal = Wal::create(path)?;
+        wal.instrument(WalMetrics::new(&reg.scope("wal")));
+        let inner = ShardedMiner::spawn_instrumented(cfg.stream.clone(), reg);
+        Ok(DurableMiner::assemble(inner, wal, path, cfg, 0, 0, 0))
+    }
+
+    fn assemble(
+        mut inner: ShardedMiner,
+        wal: Wal,
+        path: &Path,
+        cfg: DurableConfig,
+        events: u64,
+        ops: u64,
+        ckpt_seq: u64,
+    ) -> DurableMiner {
+        let wal = Arc::new(Mutex::new(wal));
+        inner.set_sink(Box::new(WalLogger {
+            wal: Arc::clone(&wal),
+        }));
+        DurableMiner {
+            inner,
+            wal,
+            path: path.to_path_buf(),
+            cfg,
+            events,
+            ops,
+            ckpt_seq,
+        }
+    }
+
+    /// Journal and route one access. Panics if the log can no longer be
+    /// written (a durable tier must not silently degrade to a lossy one).
+    pub fn ingest(&mut self, req: Request, path: Option<&FilePath>) {
+        self.inner.route(req, path);
+        self.events += 1;
+        self.ops += 1;
+        if self.cfg.checkpoint_interval > 0
+            && self.events.is_multiple_of(self.cfg.checkpoint_interval)
+        {
+            self.checkpoint().expect("wal checkpoint failed");
+        }
+    }
+
+    /// Convenience: journal and route a trace event.
+    pub fn ingest_event(&mut self, trace: &Trace, e: &TraceEvent) {
+        self.ingest(Request::from_event(e), trace.path_of(e.file));
+    }
+
+    /// Journal and route a forget tombstone.
+    pub fn forget(&mut self, file: FileId) {
+        self.inner.route_forget(file);
+        self.ops += 1;
+    }
+
+    /// Barrier + group-commit: everything ingested so far is mined and
+    /// durable when this returns.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .sync()
+            .expect("wal sync failed");
+    }
+
+    /// Consistent snapshot of the wrapped miner (also group-commits the
+    /// logged prefix, since the snapshot dispatches it).
+    pub fn snapshot(&mut self) -> StreamSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Take a checkpoint now: persist the consistent snapshot at this
+    /// cut into the sidecar, append the CHECKPOINT record referencing
+    /// it, and sync. Keeps the last two sidecars, pruning older ones.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        let snap = self.inner.snapshot();
+        let bytes = encode_snapshot(&snap);
+        self.ckpt_seq += 1;
+        let info = CheckpointInfo {
+            seq: self.ckpt_seq,
+            events: self.events,
+            ops: self.ops,
+            snapshot_len: bytes.len() as u64,
+            snapshot_crc: crc32(&bytes),
+        };
+        write_durable(&sidecar_path(&self.path, info.seq), &bytes)?;
+        {
+            let mut wal = self.wal.lock().expect("wal lock poisoned");
+            wal.append(record_kind::CHECKPOINT, &encode_checkpoint(&info))?;
+            wal.sync()?;
+        }
+        if self.ckpt_seq > 2 {
+            let _ = fs::remove_file(sidecar_path(&self.path, self.ckpt_seq - 2));
+        }
+        Ok(())
+    }
+
+    /// Events ingested (journaled) so far.
+    pub fn events_logged(&self) -> u64 {
+        self.events
+    }
+
+    /// Operations (ingests + forgets) journaled so far.
+    pub fn ops_logged(&self) -> u64 {
+        self.ops
+    }
+
+    /// Logical size of the log in bytes (including unsynced appends).
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.lock().expect("wal lock poisoned").len_bytes()
+    }
+
+    /// The log file path.
+    pub fn wal_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DurableConfig {
+        &self.cfg
+    }
+
+    /// Access the wrapped miner.
+    pub fn miner(&mut self) -> &mut ShardedMiner {
+        &mut self.inner
+    }
+
+    /// Simulate a process crash: the unsynced WAL buffer is dropped on
+    /// the floor (as a power cut would) and the miner is torn down. The
+    /// on-disk state is exactly what the last completed sync left.
+    pub fn crash(self) {
+        self.wal.lock().expect("wal lock poisoned").abandon();
+    }
+}
+
+/// Recover a durable miner from its log: scan (dropping any torn tail),
+/// load the last checkpoint's sidecar for immediate serving, replay the
+/// logged operations through a fresh miner to the exact pre-crash state
+/// (verifying the rebuilt state against the sidecar at the checkpoint's
+/// cut), and return the miner positioned to keep logging where the
+/// survivor left off.
+pub fn recover(
+    path: &Path,
+    cfg: DurableConfig,
+) -> Result<(DurableMiner, RecoveryReport), WalError> {
+    recover_instrumented(path, cfg, &Registry::disabled())
+}
+
+/// [`recover`] with observability: replay counters and latency land
+/// under `wal.*` (`wal.recoveries`, `wal.recovery_replay_events`,
+/// `wal.recovery_ns`), alongside the reopened log's own metrics.
+pub fn recover_instrumented(
+    path: &Path,
+    cfg: DurableConfig,
+    reg: &Registry,
+) -> Result<(DurableMiner, RecoveryReport), WalError> {
+    let t0 = Instant::now();
+    let wal_scope = reg.scope("wal");
+    let (mut wal, entries, tail) = Wal::open(path)?;
+    wal.instrument(WalMetrics::new(&wal_scope));
+
+    let mut ops: Vec<WalOp> = Vec::with_capacity(entries.len());
+    let mut last_ckpt: Option<CheckpointInfo> = None;
+    for e in &entries {
+        match e.kind {
+            record_kind::OP => match decode_op(&e.payload) {
+                Ok(op) => ops.push(op),
+                // A checksum-verified record that fails to decode is a
+                // codec-version mismatch; stop replaying rather than
+                // rebuild a wrong state.
+                Err(_) => break,
+            },
+            record_kind::CHECKPOINT => {
+                if let Ok(c) = decode_checkpoint(&e.payload) {
+                    last_ckpt = Some(c);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // The sidecar gives a restarted server its serving state instantly;
+    // a missing or corrupt sidecar only costs that head start (replay
+    // alone is exact).
+    let mut serving: Option<StreamSnapshot> = None;
+    if let Some(c) = &last_ckpt {
+        if let Ok(bytes) = fs::read(sidecar_path(path, c.seq)) {
+            if bytes.len() as u64 == c.snapshot_len && crc32(&bytes) == c.snapshot_crc {
+                if let Ok(snap) = decode_snapshot(&bytes) {
+                    serving = Some(snap);
+                }
+            }
+        }
+    }
+
+    let mut miner = ShardedMiner::spawn_instrumented(cfg.stream.clone(), reg);
+    let mut events_replayed = 0u64;
+    let mut verified: Option<bool> = None;
+    let ckpt_ops = last_ckpt.as_ref().map(|c| c.ops);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            WalOp::Ingest { req, path } => {
+                miner.route(*req, path.as_ref());
+                events_replayed += 1;
+            }
+            WalOp::Forget(f) => miner.route_forget(*f),
+        }
+        if Some(i as u64 + 1) == ckpt_ops {
+            if let Some(expect) = serving.as_ref() {
+                // Integrity self-check: the state rebuilt at the
+                // checkpoint's cut must equal the persisted snapshot.
+                verified = Some(snapshots_bitwise_equal(&miner.snapshot(), expect));
+            }
+        }
+    }
+    miner.flush();
+    let replay_ns = t0.elapsed().as_nanos() as u64;
+
+    wal_scope.counter("recoveries").inc();
+    wal_scope
+        .counter("recovery_replay_events")
+        .add(events_replayed);
+    wal_scope.histogram("recovery_ns").record(replay_ns);
+
+    let ops_replayed = ops.len() as u64;
+    let ckpt_seq = last_ckpt.as_ref().map_or(0, |c| c.seq);
+    let report = RecoveryReport {
+        ops_replayed,
+        events_replayed,
+        torn_tail: tail.torn,
+        dropped_bytes: tail.dropped_bytes,
+        checkpoint: last_ckpt,
+        checkpoint_verified: verified,
+        serving_snapshot: serving,
+        replay_ns,
+    };
+    let miner = DurableMiner::assemble(
+        miner,
+        wal,
+        path,
+        cfg,
+        events_replayed,
+        ops_replayed,
+        ckpt_seq,
+    );
+    Ok((miner, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_trace::WorkloadSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_wal(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        dir.pop();
+        dir.pop();
+        dir.push("target");
+        dir.push("durable-tests");
+        std::fs::create_dir_all(&dir).expect("create durable test dir");
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        dir.join(format!("{tag}-{}-{n}.wal", std::process::id()))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+            for seq in 0..64 {
+                let _ = fs::remove_file(sidecar_path(&self.0, seq));
+            }
+        }
+    }
+
+    fn small_cfg(shards: usize) -> DurableConfig {
+        let mut stream = StreamConfig::default()
+            .with_shards(shards)
+            .with_node_cap(1 << 20);
+        stream.route_batch = 32;
+        DurableConfig::new(stream)
+    }
+
+    #[test]
+    fn op_codec_roundtrips() {
+        let req = Request {
+            file: FileId::new(7),
+            uid: farmer_trace::UserId::new(1),
+            pid: farmer_trace::ProcId::new(2),
+            host: farmer_trace::HostId::new(3),
+            dev: farmer_trace::DevId::new(4),
+        };
+        for op in [
+            WalOp::Ingest { req, path: None },
+            WalOp::Ingest {
+                req,
+                path: Some(FilePath::from_components(vec![5, 6, 7])),
+            },
+            WalOp::Forget(FileId::new(42)),
+        ] {
+            let bytes = encode_op(&op);
+            assert_eq!(decode_op(&bytes).unwrap(), op);
+        }
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn snapshot_codec_is_bit_exact() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("snapcodec");
+        let _c = Cleanup(path.clone());
+        let mut m = DurableMiner::create(&path, small_cfg(2)).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        let snap = m.snapshot();
+        let decoded = decode_snapshot(&encode_snapshot(&snap)).unwrap();
+        assert!(snapshots_bitwise_equal(&snap, &decoded));
+    }
+
+    #[test]
+    fn durable_miner_state_equals_plain_miner() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("parity");
+        let _c = Cleanup(path.clone());
+        let cfg = small_cfg(2);
+        let mut durable = DurableMiner::create(&path, cfg.clone()).unwrap();
+        let mut plain = ShardedMiner::spawn(cfg.stream.clone());
+        for (i, e) in trace.events.iter().enumerate() {
+            if i % 61 == 0 {
+                durable.forget(e.file);
+                plain.route_forget(e.file);
+            }
+            durable.ingest_event(&trace, e);
+            plain.route_event(&trace, e);
+        }
+        // Journaling must not perturb mining state in any way.
+        assert!(snapshots_bitwise_equal(
+            &durable.snapshot(),
+            &plain.snapshot()
+        ));
+    }
+
+    #[test]
+    fn crash_loses_only_the_unsynced_tail_and_recovers_exactly() {
+        let trace = WorkloadSpec::ins().scaled(0.01).generate();
+        let path = tmp_wal("crash");
+        let _c = Cleanup(path.clone());
+        let cfg = small_cfg(2);
+        let batch = cfg.stream.route_batch;
+        let kill = trace.len() * 2 / 3 + 7; // deliberately off-boundary
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in trace.events.iter().take(kill) {
+            m.ingest_event(&trace, e);
+        }
+        m.crash();
+        let synced = kill - kill % batch;
+
+        let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
+        assert_eq!(report.events_replayed, synced as u64);
+        assert!(!report.torn_tail);
+
+        // Oracle: an uninterrupted miner over exactly the synced prefix.
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        for e in trace.events.iter().take(synced) {
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+
+        // And the recovered miner keeps going: finish the stream on both.
+        for e in trace.events.iter().skip(synced) {
+            recovered.ingest_event(&trace, e);
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+    }
+
+    #[test]
+    fn checkpoint_sidecar_serves_and_verifies() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("ckpt");
+        let _c = Cleanup(path.clone());
+        let interval = (trace.len() / 3) as u64;
+        let cfg = small_cfg(1);
+        let cfg = DurableConfig {
+            checkpoint_interval: interval,
+            ..cfg
+        };
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.crash();
+
+        let reg = Registry::enabled();
+        let (_, report) = recover_instrumented(&path, cfg, &reg).unwrap();
+        let ckpt = report.checkpoint.expect("checkpoint record found");
+        assert!(ckpt.seq >= 2, "interval checkpoints fired");
+        assert_eq!(report.checkpoint_verified, Some(true));
+        let serving = report.serving_snapshot.expect("sidecar loaded");
+        assert_eq!(serving.events, ckpt.events);
+        let obs = reg.snapshot();
+        assert_eq!(obs.counter("wal.recoveries"), Some(1));
+        assert_eq!(
+            obs.counter("wal.recovery_replay_events"),
+            Some(report.events_replayed)
+        );
+        assert!(obs.histogram("wal.recovery_ns").unwrap().count == 1);
+    }
+
+    #[test]
+    fn recovery_tolerates_missing_sidecar() {
+        let trace = WorkloadSpec::hp().scaled(0.005).generate();
+        let path = tmp_wal("nosidecar");
+        let _c = Cleanup(path.clone());
+        let cfg = DurableConfig {
+            checkpoint_interval: (trace.len() / 2) as u64,
+            ..small_cfg(1)
+        };
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.flush();
+        drop(m);
+        for seq in 0..16 {
+            let _ = fs::remove_file(sidecar_path(&path, seq));
+        }
+        let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
+        // No serving head start, but replay is still exact.
+        assert!(report.serving_snapshot.is_none());
+        assert_eq!(report.checkpoint_verified, None);
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        for e in &trace.events {
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+    }
+}

@@ -44,6 +44,7 @@
 //! assert!(snap.events > 0);
 //! ```
 
+pub mod durable;
 pub mod engine;
 pub mod metrics;
 pub mod shard;
@@ -51,9 +52,13 @@ pub mod snapshot;
 
 use farmer_core::FarmerConfig;
 
+pub use durable::{
+    recover, recover_instrumented, snapshots_bitwise_equal, CheckpointInfo, DurableConfig,
+    DurableMiner, RecoveryReport, WalOp,
+};
 pub use engine::StreamMiner;
 pub use metrics::StreamMetrics;
-pub use shard::ShardedMiner;
+pub use shard::{ShardedMiner, WalSink};
 pub use snapshot::{ShardSnapshot, StreamSnapshot};
 
 /// Configuration of the streaming subsystem.

@@ -19,6 +19,8 @@
 //! blocks the router — back-pressure, not unbounded queueing — so resident
 //! memory stays capped end to end.
 
+use std::any::Any;
+use std::io;
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -62,6 +64,28 @@ enum Msg {
     Batch(Vec<Item>),
     Snapshot(mpsc::Sender<ShardSnapshot>),
     Flush(mpsc::Sender<()>),
+    #[cfg(test)]
+    Poison,
+}
+
+/// Write-ahead hook on the router: the durable tier logs every routed
+/// operation *before* it can mutate any shard's graph, and gets a
+/// callback at the batch-dispatch boundary to group-commit (write +
+/// fsync) what was logged. See `farmer-stream::durable` for the WAL
+/// implementation; the trait lives here so `ShardedMiner` carries no
+/// storage dependency of its own.
+///
+/// I/O errors are fatal to the miner: a durable tier that can no longer
+/// write its log must stop accepting events rather than silently degrade
+/// to a lossy one, so the router panics on the first sink error.
+pub trait WalSink: Send {
+    /// Log one access about to be routed.
+    fn log_event(&mut self, req: &Request, path: Option<&FilePath>) -> io::Result<()>;
+    /// Log one forget tombstone about to be routed.
+    fn log_forget(&mut self, file: FileId) -> io::Result<()>;
+    /// A batch is about to be dispatched to the shards: make everything
+    /// logged so far durable.
+    fn on_batch(&mut self) -> io::Result<()>;
 }
 
 /// A sharded, threaded, bounded-memory online miner.
@@ -74,6 +98,7 @@ pub struct ShardedMiner {
     /// file instead of one per event (see [`ShardedMiner::route`]).
     path_cache: FxHashMap<u32, Arc<FilePath>>,
     routed: u64,
+    sink: Option<Box<dyn WalSink>>,
     obs: StreamMetrics,
 }
 
@@ -113,8 +138,17 @@ impl ShardedMiner {
             pending: Vec::new(),
             path_cache: FxHashMap::default(),
             routed: 0,
+            sink: None,
             obs,
         }
+    }
+
+    /// Attach a write-ahead sink: from now on every routed operation is
+    /// logged through it before dispatch, and [`WalSink::on_batch`] fires
+    /// at each batch boundary. Install the sink before routing anything
+    /// it should cover.
+    pub fn set_sink(&mut self, sink: Box<dyn WalSink>) {
+        self.sink = Some(sink);
     }
 
     /// Path-cache size at which the cache is reset (bounds router memory
@@ -124,6 +158,12 @@ impl ShardedMiner {
     /// Route one request into the subsystem. Blocks only when every queue
     /// slot is full (back-pressure).
     pub fn route(&mut self, req: Request, path: Option<&FilePath>) {
+        // Log-before-mutate: the WAL record must exist before the event
+        // can reach any shard's graph.
+        if let Some(sink) = self.sink.as_mut() {
+            sink.log_event(&req, path)
+                .expect("wal append failed; durable miner cannot continue");
+        }
         // One shared allocation per distinct file, not per event: paths are
         // learn-once per file downstream (`Farmer::learn_path`), so caching
         // by file id is sound. The cache is cleared if it ever reaches
@@ -154,6 +194,10 @@ impl ShardedMiner {
     /// state for `file` after processing exactly the events routed before
     /// this call (see [`StreamMiner::forget`]). Not counted as an event.
     pub fn route_forget(&mut self, file: FileId) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.log_forget(file)
+                .expect("wal append failed; durable miner cannot continue");
+        }
         self.pending.push(Item::Forget(file));
         if self.pending.len() >= self.cfg.route_batch.max(1) {
             self.dispatch();
@@ -165,27 +209,53 @@ impl ShardedMiner {
         if self.pending.is_empty() {
             return;
         }
+        // Group-commit the logged prefix before any shard can mine it.
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_batch()
+                .expect("wal sync failed; durable miner cannot continue");
+        }
         let batch = std::mem::take(&mut self.pending);
         self.obs.batch_events.record(batch.len() as u64);
-        let (last, rest) = self.senders.split_last().expect("at least one shard");
-        for tx in rest {
-            tx.send(Msg::Batch(batch.clone()))
-                .expect("shard worker died");
+        let mut ok = true;
+        {
+            let (last, rest) = self.senders.split_last().expect("at least one shard");
+            for tx in rest {
+                if tx.send(Msg::Batch(batch.clone())).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && last.send(Msg::Batch(batch)).is_err() {
+                ok = false;
+            }
         }
-        last.send(Msg::Batch(batch)).expect("shard worker died");
+        if !ok {
+            self.propagate_worker_panic("dispatch");
+        }
     }
 
     /// Barrier: block until every shard has mined everything routed so far.
     pub fn flush(&mut self) {
         self.dispatch();
         let (ack_tx, ack_rx) = mpsc::channel();
+        let mut ok = true;
         for tx in &self.senders {
-            tx.send(Msg::Flush(ack_tx.clone()))
-                .expect("shard worker died");
+            if tx.send(Msg::Flush(ack_tx.clone())).is_err() {
+                ok = false;
+                break;
+            }
         }
         drop(ack_tx);
-        for _ in 0..self.senders.len() {
-            ack_rx.recv().expect("shard worker died during flush");
+        if ok {
+            for _ in 0..self.senders.len() {
+                if ack_rx.recv().is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            self.propagate_worker_panic("flush");
         }
     }
 
@@ -194,13 +264,20 @@ impl ShardedMiner {
     pub fn snapshot(&mut self) -> StreamSnapshot {
         self.dispatch();
         let (reply_tx, reply_rx) = mpsc::channel();
+        let mut ok = true;
         for tx in &self.senders {
-            tx.send(Msg::Snapshot(reply_tx.clone()))
-                .expect("shard worker died");
+            if tx.send(Msg::Snapshot(reply_tx.clone())).is_err() {
+                ok = false;
+                break;
+            }
         }
         drop(reply_tx);
         let mut parts: Vec<ShardSnapshot> = reply_rx.iter().collect();
-        assert_eq!(parts.len(), self.senders.len(), "lost a shard reply");
+        if !ok || parts.len() != self.senders.len() {
+            // A worker died mid-snapshot: surface its panic instead of
+            // merging a partial (silently shard-less) snapshot.
+            self.propagate_worker_panic("snapshot");
+        }
         // Replies arrive in completion order (scheduling-dependent); merge
         // in shard order so the snapshot — including the iteration order of
         // its table — is a deterministic function of the routed stream.
@@ -227,6 +304,31 @@ impl ShardedMiner {
     pub fn config(&self) -> &StreamConfig {
         &self.cfg
     }
+
+    /// A shard worker hung up on us: join the whole fleet and re-raise
+    /// the first worker's panic payload on the caller, so a shard panic
+    /// surfaces with its original message instead of stranding the
+    /// router on a dead channel (or silently losing that shard's slice
+    /// of the namespace).
+    fn propagate_worker_panic(&mut self, context: &str) -> ! {
+        self.senders.clear();
+        let mut payload: Option<Box<dyn Any + Send>> = None;
+        for h in self.handles.drain(..) {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        match payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("shard worker exited unexpectedly during {context}"),
+        }
+    }
+
+    /// Test hook: make one shard's worker panic on its next message.
+    #[cfg(test)]
+    fn poison_shard(&mut self, shard: usize) {
+        let _ = self.senders[shard].send(Msg::Poison);
+    }
 }
 
 impl Drop for ShardedMiner {
@@ -240,8 +342,19 @@ impl Drop for ShardedMiner {
             }
         }
         self.senders.clear();
+        let mut payload: Option<Box<dyn Any + Send>> = None;
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        // A worker panic must not vanish just because the miner was
+        // dropped — re-raise it (unless we are already unwinding, where a
+        // double panic would abort).
+        if let Some(p) = payload {
+            if !thread::panicking() {
+                std::panic::resume_unwind(p);
+            }
         }
     }
 }
@@ -264,6 +377,8 @@ fn shard_worker(mut miner: StreamMiner, rx: Receiver<Msg>) {
             Msg::Flush(ack) => {
                 let _ = ack.send(());
             }
+            #[cfg(test)]
+            Msg::Poison => panic!("injected shard worker panic"),
         }
     }
 }
@@ -434,5 +549,55 @@ mod tests {
             m.route_event(&trace, e); // fewer than a route batch: stays pending
         }
         drop(m); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "injected shard worker panic")]
+    fn worker_panic_propagates_through_flush() {
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(3));
+        m.poison_shard(1);
+        // Must re-raise the worker's panic, not hang on a dead channel
+        // and not return a 2-of-3 result.
+        m.flush();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected shard worker panic")]
+    fn worker_panic_propagates_through_snapshot() {
+        let trace = WorkloadSpec::ins().scaled(0.005).generate();
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(2));
+        for e in trace.events.iter().take(50) {
+            m.route_event(&trace, e);
+        }
+        m.poison_shard(0);
+        m.snapshot();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected shard worker panic")]
+    fn worker_panic_propagates_through_routing() {
+        let trace = WorkloadSpec::ins().scaled(0.01).generate();
+        let mut cfg = StreamConfig::default().with_shards(2);
+        cfg.route_batch = 16;
+        cfg.channel_capacity = 1;
+        let mut m = ShardedMiner::spawn(cfg);
+        m.poison_shard(0);
+        // Keep routing: once the poisoned worker dies and its bounded
+        // queue drains, a dispatch must surface the panic instead of
+        // blocking forever or dropping the shard.
+        for e in trace.stream().take(100_000) {
+            m.route_event(&trace, &e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected shard worker panic")]
+    fn worker_panic_propagates_on_drop() {
+        let mut m = ShardedMiner::spawn(StreamConfig::default().with_shards(2));
+        m.poison_shard(1);
+        // Give the worker time to consume the poison message and die;
+        // Drop must then re-raise its panic rather than swallow it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(m);
     }
 }

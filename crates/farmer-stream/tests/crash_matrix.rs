@@ -1,0 +1,254 @@
+//! The crash-point matrix: kill the durable miner at every Kth event
+//! across checkpoint boundaries, recover, and assert the recovered state
+//! is bitwise-identical to an uninterrupted oracle — at 1, 2, and 4
+//! shards, with and without memory caps, and under torn-write tails.
+//!
+//! The oracle construction mirrors the durability contract exactly: the
+//! WAL's loss window is "operations since the last completed sync", so
+//! the oracle is a plain (non-durable) miner fed the *first
+//! `ops_replayed`* operations of the same stream — recovery must land on
+//! that prefix's state bit for bit, never on some almost-right hybrid.
+
+use std::path::PathBuf;
+
+use farmer_stream::{
+    recover, snapshots_bitwise_equal, DurableConfig, DurableMiner, ShardedMiner, StreamConfig,
+};
+use farmer_trace::{FileId, Trace, WorkloadSpec};
+
+/// One logical operation of the test stream: an event index or a forget.
+#[derive(Clone, Copy)]
+enum Op {
+    Ev(usize),
+    Forget(FileId),
+}
+
+/// The op stream: the trace's events with forget tombstones interleaved
+/// every 97th event (exercising both record types at every crash point).
+fn build_ops(trace: &Trace) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(trace.len() + trace.len() / 97 + 1);
+    for (i, e) in trace.events.iter().enumerate() {
+        if i % 97 == 0 {
+            ops.push(Op::Forget(e.file));
+        }
+        ops.push(Op::Ev(i));
+    }
+    ops
+}
+
+fn feed_durable(m: &mut DurableMiner, trace: &Trace, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Ev(i) => m.ingest_event(trace, &trace.events[i]),
+            Op::Forget(f) => m.forget(f),
+        }
+    }
+}
+
+fn feed_plain(m: &mut ShardedMiner, trace: &Trace, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Ev(i) => m.route_event(trace, &trace.events[i]),
+            Op::Forget(f) => m.route_forget(f),
+        }
+    }
+}
+
+fn wal_path(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("crash-matrix");
+    std::fs::create_dir_all(&dir).expect("create crash-matrix tmp dir");
+    dir.join(format!("{tag}-{}.wal", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    for seq in 0..64u64 {
+        let _ = std::fs::remove_file(PathBuf::from(format!("{}.ckpt{seq}", path.display())));
+    }
+}
+
+fn config(shards: usize, node_cap: usize, trace_len: usize) -> DurableConfig {
+    let mut stream = StreamConfig::default()
+        .with_shards(shards)
+        .with_node_cap(node_cap);
+    stream.route_batch = 32;
+    // Interval chosen so the kill grid crosses several checkpoint
+    // boundaries (kills land before, between, and after checkpoints).
+    DurableConfig::new(stream).with_checkpoint_interval((trace_len / 4) as u64)
+}
+
+/// Kill at `kill` ops, recover, and assert parity with an oracle fed the
+/// recovered prefix. Returns how many ops the recovery replayed.
+fn crash_recover_assert(
+    tag: &str,
+    trace: &Trace,
+    ops: &[Op],
+    cfg: &DurableConfig,
+    kill: usize,
+    continue_after: bool,
+) -> u64 {
+    let path = wal_path(tag);
+    cleanup(&path);
+    let mut m = DurableMiner::create(&path, cfg.clone()).expect("create durable miner");
+    feed_durable(&mut m, trace, &ops[..kill]);
+    m.crash();
+
+    let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
+    let replayed = report.ops_replayed as usize;
+    assert!(replayed <= kill, "{tag}: replayed past the kill point");
+    // The loss window is bounded by one route batch plus the tombstones
+    // interleaved within it.
+    let max_loss = cfg.stream.route_batch * 2;
+    assert!(
+        kill - replayed <= max_loss,
+        "{tag}: lost {} ops at kill {kill}, more than a batch window",
+        kill - replayed
+    );
+    if let Some(v) = report.checkpoint_verified {
+        assert!(v, "{tag}: checkpoint verification failed at kill {kill}");
+    }
+
+    let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+    feed_plain(&mut oracle, trace, &ops[..replayed]);
+    assert!(
+        snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+        "{tag}: recovered state diverged from oracle at kill {kill} (replayed {replayed})"
+    );
+
+    if continue_after {
+        // The recovered miner is a going concern: finishing the stream
+        // must keep it bit-identical to the oracle doing the same.
+        feed_durable(&mut recovered, trace, &ops[replayed..]);
+        feed_plain(&mut oracle, trace, &ops[replayed..]);
+        assert!(
+            snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+            "{tag}: post-recovery stream diverged at kill {kill}"
+        );
+    }
+    cleanup(&path);
+    report.ops_replayed
+}
+
+#[test]
+fn kill_grid_recovers_bitwise_at_every_shard_count() {
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let step = (ops.len() / 7).max(1);
+    for shards in [1usize, 2, 4] {
+        let cfg = config(shards, 1 << 20, trace.len());
+        let mut kill = step;
+        let mut k = 0;
+        while kill < ops.len() {
+            crash_recover_assert(
+                &format!("grid-s{shards}-k{k}"),
+                &trace,
+                &ops,
+                &cfg,
+                kill,
+                // Exercise the keep-going path once per shard count.
+                k == 2,
+            );
+            kill += step;
+            k += 1;
+        }
+    }
+}
+
+#[test]
+fn kill_grid_recovers_bitwise_with_capped_eviction() {
+    // Eviction tie-breaks depend on map insertion history; replay feeds
+    // the identical history, so even capped (Space-Saving) state must
+    // recover bit for bit.
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let step = (ops.len() / 5).max(1);
+    for shards in [1usize, 2] {
+        let cfg = config(shards, 256, trace.len());
+        let mut kill = step;
+        while kill < ops.len() {
+            crash_recover_assert(
+                &format!("capped-s{shards}-k{kill}"),
+                &trace,
+                &ops,
+                &cfg,
+                kill,
+                false,
+            );
+            kill += step;
+        }
+    }
+}
+
+#[test]
+fn kills_straddling_checkpoint_boundaries_recover_bitwise() {
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let cfg = config(2, 1 << 20, trace.len());
+    let interval = cfg.checkpoint_interval as usize;
+    // Kill exactly at, just before, and just after each checkpoint cut.
+    let mut kills = Vec::new();
+    let mut cut = interval;
+    while cut < ops.len() {
+        for k in [cut.saturating_sub(1), cut, cut + 1, cut + 33] {
+            if k > 0 && k < ops.len() {
+                kills.push(k);
+            }
+        }
+        cut += interval;
+    }
+    for kill in kills {
+        crash_recover_assert(
+            &format!("straddle-k{kill}"),
+            &trace,
+            &ops,
+            &cfg,
+            kill,
+            false,
+        );
+    }
+}
+
+#[test]
+fn torn_tails_recover_the_valid_prefix_bitwise() {
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let cfg = config(2, 1 << 20, trace.len());
+    let kill = ops.len() * 2 / 3;
+
+    // Three tear flavors: a chopped write, trailing garbage from a
+    // half-written block, and a flipped bit inside the synced tail.
+    for (mode, tag) in [(0u8, "chop"), (1, "garbage"), (2, "flip")] {
+        let path = wal_path(&format!("torn-{tag}"));
+        cleanup(&path);
+        let mut m = DurableMiner::create(&path, cfg.clone()).expect("create durable miner");
+        feed_durable(&mut m, &trace, &ops[..kill]);
+        m.crash();
+
+        let mut data = std::fs::read(&path).expect("read wal");
+        match mode {
+            0 => {
+                data.truncate(data.len() - 11);
+            }
+            1 => {
+                data.extend_from_slice(&[0xA5; 97]);
+            }
+            _ => {
+                let idx = data.len() - 40;
+                data[idx] ^= 0x10;
+            }
+        }
+        std::fs::write(&path, &data).expect("rewrite wal");
+
+        let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
+        assert!(report.torn_tail, "torn-{tag}: tail not reported torn");
+        assert!(report.dropped_bytes > 0);
+        let replayed = report.ops_replayed as usize;
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        feed_plain(&mut oracle, &trace, &ops[..replayed]);
+        assert!(
+            snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+            "torn-{tag}: recovered state diverged from oracle"
+        );
+        cleanup(&path);
+    }
+}
