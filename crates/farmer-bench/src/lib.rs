@@ -21,6 +21,7 @@ pub mod faults;
 pub mod format;
 pub mod paper;
 pub mod refmodel;
+pub mod serve;
 
 /// Parse the scale factor from `argv[1]` (default 1.0).
 pub fn scale_from_args() -> f64 {

@@ -94,6 +94,36 @@ pub trait CorrelationSource {
     }
 }
 
+/// A shared source serves exactly like an owned one. This is what lets a
+/// serving tier publish one snapshot behind an [`std::sync::Arc`] and
+/// hand the *same* mined state to N reader threads and to
+/// `FpaPredictor::refresh`-style consumers without copying a byte.
+impl<T: CorrelationSource + ?Sized> CorrelationSource for std::sync::Arc<T> {
+    fn version(&self) -> u64 {
+        (**self).version()
+    }
+
+    fn top_k_into(&self, file: FileId, k: usize, min_degree: f64, out: &mut Vec<Correlator>) {
+        (**self).top_k_into(file, k, min_degree, out)
+    }
+
+    fn strongest(&self, file: FileId, min_degree: f64) -> Option<Correlator> {
+        (**self).strongest(file, min_degree)
+    }
+
+    fn degree(&self, from: FileId, to: FileId) -> Option<f64> {
+        (**self).degree(from, to)
+    }
+
+    fn for_each_list(&self, visit: &mut dyn FnMut(FileId, &[Correlator])) {
+        (**self).for_each_list(visit)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (**self).heap_bytes()
+    }
+}
+
 /// Canonical correlator ordering: decreasing degree, ties by ascending
 /// file id — the order [`crate::CorrelatorList::build`] has always used.
 #[inline]

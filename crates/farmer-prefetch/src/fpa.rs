@@ -142,6 +142,28 @@ impl FpaPredictor {
         self.obs.refreshes.inc();
     }
 
+    /// Follow an epoch-swapped publication cell: if `reader` picked up a
+    /// newer published snapshot (or the predictor has no external source
+    /// yet), install the reader's cached snapshot and serve from it.
+    /// Returns whether a source was installed.
+    ///
+    /// This is the serving-tier counterpart of [`FpaPredictor::refresh`]:
+    /// the miner publishes into a `SnapshotCell` at its own cadence
+    /// (`farmer_stream::ShardedMiner::publish_into`), and the predictor
+    /// polls this at whatever cadence it likes. The steady-state no-new-
+    /// epoch call is one atomic load; installation is an `Arc` clone of
+    /// the shared snapshot — no table copy, no re-mining.
+    pub fn refresh_from_cell(&mut self, reader: &mut farmer_stream::CellReader) -> bool {
+        let advanced = reader.refresh();
+        if !advanced && self.external.is_some() {
+            return false;
+        }
+        let snap = reader.cached();
+        let events = snap.events;
+        self.refresh_boxed(Box::new(snap), events);
+        true
+    }
+
     /// Drop the external source and return to self-mining.
     pub fn clear_external(&mut self) {
         self.external = None;
@@ -352,5 +374,50 @@ mod tests {
         for e in trace.events.iter().take(3000) {
             assert!(fpa.on_access(&trace, e).len() <= 1);
         }
+    }
+
+    #[test]
+    fn refresh_from_cell_follows_publications() {
+        use farmer_stream::{ShardedMiner, SnapshotCell, StreamConfig};
+        use std::sync::Arc;
+
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let mut miner = ShardedMiner::spawn(StreamConfig::default().with_shards(2));
+        let cell = Arc::new(SnapshotCell::new());
+        let mut reader = cell.reader();
+        let mut fpa = FpaPredictor::for_trace(&trace);
+
+        // First call installs even with no publication yet (the empty
+        // epoch-0 snapshot): the predictor switches to external serving.
+        assert!(fpa.refresh_from_cell(&mut reader));
+        assert!(fpa.external().is_some());
+        assert_eq!(fpa.external_events(), 0);
+        // Steady state: no new epoch, no install.
+        assert!(!fpa.refresh_from_cell(&mut reader));
+
+        let half = trace.len() / 2;
+        for e in trace.events.iter().take(half) {
+            miner.route_event(&trace, e);
+        }
+        miner.publish_into(&cell);
+        assert!(
+            fpa.refresh_from_cell(&mut reader),
+            "new epoch not picked up"
+        );
+        assert_eq!(fpa.external_events(), half as u64);
+        assert!(!fpa.refresh_from_cell(&mut reader));
+
+        for e in trace.events.iter().skip(half) {
+            miner.route_event(&trace, e);
+        }
+        miner.publish_into(&cell);
+        assert!(fpa.refresh_from_cell(&mut reader));
+        assert_eq!(fpa.external_events(), trace.len() as u64);
+        // Predictions now come from the published snapshot.
+        let mut served = 0usize;
+        for e in trace.events.iter().take(2000) {
+            served += fpa.on_access(&trace, e).len();
+        }
+        assert!(served > 0, "cell-refreshed predictor proposes nothing");
     }
 }

@@ -310,6 +310,8 @@ pub struct OnlineDriver {
     /// Wall-clock nanoseconds per refresh — consistent-cut snapshot plus
     /// merge, as seen by the serving loop (`online.refresh_ns`).
     obs_refresh_ns: Histogram,
+    /// Snapshots published into a serving-tier cell (`online.publishes`).
+    obs_publishes: Counter,
 }
 
 impl OnlineDriver {
@@ -357,6 +359,7 @@ impl OnlineDriver {
             refreshes: 0,
             obs_refreshes: scoped.counter("refreshes"),
             obs_refresh_ns: scoped.histogram("refresh_ns"),
+            obs_publishes: scoped.counter("publishes"),
         }
     }
 
@@ -390,6 +393,24 @@ impl OnlineDriver {
         if let Some((source, events)) = self.snapshot_due(i) {
             predictor.refresh_source(source, events);
         }
+    }
+
+    /// The publication flavour of [`OnlineDriver::maybe_refresh`]: at a
+    /// refresh boundary, publish a consistent cut into `cell` (the
+    /// serving tier's epoch-swapped publication point) instead of handing
+    /// a boxed source to one predictor. Readers registered on the cell —
+    /// [`crate::FpaPredictor::refresh_from_cell`] pollers included — pick
+    /// it up wait-free. Returns the new epoch at boundaries.
+    pub fn maybe_publish(&mut self, i: usize, cell: &farmer_stream::SnapshotCell) -> Option<u64> {
+        if !self.cfg.refresh_due(i) {
+            return None;
+        }
+        let _span = self.obs_refresh_ns.span();
+        let epoch = self.miner.publish_into(cell);
+        self.refreshes += 1;
+        self.obs_refreshes.inc();
+        self.obs_publishes.inc();
+        Some(epoch)
     }
 
     /// Route one event to the miner under the matrix mining policy:
@@ -651,6 +672,47 @@ mod tests {
         let online = OnlineConfig::every(stream, (trace.len() / 8).max(1));
         let baseline = simulate_online(&trace, &mut plain, cfg, &online);
         assert_eq!(baseline.sim.stats, r.sim.stats);
+    }
+
+    #[test]
+    fn maybe_publish_feeds_cell_readers_at_boundaries() {
+        use farmer_stream::SnapshotCell;
+        use std::sync::Arc;
+
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let interval = (trace.len() / 4).max(1);
+        let stream = StreamConfig::default().with_shards(2);
+        let reg = Registry::enabled();
+        let mut driver =
+            OnlineDriver::spawn_instrumented(&OnlineConfig::every(stream, interval), &reg);
+        let cell = Arc::new(SnapshotCell::new());
+        let mut fpa = FpaPredictor::for_trace(&trace);
+        let mut reader = cell.reader();
+        let mut installs = 0u64;
+        let mut epochs = Vec::new();
+        for (i, e) in trace.events.iter().enumerate() {
+            driver.route(&trace, e);
+            if let Some(epoch) = driver.maybe_publish(i, &cell) {
+                epochs.push(epoch);
+            }
+            if fpa.refresh_from_cell(&mut reader) {
+                installs += 1;
+            }
+        }
+        assert!(!epochs.is_empty(), "no boundary published");
+        assert!(epochs.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(cell.epoch(), *epochs.last().unwrap());
+        // One install for the initial epoch-0 snapshot, one per pickup.
+        assert_eq!(installs, epochs.len() as u64 + 1);
+        let r = driver.finish();
+        assert_eq!(r.refreshes, epochs.len() as u64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("online.publishes"), Some(epochs.len() as u64));
+        assert_eq!(snap.counter("online.refreshes"), Some(epochs.len() as u64));
+        assert_eq!(
+            snap.histogram("online.refresh_ns").unwrap().count,
+            epochs.len() as u64
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property tests pinning the ingest ring against a `VecDeque` oracle.
+//!
+//! Single-threaded here on purpose: with one thread driving both ends,
+//! the ring must behave *exactly* like a capacity-capped FIFO — same
+//! accept/reject decision on every push, same value on every pop, same
+//! length at every step, across arbitrary op interleavings and enough
+//! volume to lap the slab many times. (Multi-threaded linearizability is
+//! covered by the stress tests in `concurrency.rs`; this file is the
+//! sequential-semantics anchor those runs are judged against.)
+
+use std::collections::VecDeque;
+
+use farmer_serve::ring::ring;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_matches_vecdeque_oracle(
+        cap in 1usize..20,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 0..400),
+    ) {
+        let (tx, mut rx) = ring::<u64>(cap);
+        let real_cap = tx.capacity();
+        prop_assert!(real_cap >= cap.max(2));
+        prop_assert!(real_cap.is_power_of_two());
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                match tx.try_push(v) {
+                    Ok(()) => {
+                        prop_assert!(
+                            oracle.len() < real_cap,
+                            "ring accepted a push the oracle says is over capacity"
+                        );
+                        oracle.push_back(v);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, v, "rejected push must hand the value back");
+                        prop_assert_eq!(
+                            oracle.len(), real_cap,
+                            "ring rejected a push below capacity"
+                        );
+                    }
+                }
+            } else {
+                prop_assert_eq!(rx.try_pop(), oracle.pop_front());
+            }
+            prop_assert_eq!(tx.len(), oracle.len());
+            prop_assert_eq!(rx.is_empty(), oracle.is_empty());
+        }
+        // Drain: everything still queued comes out in FIFO order.
+        while let Some(want) = oracle.pop_front() {
+            prop_assert_eq!(rx.try_pop(), Some(want));
+        }
+        prop_assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn wrap_around_preserves_fifo_across_many_laps(
+        cap in 1usize..9,
+        laps in 4usize..40,
+    ) {
+        // Fill-then-drain cycles: each lap pushes to capacity and pops to
+        // empty, so the cursors wrap the (tiny) slab `laps` times.
+        let (tx, mut rx) = ring::<usize>(cap);
+        let real_cap = tx.capacity();
+        let mut next = 0usize;
+        let mut expect = 0usize;
+        for _ in 0..laps {
+            while tx.try_push(next).is_ok() {
+                next += 1;
+            }
+            prop_assert_eq!(rx.len(), real_cap);
+            while let Some(got) = rx.try_pop() {
+                prop_assert_eq!(got, expect);
+                expect += 1;
+            }
+        }
+        prop_assert_eq!(expect, next);
+        prop_assert_eq!(expect, real_cap * laps);
+    }
+}

@@ -47,6 +47,7 @@
 pub mod durable;
 pub mod engine;
 pub mod metrics;
+pub mod publish;
 pub mod shard;
 pub mod snapshot;
 
@@ -58,6 +59,7 @@ pub use durable::{
 };
 pub use engine::StreamMiner;
 pub use metrics::StreamMetrics;
+pub use publish::{CellReader, SnapshotCell};
 pub use shard::{ShardedMiner, WalSink};
 pub use snapshot::{ShardSnapshot, StreamSnapshot};
 

@@ -290,6 +290,15 @@ impl ShardedMiner {
         snap
     }
 
+    /// Publication hook for the serving tier: take a consistent
+    /// [`ShardedMiner::snapshot`] and install it into `cell`, returning
+    /// the new epoch. Readers registered on the cell pick the snapshot up
+    /// wait-free; see [`crate::publish`].
+    pub fn publish_into(&mut self, cell: &crate::publish::SnapshotCell) -> u64 {
+        let snap = self.snapshot();
+        cell.install(Arc::new(snap))
+    }
+
     /// Number of miner shards.
     pub fn num_shards(&self) -> usize {
         self.senders.len()

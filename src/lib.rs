@@ -23,6 +23,9 @@
 //! * [`stream`] — the sharded online mining service: unbounded event
 //!   streams mined under a hard memory budget, with consistent snapshots
 //!   that refresh the prefetcher mid-flight,
+//! * [`serve`] — the concurrent serving tier: lock-free multi-producer
+//!   ingest into the always-running miner, epoch-swapped snapshot
+//!   publication, and wait-free per-thread query readers,
 //! * [`obs`] — zero-dependency observability: relaxed-atomic counters and
 //!   gauges, log2-bucketed latency histograms, RAII spans and a
 //!   hierarchical registry; every pipeline layer streams its metrics here
@@ -50,6 +53,7 @@ pub use farmer_core as core;
 pub use farmer_mds as mds;
 pub use farmer_obs as obs;
 pub use farmer_prefetch as prefetch;
+pub use farmer_serve as serve;
 pub use farmer_store as store;
 pub use farmer_stream as stream;
 pub use farmer_trace as trace;
@@ -65,8 +69,11 @@ pub mod prelude {
     pub use farmer_prefetch::{
         simulate, FpaPredictor, MetadataCache, NexusPredictor, Predictor, SimConfig, SimReport,
     };
+    pub use farmer_serve::{FarmerServe, ServeConfig};
     pub use farmer_store::{MetaStore, MetadataRecord};
-    pub use farmer_stream::{ShardedMiner, StreamConfig, StreamMiner, StreamSnapshot};
+    pub use farmer_stream::{
+        CellReader, ShardedMiner, SnapshotCell, StreamConfig, StreamMiner, StreamSnapshot,
+    };
     pub use farmer_trace::{
         FileId, FilePath, Op, ReplayStream, Trace, TraceEvent, TraceFamily, WorkloadSpec,
     };
