@@ -82,6 +82,8 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
         .field("miner_evictions", Json::UInt(c.miner_evictions))
         .field("recoveries", Json::UInt(c.recoveries))
         .field("recovery_events", Json::UInt(c.recovery_events))
+        .field("recovered_events", Json::UInt(c.recovered_events))
+        .field("replay_fraction", Json::Fixed(c.replay_fraction, 4))
         .field("recovery_ms", Json::Fixed(c.recovery_ms, 3))
         .field("hit_ratio_dip", Json::Fixed(c.hit_ratio_dip, 4))
         .field("wal_bytes", Json::UInt(c.wal_bytes));
@@ -96,6 +98,13 @@ fn json_cell(c: &Cell, profile: Profile) -> Json {
                         Json::Arr(vec![
                             Json::F64(f.recovery_events.lo),
                             Json::F64(f.recovery_events.hi),
+                        ]),
+                    )
+                    .field(
+                        "replay_fraction",
+                        Json::Arr(vec![
+                            Json::F64(f.replay_fraction.lo),
+                            Json::F64(f.replay_fraction.hi),
                         ]),
                     )
                     .field(
@@ -165,10 +174,13 @@ fn obs_demo() -> farmer_obs::ObsReport {
 
 /// A second instrumented demo leg covering the durability scopes the
 /// serving demo cannot reach: a [`DurableMiner`] over a tiny `failure`
-/// trace, crashed mid-stream and recovered with the registry attached, so
-/// the record's `obs_recovery` dump shows the `wal.*` scope end to end —
-/// appends, syncs, checkpoints, and the recovery counters/histogram
-/// (`wal.recoveries`, `wal.recovery_replay_events`, `wal.recovery_ns`).
+/// trace, checkpointing with compaction on, crashed mid-stream and
+/// recovered with the registry attached, so the record's `obs_recovery`
+/// dump shows the `wal.*` scope end to end — appends, syncs, checkpoints,
+/// compactions (`wal.compactions`, `wal.pages_dropped`, `wal.anchor_lsn`)
+/// and the checkpoint-anchored recovery counters/histogram
+/// (`wal.recoveries`, `wal.recovery_replay_events`,
+/// `wal.recovery_fallbacks`, `wal.recovery_ns`).
 fn obs_recovery_demo() -> farmer_obs::ObsReport {
     let trace = build_scenario("failure", 0.02);
     let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -183,7 +195,9 @@ fn obs_recovery_demo() -> farmer_obs::ObsReport {
         .with_farmer(miner_config(&trace))
         .with_shards(1)
         .with_node_cap(1 << 20);
-    let cfg = DurableConfig::new(stream).with_checkpoint_interval((trace.len() / 2).max(1) as u64);
+    let cfg = DurableConfig::new(stream)
+        .with_checkpoint_interval((trace.len() / 4).max(1) as u64)
+        .with_compaction(true);
     let reg = Registry::enabled();
     let mut miner =
         DurableMiner::create_instrumented(&wal, cfg.clone(), &reg).expect("create durable miner");

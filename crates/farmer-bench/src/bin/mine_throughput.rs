@@ -34,6 +34,14 @@ use farmer_core::{Farmer, FarmerConfig, Request};
 use farmer_obs::Registry;
 use farmer_trace::{FileId, WorkloadSpec};
 
+/// Version of the `BENCH_mine.json` record layout. Bump on any field
+/// addition, removal or rename; CI greps it against the checked-in
+/// record so a stale regeneration fails fast.
+///
+/// v1: first versioned layout — the dense/sparse regime pair, the
+/// observability-overhead leg, and this `schema_version` field.
+const MINE_SCHEMA_VERSION: u32 = 1;
+
 /// Sparse-id universe: ids are spread injectively over `[0, ID_UNIVERSE)`.
 const ID_UNIVERSE: u32 = 10_000_000;
 
@@ -198,6 +206,7 @@ fn main() {
 
     let record = Json::obj()
         .field("bench", Json::str("mine_throughput"))
+        .field("schema_version", Json::UInt(u64::from(MINE_SCHEMA_VERSION)))
         .field("workload", Json::str(&trace.label))
         .field("events", Json::UInt(events as u64))
         .field("sparse_id_universe", Json::UInt(u64::from(ID_UNIVERSE)))

@@ -37,6 +37,14 @@ use farmer_core::{
 };
 use farmer_trace::{FileId, WorkloadSpec};
 
+/// Version of the `BENCH_query.json` record layout. Bump on any field
+/// addition, removal or rename; CI greps it against the checked-in
+/// record so a stale regeneration fails fast.
+///
+/// v1: first versioned layout — the four query paths, the allocation
+/// gate, and this `schema_version` field.
+const QUERY_SCHEMA_VERSION: u32 = 1;
+
 /// Queries per measured path at full scale.
 const QUERIES_AT_FULL_SCALE: f64 = 4_000_000.0;
 /// The prefetch-group-sized k the acceptance bar is stated for.
@@ -193,6 +201,10 @@ fn main() {
 
     let record = Json::obj()
         .field("bench", Json::str("query_throughput"))
+        .field(
+            "schema_version",
+            Json::UInt(u64::from(QUERY_SCHEMA_VERSION)),
+        )
         .field("workload", Json::str(&trace.label))
         .field("k", Json::UInt(K as u64))
         .field("queries_per_path", Json::UInt(queries as u64))

@@ -240,8 +240,17 @@ pub struct Cell {
     pub miner_evictions: u64,
     /// Crash/recover cycles survived (failure cells; 0 elsewhere).
     pub recoveries: u64,
-    /// Logged events replayed across all recoveries (failure cells).
+    /// Logged events re-processed (WAL suffix replay) across all
+    /// recoveries (failure cells).
     pub recovery_events: u64,
+    /// Logged events the recovered states represent — checkpoint-anchored
+    /// prefix plus replayed suffix (failure cells). Equals
+    /// `recovery_events` for genesis-replay modes.
+    pub recovered_events: u64,
+    /// `recovery_events / recovered_events`: the replayed share of the
+    /// recovered state. 1.0 without checkpoints, ≪ 1 when a checkpoint
+    /// image anchors the recovery; 0 when no recovery happened.
+    pub replay_fraction: f64,
     /// Wall-clock milliseconds the recoveries took, summed over both
     /// co-driven legs (failure cells). Machine-dependent — reported but
     /// excluded from reference bands.
@@ -531,6 +540,8 @@ fn finish_cell(
         miner_evictions: 0,
         recoveries: 0,
         recovery_events: 0,
+        recovered_events: 0,
+        replay_fraction: 0.0,
         recovery_ms: 0.0,
         hit_ratio_dip: 0.0,
         wal_bytes: 0,
@@ -614,6 +625,8 @@ pub fn run_matrix_with(
                 cell.refreshes = r.refreshes;
                 cell.recoveries = r.recoveries;
                 cell.recovery_events = r.recovery_events;
+                cell.recovered_events = r.recovered_events;
+                cell.replay_fraction = r.replay_fraction;
                 cell.recovery_ms = r.recovery_ms;
                 cell.hit_ratio_dip = r.hit_ratio_dip;
                 cell.wal_bytes = r.wal_bytes;
@@ -899,6 +912,29 @@ mod tests {
         assert_eq!(by_mode("kill50").recoveries, 1);
         assert_eq!(by_mode("kill50torn").recoveries, 1);
         assert_eq!(by_mode("kill25x3").recoveries, 3);
+        assert_eq!(by_mode("ckpt").recoveries, 1);
+        // Genesis-replay modes replay everything they recover; the
+        // checkpointed mode replays only the suffix past its anchor.
+        for m in ["kill50", "kill50torn", "kill25x3"] {
+            assert_eq!(by_mode(m).recovered_events, by_mode(m).recovery_events);
+            assert_eq!(by_mode(m).replay_fraction, 1.0, "{m} is genesis replay");
+        }
+        let ckpt = by_mode("ckpt");
+        assert!(ckpt.recovery_events < ckpt.recovered_events);
+        assert!(ckpt.replay_fraction > 0.0 && ckpt.replay_fraction < 0.5);
+        // Same kill point as kill50: the checkpoint changes how much is
+        // replayed, not (materially) how much is recovered — a checkpoint
+        // sync can push the durable prefix forward by at most one
+        // route batch relative to the uncheckpointed leg.
+        let diff = ckpt
+            .recovered_events
+            .abs_diff(by_mode("kill50").recovered_events);
+        assert!(
+            diff <= 256,
+            "ckpt recovered {} vs kill50 {}",
+            ckpt.recovered_events,
+            by_mode("kill50").recovered_events
+        );
     }
 
     #[test]

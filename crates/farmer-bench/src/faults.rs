@@ -22,7 +22,13 @@
 //! What the cell measures on top of the usual quality metrics:
 //!
 //! * `recoveries` / `recovery_events` — how many restarts happened and
-//!   how many logged events the replays rebuilt (deterministic, banded);
+//!   how many logged events the replays *re-processed* (suffix past the
+//!   checkpoint anchor when the mode checkpoints, the whole log
+//!   otherwise; deterministic, banded);
+//! * `recovered_events` / `replay_fraction` — total logged events the
+//!   recovered states represent (anchor image + replayed suffix) and
+//!   the replayed share of them: 1.0 for genesis replay, ≪ 1 when a
+//!   checkpoint image absorbs the prefix (deterministic, banded);
 //! * `hit_ratio_dip` — demand hit ratio in the window before the kill
 //!   minus the window after it (window = `len / 16` events): the
 //!   serving-quality cost of a cold restart (deterministic, banded);
@@ -46,9 +52,11 @@ use farmer_trace::phases::{phase_count, phase_end};
 use farmer_trace::{FileId, Op, Trace};
 
 /// The failure-mode axis of the `failure` scenario family, in emission
-/// order: one mid-stream kill, the same kill with a torn WAL tail, and
-/// three evenly spaced kills.
-pub const FAILURE_MODES: [&str; 3] = ["kill50", "kill50torn", "kill25x3"];
+/// order: one mid-stream kill, the same kill with a torn WAL tail,
+/// three evenly spaced kills, and the same mid-stream kill recovered
+/// from a checkpoint image (suffix-only replay plus log compaction —
+/// the O(log) → O(suffix) comparison cell).
+pub const FAILURE_MODES: [&str; 4] = ["kill50", "kill50torn", "kill25x3", "ckpt"];
 
 /// Hit-ratio dip window divisor: the dip compares the `len /
 /// DIP_WINDOW_DIV` events before each kill against the same span after
@@ -98,6 +106,12 @@ pub fn kill_plan(mode: &str, len: usize) -> KillPlan {
             kills: vec![at(1, 4), at(1, 2), at(3, 4)],
             torn: None,
         },
+        // Same kill point as kill50; what changes is the recovery path
+        // (checkpoint image + suffix replay instead of genesis replay).
+        "ckpt" => KillPlan {
+            kills: vec![at(1, 2)],
+            torn: None,
+        },
         other => panic!("unknown failure mode {other:?}"),
     }
 }
@@ -135,8 +149,18 @@ pub struct FailureCellReport {
     pub refreshes: u64,
     /// Crash/recover cycles per leg (legs asserted equal).
     pub recoveries: u64,
-    /// Logged events replayed across all recoveries of one leg.
+    /// Logged events re-processed (WAL suffix replay) across all
+    /// recoveries of one leg.
     pub recovery_events: u64,
+    /// Logged events the recovered states represent, summed across all
+    /// recoveries of one leg: checkpoint-anchored prefix plus replayed
+    /// suffix. Equals `recovery_events` when nothing checkpoints.
+    pub recovered_events: u64,
+    /// `recovery_events / recovered_events` — the share of recovered
+    /// state that had to be replayed rather than loaded from a
+    /// checkpoint image. 1.0 for genesis replay; 0 when no recovery
+    /// happened.
+    pub replay_fraction: f64,
     /// Wall-clock milliseconds all recoveries took, summed over both
     /// legs. Machine-dependent — never banded.
     pub recovery_ms: f64,
@@ -172,6 +196,7 @@ struct DurableLeg {
     torn: Option<TornTail>,
     recoveries: u64,
     recovery_events: u64,
+    recovered_events: u64,
     recovery_ns: u64,
 }
 
@@ -180,6 +205,7 @@ struct LegStats {
     snap: StreamSnapshot,
     recoveries: u64,
     recovery_events: u64,
+    recovered_events: u64,
     recovery_ns: u64,
     wal_bytes: u64,
     miner_state_bytes: usize,
@@ -200,6 +226,7 @@ impl DurableLeg {
             torn: plan.torn,
             recoveries: 0,
             recovery_events: 0,
+            recovered_events: 0,
             recovery_ns: 0,
         }
     }
@@ -260,13 +287,18 @@ impl DurableLeg {
         }
         let (mut recovered, report) = recover(&self.wal, self.cfg.clone())
             .unwrap_or_else(|e| panic!("{}: recovery at kill {i}: {e:?}", self.leg));
-        let replayed = report.ops_replayed as usize;
+        // The recovered state represents `ops_recovered` logical ops —
+        // the checkpoint-anchored prefix plus the replayed suffix — so
+        // that is where the oracle's script must be cut. `ops_replayed`
+        // alone would under-cut it whenever a checkpoint image anchored
+        // the recovery.
+        let recovered_ops = report.ops_recovered as usize;
         assert!(
-            replayed <= self.ops.len(),
-            "{}: recovery replayed ops that were never routed",
+            recovered_ops <= self.ops.len(),
+            "{}: recovery reconstructed ops that were never routed",
             self.leg
         );
-        self.ops.truncate(replayed);
+        self.ops.truncate(recovered_ops);
         if let Some(v) = report.checkpoint_verified {
             assert!(
                 v,
@@ -277,11 +309,13 @@ impl DurableLeg {
         assert!(
             snapshots_bitwise_equal(&recovered.snapshot(), &self.oracle_snapshot(trace)),
             "{}: recovered mining state diverged from the uninterrupted \
-             oracle at kill {i} (replayed {replayed} ops)",
-            self.leg
+             oracle at kill {i} (recovered {recovered_ops} ops, replayed {})",
+            self.leg,
+            report.ops_replayed,
         );
         self.recoveries += 1;
         self.recovery_events += report.events_replayed;
+        self.recovered_events += report.events_recovered;
         self.recovery_ns += report.replay_ns;
         let events = recovered.events_logged();
         let snap = recovered.snapshot();
@@ -305,6 +339,7 @@ impl DurableLeg {
             snap,
             recoveries: self.recoveries,
             recovery_events: self.recovery_events,
+            recovered_events: self.recovered_events,
             recovery_ns: self.recovery_ns,
             wal_bytes,
         }
@@ -329,15 +364,25 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// The durable-tier configuration every failure cell uses: one uncapped
+/// The durable-tier configuration of one failure cell: one uncapped
 /// shard (so the oracle comparison measures recovery, not eviction
-/// policy) checkpointing four times over the run.
-fn failure_config(farmer: FarmerConfig, len: usize) -> DurableConfig {
+/// policy). The legacy kill modes disable checkpointing — recovery is a
+/// genesis replay of the whole log, the O(log) baseline — while the
+/// `ckpt` mode checkpoints eight times over the run with log compaction
+/// on, so its recoveries load the newest image and replay only the WAL
+/// suffix past its anchor.
+fn failure_config(farmer: FarmerConfig, len: usize, mode: &str) -> DurableConfig {
     let stream = StreamConfig::default()
         .with_farmer(farmer)
         .with_shards(1)
         .with_node_cap(1 << 20);
-    DurableConfig::new(stream).with_checkpoint_interval((len / 4).max(1) as u64)
+    let cfg = DurableConfig::new(stream);
+    if mode == "ckpt" {
+        cfg.with_checkpoint_interval((len / 8).max(1) as u64)
+            .with_compaction(true)
+    } else {
+        cfg.with_checkpoint_interval(0)
+    }
 }
 
 /// Does a periodic refresh fire at event `i`? Matches
@@ -395,7 +440,7 @@ pub fn run_failure_cell(
     let mut leg = DurableLeg::new(
         "sim",
         dir.join("sim.wal"),
-        failure_config(farmer.clone(), len),
+        failure_config(farmer.clone(), len, mode),
         &plan,
     );
     let mut fpa = FpaPredictor::for_trace(trace);
@@ -475,7 +520,7 @@ pub fn run_failure_cell(
     let mut leg = DurableLeg::new(
         "replay",
         dir.join("replay.wal"),
-        failure_config(farmer, len),
+        failure_config(farmer, len, mode),
         &plan,
     );
     let mut mds = MdsServer::new(trace, Box::new(FpaPredictor::for_trace(trace)), rep_cfg.mds);
@@ -549,8 +594,18 @@ pub fn run_failure_cell(
     // The legs route the identical op stream through the identical plan:
     // everything deterministic must agree, down to the mined bits.
     assert_eq!(
-        (sim_refreshes, sim_leg.recoveries, sim_leg.recovery_events),
-        (rep_refreshes, rep_leg.recoveries, rep_leg.recovery_events),
+        (
+            sim_refreshes,
+            sim_leg.recoveries,
+            sim_leg.recovery_events,
+            sim_leg.recovered_events,
+        ),
+        (
+            rep_refreshes,
+            rep_leg.recoveries,
+            rep_leg.recovery_events,
+            rep_leg.recovered_events,
+        ),
         "{mode}: sim and replay legs diverged"
     );
     assert!(
@@ -563,12 +618,20 @@ pub fn run_failure_cell(
         "{mode}: every planned kill must recover"
     );
 
+    let replay_fraction = if sim_leg.recovered_events == 0 {
+        0.0
+    } else {
+        sim_leg.recovery_events as f64 / sim_leg.recovered_events as f64
+    };
+
     FailureCellReport {
         sim,
         replay,
         refreshes: sim_refreshes,
         recoveries: sim_leg.recoveries,
         recovery_events: sim_leg.recovery_events,
+        recovered_events: sim_leg.recovered_events,
+        replay_fraction,
         recovery_ms: (sim_leg.recovery_ns + rep_leg.recovery_ns) as f64 / 1e6,
         hit_ratio_dip,
         wal_bytes: sim_leg.wal_bytes,
@@ -620,6 +683,12 @@ mod tests {
         let r = run_failure_cell(&trace, FarmerConfig::default(), "kill50", 16, 4);
         assert_eq!(r.recoveries, 1);
         assert!(r.recovery_events > 0, "the kill point is mid-stream");
+        assert_eq!(
+            r.recovered_events, r.recovery_events,
+            "legacy modes recover by genesis replay: everything recovered \
+             was replayed"
+        );
+        assert_eq!(r.replay_fraction, 1.0);
         assert!(r.recovery_ms > 0.0);
         assert!(r.wal_bytes > 4096, "more than a header page was logged");
         assert!(r.refreshes > 0);
@@ -647,5 +716,33 @@ mod tests {
         let r = run_failure_cell(&trace, FarmerConfig::default(), "kill25x3", 16, 4);
         assert_eq!(r.recoveries, 3);
         assert!(r.recovery_events > 0);
+        assert_eq!(r.recovered_events, r.recovery_events);
+    }
+
+    #[test]
+    fn ckpt_mode_replays_only_the_suffix() {
+        // Same trace and kill point as kill50, but with checkpoint
+        // images + compaction: the recovered total stays O(log) while
+        // the replayed share collapses to the post-anchor suffix.
+        let trace = ChurnSpec::new(WorkloadSpec::hp().scaled(0.015)).generate();
+        let r = run_failure_cell(&trace, FarmerConfig::default(), "ckpt", 16, 4);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.recovery_events > 0);
+        assert!(
+            r.recovery_events < r.recovered_events,
+            "a checkpoint image must absorb part of the recovery \
+             (replayed {} of {})",
+            r.recovery_events,
+            r.recovered_events
+        );
+        // Checkpoints fire every len/8 events; the kill is at len/2, so
+        // the suffix past the newest anchor is well under half of what
+        // was recovered.
+        assert!(
+            r.replay_fraction < 0.5,
+            "replay fraction {} not collapsed by checkpointing",
+            r.replay_fraction
+        );
+        assert!(r.replay_fraction > 0.0);
     }
 }

@@ -43,7 +43,13 @@ use crate::evalmatrix::Cell;
 /// `recovery_events`, `recovery_ms`, `hit_ratio_dip` and `wal_bytes`;
 /// top-level `failure_modes` axis and `obs_recovery` dump of an
 /// instrumented crash/recover demo (`wal.*` scope).
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: checkpoint-anchored recovery — the `ckpt` failure mode (checkpoint
+/// images + log compaction, suffix-only replay) and per-failure-cell
+/// `recovered_events` / `replay_fraction`: `recovery_events` now counts
+/// only the replayed WAL suffix, `recovered_events` the full recovered
+/// total, and their ratio is the banded O(log) → O(suffix) comparison.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Which band table a run is checked against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,8 +127,14 @@ pub struct FailureBand {
     /// Exact expected crash/recover cycles (the kill plan is
     /// deterministic; anything else is a harness bug, not drift).
     pub recoveries: u64,
-    /// Expected logged events replayed across all recoveries of one leg.
+    /// Expected logged events *replayed* (WAL suffix) across all
+    /// recoveries of one leg.
     pub recovery_events: Band,
+    /// Expected replayed share of the recovered state
+    /// (`recovery_events / recovered_events`): pinned near 1.0 for
+    /// genesis-replay modes, well below it for checkpoint-anchored
+    /// recovery — the band that asserts the O(log) → O(suffix) collapse.
+    pub replay_fraction: Band,
     /// Expected worst per-kill demand hit-ratio dip.
     pub hit_ratio_dip: Band,
 }
@@ -185,6 +197,7 @@ pub fn check(cells: &[Cell], profile: Profile) -> Result<usize, Vec<String>> {
                         c.recovery_events as f64,
                         f.recovery_events,
                     ),
+                    ("replay_fraction", c.replay_fraction, f.replay_fraction),
                     ("hit_ratio_dip", c.hit_ratio_dip, f.hit_ratio_dip),
                 ] {
                     if !band.contains(v) {
@@ -311,9 +324,11 @@ pub fn calibrate(cells: &[Cell]) -> String {
 /// Emit a refreshed durability band table (Rust source) from the measured
 /// `failure`-family cells. Recoveries are exact (the kill plan is
 /// deterministic); replayed events get the standard ±25 % margin; the
-/// hit-ratio dip gets ±max(25 % relative, 0.05 absolute), clamped to
-/// [−1, 1] — a dip can legitimately be negative when the post-kill window
-/// lands on an easier stretch.
+/// replay fraction gets ±max(10 % relative, 0.02 absolute) clamped to
+/// [0, 1] (it is a ratio of two deterministic counts, so the band only
+/// guards against code drift); the hit-ratio dip gets ±max(25 % relative,
+/// 0.05 absolute), clamped to [−1, 1] — a dip can legitimately be
+/// negative when the post-kill window lands on an easier stretch.
 pub fn calibrate_failure(cells: &[Cell]) -> String {
     fn lit(v: f64) -> String {
         let s = format!("{v}");
@@ -327,15 +342,20 @@ pub fn calibrate_failure(cells: &[Cell]) -> String {
     for c in cells.iter().filter(|c| c.scenario == "failure") {
         let ev = c.recovery_events as f64;
         let (elo, ehi) = ((ev * 0.75).floor(), (ev * 1.25).ceil());
+        let fm = (0.10 * c.replay_fraction).max(0.02);
+        let flo = ((c.replay_fraction - fm).max(0.0) * 1000.0).floor() / 1000.0;
+        let fhi = ((c.replay_fraction + fm).min(1.0) * 1000.0).ceil() / 1000.0;
         let m = (0.25 * c.hit_ratio_dip.abs()).max(0.05);
         let dlo = ((c.hit_ratio_dip - m).max(-1.0) * 1000.0).floor() / 1000.0;
         let dhi = ((c.hit_ratio_dip + m).min(1.0) * 1000.0).ceil() / 1000.0;
         out.push_str(&format!(
-            "    fcell(\"{}\", {}, ({}, {}), ({}, {})),\n",
+            "    fcell(\"{}\", {}, ({}, {}), ({}, {}), ({}, {})),\n",
             c.mode,
             c.recoveries,
             lit(elo),
             lit(ehi),
+            lit(flo),
+            lit(fhi),
             lit(dlo),
             lit(dhi),
         ));
@@ -379,6 +399,7 @@ const fn fcell(
     mode: &'static str,
     recoveries: u64,
     events: (f64, f64),
+    frac: (f64, f64),
     dip: (f64, f64),
 ) -> FailureBand {
     FailureBand {
@@ -387,6 +408,10 @@ const fn fcell(
         recovery_events: Band {
             lo: events.0,
             hi: events.1,
+        },
+        replay_fraction: Band {
+            lo: frac.0,
+            hi: frac.1,
         },
         hit_ratio_dip: Band {
             lo: dip.0,
@@ -398,17 +423,37 @@ const fn fcell(
 /// Durability bands for the CI smoke profile. Generated by
 /// `eval_matrix --quick --calibrate`.
 static FAILURE_QUICK: &[FailureBand] = &[
-    fcell("kill50", 1, (6006.0, 10010.0), (0.002, 0.103)),
-    fcell("kill50torn", 1, (6005.0, 10009.0), (0.002, 0.103)),
-    fcell("kill25x3", 3, (18009.0, 30015.0), (0.09, 0.191)),
+    fcell("kill50", 1, (6006.0, 10010.0), (0.9, 1.0), (0.002, 0.103)),
+    fcell(
+        "kill50torn",
+        1,
+        (6005.0, 10009.0),
+        (0.9, 1.0),
+        (0.002, 0.103),
+    ),
+    fcell("kill25x3", 3, (18009.0, 30015.0), (0.9, 1.0), (0.09, 0.191)),
+    fcell("ckpt", 1, (1463.0, 2439.0), (0.219, 0.268), (0.002, 0.103)),
 ];
 
 /// Durability bands for the full profile. Generated by
 /// `eval_matrix --calibrate`.
 static FAILURE_FULL: &[FailureBand] = &[
-    fcell("kill50", 1, (22878.0, 38130.0), (-0.05, 0.05)),
-    fcell("kill50torn", 1, (22877.0, 38129.0), (-0.05, 0.05)),
-    fcell("kill25x3", 3, (68628.0, 114380.0), (-0.027, 0.074)),
+    fcell("kill50", 1, (22878.0, 38130.0), (0.9, 1.0), (-0.05, 0.05)),
+    fcell(
+        "kill50torn",
+        1,
+        (22877.0, 38129.0),
+        (0.9, 1.0),
+        (-0.05, 0.05),
+    ),
+    fcell(
+        "kill25x3",
+        3,
+        (68628.0, 114380.0),
+        (0.9, 1.0),
+        (-0.027, 0.074),
+    ),
+    fcell("ckpt", 1, (5679.0, 9465.0), (0.223, 0.274), (-0.05, 0.05)),
 ];
 
 /// Bands for the CI smoke profile (`--quick`, scale [`QUICK_SCALE`]).
@@ -473,28 +518,28 @@ static QUICK_BANDS: &[CellBand] = &[
         "base",
         "capped1",
         "FARMER",
-        (0.442, 0.738),
-        (0.451, 0.753),
-        (0.584, 1.56),
-        1122088,
+        (0.442, 0.737),
+        (0.459, 0.767),
+        (0.585, 1.563),
+        1120168,
     ),
     cell(
         "base",
         "capped4",
         "FARMER",
         (0.556, 0.928),
-        (0.367, 0.613),
-        (0.374, 0.998),
-        4878824,
+        (0.367, 0.614),
+        (0.373, 0.997),
+        4878952,
     ),
     cell(
         "base",
         "online64capped",
         "FARMER",
-        (0.426, 0.712),
-        (0.441, 0.736),
-        (0.616, 1.645),
-        2466648,
+        (0.429, 0.716),
+        (0.452, 0.755),
+        (0.613, 1.637),
+        2473272,
     ),
     cell(
         "base",
@@ -591,27 +636,27 @@ static QUICK_BANDS: &[CellBand] = &[
         "capped1",
         "FARMER",
         (0.394, 0.659),
-        (0.491, 0.819),
-        (0.717, 1.913),
-        1115872,
+        (0.494, 0.825),
+        (0.716, 1.912),
+        1112248,
     ),
     cell(
         "drift",
         "capped4",
         "FARMER",
-        (0.48, 0.801),
-        (0.42, 0.702),
-        (0.55, 1.468),
-        4878048,
+        (0.48, 0.802),
+        (0.42, 0.701),
+        (0.55, 1.469),
+        4882688,
     ),
     cell(
         "drift",
         "online64capped",
         "FARMER",
-        (0.4, 0.668),
-        (0.397, 0.663),
-        (0.707, 1.886),
-        3360136,
+        (0.402, 0.67),
+        (0.413, 0.689),
+        (0.706, 1.885),
+        3366440,
     ),
     cell(
         "drift",
@@ -707,28 +752,28 @@ static QUICK_BANDS: &[CellBand] = &[
         "tenants",
         "capped1",
         "FARMER",
-        (0.175, 0.293),
-        (0.572, 0.954),
-        (0.868, 2.317),
-        989136,
+        (0.176, 0.294),
+        (0.574, 0.957),
+        (0.867, 2.313),
+        982712,
     ),
     cell(
         "tenants",
         "capped4",
         "FARMER",
         (0.239, 0.4),
-        (0.437, 0.729),
+        (0.438, 0.731),
         (0.762, 2.033),
-        4044704,
+        4059512,
     ),
     cell(
         "tenants",
         "online64capped",
         "FARMER",
-        (0.167, 0.28),
-        (0.56, 0.934),
-        (0.884, 2.359),
-        2953424,
+        (0.168, 0.281),
+        (0.563, 0.939),
+        (0.882, 2.354),
+        2938456,
     ),
     cell(
         "tenants",
@@ -824,28 +869,28 @@ static QUICK_BANDS: &[CellBand] = &[
         "storm",
         "capped1",
         "FARMER",
-        (0.37, 0.618),
-        (0.489, 0.817),
-        (0.717, 1.913),
-        1086792,
+        (0.37, 0.619),
+        (0.491, 0.819),
+        (0.714, 1.905),
+        1083760,
     ),
     cell(
         "storm",
         "capped4",
         "FARMER",
-        (0.492, 0.821),
-        (0.381, 0.636),
-        (0.606, 1.619),
-        4254096,
+        (0.491, 0.82),
+        (0.381, 0.637),
+        (0.605, 1.614),
+        4262752,
     ),
     cell(
         "storm",
         "online64capped",
         "FARMER",
-        (0.361, 0.603),
-        (0.428, 0.714),
-        (0.723, 1.929),
-        3030560,
+        (0.362, 0.604),
+        (0.453, 0.756),
+        (0.72, 1.921),
+        3037856,
     ),
     cell(
         "storm",
@@ -941,28 +986,28 @@ static QUICK_BANDS: &[CellBand] = &[
         "churn",
         "capped1",
         "FARMER",
-        (0.459, 0.766),
-        (0.493, 0.823),
-        (0.787, 2.1),
-        1114888,
+        (0.46, 0.767),
+        (0.495, 0.826),
+        (0.786, 2.097),
+        1125680,
     ),
     cell(
         "churn",
         "capped4",
         "FARMER",
-        (0.565, 0.942),
-        (0.398, 0.664),
-        (0.57, 1.522),
-        4719192,
+        (0.565, 0.943),
+        (0.399, 0.666),
+        (0.569, 1.52),
+        4713536,
     ),
     cell(
         "churn",
         "online64capped",
         "FARMER",
-        (0.441, 0.737),
-        (0.446, 0.745),
-        (0.832, 2.22),
-        2287872,
+        (0.443, 0.74),
+        (0.458, 0.764),
+        (0.831, 2.217),
+        2299504,
     ),
     cell(
         "churn",
@@ -1007,7 +1052,7 @@ static QUICK_BANDS: &[CellBand] = &[
         (0.485, 0.81),
         (0.36, 0.602),
         (0.728, 1.942),
-        7214992,
+        7185840,
     ),
     cell(
         "failure",
@@ -1016,7 +1061,7 @@ static QUICK_BANDS: &[CellBand] = &[
         (0.485, 0.81),
         (0.361, 0.602),
         (0.728, 1.942),
-        7215120,
+        7185552,
     ),
     cell(
         "failure",
@@ -1025,7 +1070,16 @@ static QUICK_BANDS: &[CellBand] = &[
         (0.483, 0.806),
         (0.362, 0.604),
         (0.755, 2.015),
-        7183952,
+        7157712,
+    ),
+    cell(
+        "failure",
+        "ckpt",
+        "FARMER",
+        (0.485, 0.81),
+        (0.36, 0.602),
+        (0.728, 1.942),
+        6952680,
     ),
 ];
 
@@ -1092,27 +1146,27 @@ static FULL_BANDS: &[CellBand] = &[
         "capped1",
         "FARMER",
         (0.439, 0.733),
-        (0.468, 0.781),
-        (0.588, 1.571),
-        1185488,
+        (0.464, 0.775),
+        (0.588, 1.57),
+        1187376,
     ),
     cell(
         "base",
         "capped4",
         "FARMER",
-        (0.515, 0.859),
+        (0.514, 0.859),
         (0.288, 0.481),
-        (0.455, 1.214),
-        4907880,
+        (0.455, 1.216),
+        4914280,
     ),
     cell(
         "base",
         "online64capped",
         "FARMER",
-        (0.426, 0.711),
-        (0.43, 0.719),
-        (0.621, 1.658),
-        3527752,
+        (0.426, 0.712),
+        (0.433, 0.724),
+        (0.62, 1.655),
+        3532520,
     ),
     cell(
         "base",
@@ -1208,28 +1262,28 @@ static FULL_BANDS: &[CellBand] = &[
         "drift",
         "capped1",
         "FARMER",
-        (0.387, 0.646),
-        (0.433, 0.723),
-        (0.725, 1.934),
-        1196016,
+        (0.387, 0.647),
+        (0.436, 0.727),
+        (0.724, 1.933),
+        1194800,
     ),
     cell(
         "drift",
         "capped4",
         "FARMER",
         (0.443, 0.74),
-        (0.256, 0.428),
+        (0.255, 0.427),
         (0.609, 1.625),
-        5010584,
+        5009624,
     ),
     cell(
         "drift",
         "online64capped",
         "FARMER",
-        (0.412, 0.687),
-        (0.411, 0.686),
-        (0.665, 1.775),
-        1995152,
+        (0.412, 0.688),
+        (0.414, 0.691),
+        (0.663, 1.771),
+        1981816,
     ),
     cell(
         "drift",
@@ -1328,25 +1382,25 @@ static FULL_BANDS: &[CellBand] = &[
         (0.168, 0.282),
         (0.528, 0.881),
         (0.881, 2.351),
-        1011488,
+        1015192,
     ),
     cell(
         "tenants",
         "capped4",
         "FARMER",
-        (0.257, 0.429),
-        (0.32, 0.534),
-        (0.735, 1.961),
-        4162152,
+        (0.257, 0.43),
+        (0.32, 0.535),
+        (0.734, 1.96),
+        4163864,
     ),
     cell(
         "tenants",
         "online64capped",
         "FARMER",
         (0.166, 0.278),
-        (0.562, 0.937),
-        (0.886, 2.366),
-        2001088,
+        (0.563, 0.939),
+        (0.886, 2.364),
+        1998008,
     ),
     cell(
         "tenants",
@@ -1443,27 +1497,27 @@ static FULL_BANDS: &[CellBand] = &[
         "capped1",
         "FARMER",
         (0.407, 0.68),
-        (0.453, 0.756),
-        (0.686, 1.83),
-        1207040,
+        (0.453, 0.757),
+        (0.686, 1.831),
+        1204136,
     ),
     cell(
         "storm",
         "capped4",
         "FARMER",
         (0.492, 0.821),
-        (0.295, 0.493),
+        (0.295, 0.494),
         (0.551, 1.47),
-        4764104,
+        4769096,
     ),
     cell(
         "storm",
         "online64capped",
         "FARMER",
-        (0.402, 0.671),
-        (0.427, 0.712),
-        (0.694, 1.851),
-        3726056,
+        (0.402, 0.672),
+        (0.43, 0.718),
+        (0.692, 1.847),
+        3730512,
     ),
     cell(
         "storm",
@@ -1562,25 +1616,25 @@ static FULL_BANDS: &[CellBand] = &[
         (0.421, 0.703),
         (0.451, 0.753),
         (0.906, 2.418),
-        1197416,
+        1188832,
     ),
     cell(
         "churn",
         "capped4",
         "FARMER",
         (0.509, 0.85),
-        (0.299, 0.5),
-        (0.716, 1.911),
-        4843144,
+        (0.3, 0.501),
+        (0.715, 1.909),
+        4850888,
     ),
     cell(
         "churn",
         "online64capped",
         "FARMER",
-        (0.423, 0.707),
-        (0.449, 0.749),
-        (0.916, 2.445),
-        3527096,
+        (0.424, 0.708),
+        (0.454, 0.758),
+        (0.915, 2.441),
+        3523432,
     ),
     cell(
         "churn",
@@ -1625,7 +1679,7 @@ static FULL_BANDS: &[CellBand] = &[
         (0.516, 0.861),
         (0.329, 0.55),
         (0.715, 1.909),
-        15926104,
+        15921400,
     ),
     cell(
         "failure",
@@ -1634,7 +1688,7 @@ static FULL_BANDS: &[CellBand] = &[
         (0.516, 0.861),
         (0.329, 0.55),
         (0.715, 1.909),
-        15926840,
+        15922232,
     ),
     cell(
         "failure",
@@ -1643,7 +1697,16 @@ static FULL_BANDS: &[CellBand] = &[
         (0.515, 0.86),
         (0.329, 0.55),
         (0.723, 1.93),
-        15887736,
+        15814328,
+    ),
+    cell(
+        "failure",
+        "ckpt",
+        "FARMER",
+        (0.516, 0.861),
+        (0.329, 0.55),
+        (0.715, 1.909),
+        16616400,
     ),
 ];
 
@@ -1674,6 +1737,8 @@ mod tests {
             miner_evictions: 0,
             recoveries: 0,
             recovery_events: 0,
+            recovered_events: 0,
+            replay_fraction: 0.0,
             recovery_ms: 0.0,
             hit_ratio_dip: 0.0,
             wal_bytes: 0,
@@ -1708,16 +1773,33 @@ mod tests {
         c.mode = "kill50";
         c.recoveries = 1;
         c.recovery_events = 1000;
+        c.recovered_events = 1000;
+        c.replay_fraction = 1.0;
         c.hit_ratio_dip = 0.2;
         let src = calibrate_failure(&[c, sample_cell()]);
-        // Only the failure-family cell is emitted; events ±25 %, dip
-        // ±max(25 % rel, 0.05 abs).
+        // Only the failure-family cell is emitted; events ±25 %, fraction
+        // ±max(10 % rel, 0.02 abs) clamped to [0, 1], dip ±max(25 % rel,
+        // 0.05 abs).
         assert_eq!(src.matches("fcell(").count(), 1, "{src}");
         assert!(
-            src.contains("fcell(\"kill50\", 1, (750.0, 1250.0)"),
+            src.contains("fcell(\"kill50\", 1, (750.0, 1250.0), (0.9, 1.0), (0.15, 0.25)"),
             "{src}"
         );
-        assert!(src.contains("(0.15, 0.25)"), "{src}");
+
+        // A checkpoint-anchored cell keeps the fraction band well away
+        // from 1.0.
+        let mut k = sample_cell();
+        k.scenario = "failure";
+        k.mode = "ckpt";
+        k.recoveries = 1;
+        k.recovery_events = 250;
+        k.recovered_events = 1000;
+        k.replay_fraction = 0.25;
+        let src = calibrate_failure(&[k]);
+        assert!(
+            src.contains("fcell(\"ckpt\", 1, (187.0, 313.0), (0.225, 0.275)"),
+            "{src}"
+        );
     }
 
     #[test]

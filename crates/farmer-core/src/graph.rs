@@ -855,6 +855,82 @@ impl CorrelationGraph {
         self.slots.iter().map(|n| FileId::new(n.id))
     }
 
+    /// Export the full graph state as plain data (slab order, raw f64
+    /// bits) for checkpoint images. See [`crate::state`] for the
+    /// bit-exactness contract; [`CorrelationGraph::from_state`] is the
+    /// inverse.
+    pub fn export_state(&self) -> crate::state::GraphState {
+        crate::state::GraphState {
+            decay_ln: self.decay_ln.to_bits(),
+            epoch: self.epoch,
+            nodes: self
+                .slots
+                .iter()
+                .map(|n| crate::state::NodeState {
+                    id: n.id,
+                    total: n.total.to_bits(),
+                    stamp: n.stamp.to_bits(),
+                    sim_lb: n.sim_lb.to_bits(),
+                    edges: n
+                        .tos
+                        .iter()
+                        .zip(&n.edges)
+                        .zip(&n.degs)
+                        .map(|((&to, e), &deg)| crate::state::EdgeState {
+                            to,
+                            mass: e.mass.to_bits(),
+                            sim_sum: e.sim_sum.to_bits(),
+                            sim_n: e.sim_n,
+                            deg: deg.to_bits(),
+                            path_inter: e.path_inter.to_bits(),
+                            inv_denom: e.inv_denom.to_bits(),
+                            succ_path: e.succ_path,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a graph from an exported state image. Accumulators are
+    /// restored bit for bit in slab order; the id→slot index and edge
+    /// count are re-derived, and the per-node weakest-edge cache starts
+    /// stale (`NO_EDGE`), which the next cap decision resolves by a
+    /// rescan to the same `(degree, to)` minimum the incremental cache
+    /// would have held.
+    pub fn from_state(state: &crate::state::GraphState) -> CorrelationGraph {
+        let mut g = CorrelationGraph {
+            slots: Vec::with_capacity(state.nodes.len()),
+            index: FxHashMap::default(),
+            num_edges: 0,
+            decay_ln: f64::from_bits(state.decay_ln),
+            epoch: state.epoch,
+        };
+        for (s, ns) in state.nodes.iter().enumerate() {
+            let mut node = Node::fresh(ns.id, f64::from_bits(ns.stamp));
+            node.total = f64::from_bits(ns.total);
+            node.sim_lb = f64::from_bits(ns.sim_lb);
+            node.tos = ns.edges.iter().map(|e| e.to).collect();
+            node.degs = ns.edges.iter().map(|e| f64::from_bits(e.deg)).collect();
+            node.edges = ns
+                .edges
+                .iter()
+                .map(|e| EdgeData {
+                    mass: f64::from_bits(e.mass),
+                    sim_sum: f64::from_bits(e.sim_sum),
+                    sim_n: e.sim_n,
+                    path_inter: f64::from_bits(e.path_inter),
+                    inv_denom: f64::from_bits(e.inv_denom),
+                    succ_path: e.succ_path,
+                })
+                .collect();
+            g.num_edges += node.tos.len();
+            g.index.insert(ns.id, s as u32);
+            g.slots.push(node);
+        }
+        g
+    }
+
     /// Approximate heap bytes held by the graph (Table 4 accounting):
     /// slab + per-node edge storage + id→slot index. O(active nodes),
     /// and — unlike the dense spine — independent of id magnitudes.

@@ -50,6 +50,7 @@ pub mod miner;
 pub mod model;
 pub mod semvec;
 pub mod source;
+pub mod state;
 
 pub use attr::{AttrCombo, AttrKind};
 pub use config::{FarmerConfig, PathMode};
@@ -59,3 +60,4 @@ pub use graph::{CorrelationGraph, EdgeView};
 pub use model::Farmer;
 pub use semvec::similarity;
 pub use source::CorrelationSource;
+pub use state::{EdgeState, FarmerState, GraphState, NodeState};

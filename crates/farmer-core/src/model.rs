@@ -405,6 +405,51 @@ impl Farmer {
             + self.lda.capacity() * std::mem::size_of::<f64>()
     }
 
+    /// Export the model's full state as plain data for checkpoint
+    /// images: the graph (bit-exact, see [`crate::state`]), the
+    /// look-ahead window, the learned paths (sorted by file id), and the
+    /// observation count. Derived structures (LDA table, query cache,
+    /// scratch) are functions of the config and are not carried.
+    pub fn export_state(&self) -> crate::state::FarmerState {
+        let mut paths: Vec<(u32, Vec<u32>)> = self
+            .paths
+            .iter()
+            .map(|(&id, p)| (id, p.components().to_vec()))
+            .collect();
+        paths.sort_unstable_by_key(|(id, _)| *id);
+        crate::state::FarmerState {
+            observed: self.observed,
+            window: self.window.iter().map(|w| w.req).collect(),
+            paths,
+            graph: self.graph.export_state(),
+        }
+    }
+
+    /// Rebuild a model from an exported state image under `cfg`, which
+    /// must be the configuration the image was taken under (the same
+    /// contract WAL replay has: determinism holds only for identical
+    /// configs). Window slot hints restart as [`NodeHint::NONE`] — a
+    /// stale-hint probe miss, which the graph treats identically.
+    pub fn from_state(cfg: FarmerConfig, state: &crate::state::FarmerState) -> Farmer {
+        let mut farmer = Farmer::new(cfg);
+        farmer.graph = CorrelationGraph::from_state(&state.graph);
+        farmer.window = state
+            .window
+            .iter()
+            .map(|&req| WindowEntry {
+                req,
+                hint: NodeHint::NONE,
+            })
+            .collect();
+        farmer.paths = state
+            .paths
+            .iter()
+            .map(|(id, comps)| (*id, FilePath::from_components(comps.clone())))
+            .collect();
+        farmer.observed = state.observed;
+        farmer
+    }
+
     /// Learn `file`'s path on first sight. Returns true only for a *late*
     /// install — the path arrived after the file had already been observed
     /// pathless — which is the one case where memoized pair terms must be

@@ -58,7 +58,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
-use farmer_obs::{Counter, Histogram, Registry, Span};
+use farmer_obs::{Counter, Gauge, Histogram, Registry, Span};
 
 /// Magic bytes opening every WAL file (format version 1).
 pub const WAL_MAGIC: [u8; 8] = *b"FWAL0001";
@@ -132,6 +132,22 @@ pub struct WalEntry {
     pub kind: u8,
     /// The payload bytes.
     pub payload: Vec<u8>,
+    /// Byte offset of the record header within the log file. Compaction
+    /// uses this to find the page boundary a retained record lives on.
+    pub offset: u64,
+}
+
+/// What [`Wal::compact_before`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCompaction {
+    /// Whole pages dropped from the front of the log (excluding the
+    /// header page, which always survives).
+    pub pages_dropped: u64,
+    /// Bytes those pages occupied.
+    pub bytes_dropped: u64,
+    /// The LSN the compaction was anchored at (the oldest record the
+    /// caller still needs). Zero when the call was a no-op.
+    pub anchor_lsn: Lsn,
 }
 
 /// What the tail scan found: how much of the log was intact and whether
@@ -163,6 +179,13 @@ pub struct WalMetrics {
     pub fsync_ns: Histogram,
     /// Checkpoint records appended (`wal.checkpoints`).
     pub checkpoints: Counter,
+    /// Completed (non-no-op) compactions (`wal.compactions`).
+    pub compactions: Counter,
+    /// Whole pages reclaimed by compaction (`wal.pages_dropped`).
+    pub pages_dropped: Counter,
+    /// The LSN the most recent compaction was anchored at
+    /// (`wal.anchor_lsn`).
+    pub anchor_lsn: Gauge,
 }
 
 impl WalMetrics {
@@ -175,6 +198,9 @@ impl WalMetrics {
             syncs: reg.counter("syncs"),
             fsync_ns: reg.histogram("fsync_ns"),
             checkpoints: reg.counter("checkpoints"),
+            compactions: reg.counter("compactions"),
+            pages_dropped: reg.counter("pages_dropped"),
+            anchor_lsn: reg.gauge("anchor_lsn"),
         }
     }
 }
@@ -373,6 +399,70 @@ impl Wal {
         self.buf.clear();
         self.buf_records = 0;
     }
+
+    /// Drop every page that lies wholly before the record carrying
+    /// `keep_lsn`, keeping the header page and everything from the page
+    /// that record starts on. After compaction the log scans cleanly
+    /// (LSN continuity is only enforced *between* records, so a first
+    /// record at `keep_lsn - k` is fine) and appends continue with the
+    /// same LSN sequence.
+    ///
+    /// The rewrite is crash-safe: the compacted image is written to a
+    /// temporary file, synced, and renamed over the log, so a kill at
+    /// any point leaves either the old or the new log — never a hybrid.
+    ///
+    /// No-ops (returning zero pages dropped) when `keep_lsn` is 0, is
+    /// not present in the log, or its record already sits on the first
+    /// data page.
+    pub fn compact_before(&mut self, keep_lsn: Lsn) -> Result<WalCompaction, WalError> {
+        // Flush buffered appends so the file image is the whole log.
+        self.sync()?;
+        if keep_lsn == 0 {
+            return Ok(WalCompaction::default());
+        }
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::new();
+        self.file.read_to_end(&mut data)?;
+        let (_, entries, _) = scan_bytes(&data)?;
+        let Some(anchor) = entries.iter().find(|e| e.lsn == keep_lsn) else {
+            return Ok(WalCompaction::default());
+        };
+        // Keep the whole page the anchor record starts on.
+        let cut = anchor.offset - anchor.offset % self.page_size as u64;
+        if cut <= self.page_size as u64 {
+            return Ok(WalCompaction::default());
+        }
+        let dropped = cut - self.page_size as u64;
+        let mut compacted = Vec::with_capacity(data.len() - dropped as usize);
+        compacted.extend_from_slice(&data[..self.page_size]);
+        compacted.extend_from_slice(&data[cut as usize..]);
+
+        let tmp = self.path.with_extension("wal.compact-tmp");
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&compacted)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The rename replaced the directory entry; the old handle still
+        // points at the orphaned inode, so reopen.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.write_pos -= dropped;
+
+        let report = WalCompaction {
+            pages_dropped: dropped / self.page_size as u64,
+            bytes_dropped: dropped,
+            anchor_lsn: keep_lsn,
+        };
+        self.obs.compactions.inc();
+        self.obs.pages_dropped.add(report.pages_dropped);
+        self.obs.anchor_lsn.set(keep_lsn as i64);
+        Ok(report)
+    }
 }
 
 /// Parse header + records out of a full file image. Returns the page
@@ -446,6 +536,7 @@ fn scan_bytes(data: &[u8]) -> Result<(usize, Vec<WalEntry>, TailReport), WalErro
             lsn,
             kind,
             payload: data[pos + RECORD_HEADER..pos + RECORD_HEADER + len].to_vec(),
+            offset: pos as u64,
         });
         expect_lsn = Some(lsn + 1);
         pos += RECORD_HEADER + len;
@@ -700,6 +791,133 @@ mod tests {
         assert_eq!(report.counter("wal.syncs"), Some(1));
         let (entries, _) = Wal::scan(&path).unwrap();
         assert_eq!(entries[1].kind, record_kind::CHECKPOINT);
+    }
+
+    #[test]
+    fn compaction_drops_prefix_pages_and_scans_cleanly() {
+        let path = tmp_wal("compact");
+        let _c = Cleanup(path.clone());
+        let reg = Registry::enabled();
+        let mut wal = Wal::create_with_page_size(&path, 128).unwrap();
+        wal.instrument(WalMetrics::new(&reg.scope("wal")));
+        // 60-byte records: two per 128-byte page, 40 records = 20 pages.
+        for i in 0..40u8 {
+            wal.append(record_kind::OP, &[i + 1; 43]).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        let report = wal.compact_before(21).unwrap();
+        assert_eq!(report.anchor_lsn, 21);
+        assert!(report.pages_dropped > 0);
+        assert_eq!(report.bytes_dropped, report.pages_dropped * 128);
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(before - after, report.bytes_dropped);
+
+        // The surviving suffix scans cleanly: it starts at or before the
+        // anchor (whole pages are kept) and runs dense to the end.
+        let (entries, tail) = Wal::scan(&path).unwrap();
+        assert!(!tail.torn);
+        assert!(entries[0].lsn <= 21);
+        assert!(entries.iter().any(|e| e.lsn == 21));
+        assert_eq!(entries.last().unwrap().lsn, 40);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.lsn, entries[0].lsn + i as u64);
+            assert_eq!(e.payload, vec![e.lsn as u8; 43]);
+        }
+
+        // Appends continue with the same LSN sequence on the live handle
+        // (which was reopened across the rename).
+        wal.append(record_kind::OP, &[0xAB; 43]).unwrap();
+        wal.sync().unwrap();
+        let (entries, tail) = Wal::scan(&path).unwrap();
+        assert!(!tail.torn);
+        assert_eq!(entries.last().unwrap().lsn, 41);
+        assert_eq!(entries.last().unwrap().payload, vec![0xAB; 43]);
+
+        let obs = reg.snapshot();
+        assert_eq!(obs.counter("wal.compactions"), Some(1));
+        assert_eq!(obs.counter("wal.pages_dropped"), Some(report.pages_dropped));
+        assert_eq!(obs.gauge("wal.anchor_lsn"), Some(21));
+    }
+
+    #[test]
+    fn compaction_noops_never_lose_data() {
+        let path = tmp_wal("compact-noop");
+        let _c = Cleanup(path.clone());
+        let mut wal = Wal::create_with_page_size(&path, 128).unwrap();
+        for i in 0..10u8 {
+            wal.append(record_kind::OP, &[i + 1; 30]).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // LSN 0 (the "no anchor yet" sentinel), an absent LSN, and an
+        // anchor already on the first data page must all be no-ops.
+        assert_eq!(wal.compact_before(0).unwrap(), WalCompaction::default());
+        assert_eq!(wal.compact_before(999).unwrap(), WalCompaction::default());
+        assert_eq!(wal.compact_before(1).unwrap(), WalCompaction::default());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        assert_eq!(wal.next_lsn(), 11);
+    }
+
+    #[test]
+    fn double_compaction_is_idempotent() {
+        let path = tmp_wal("compact-twice");
+        let _c = Cleanup(path.clone());
+        let mut wal = Wal::create_with_page_size(&path, 128).unwrap();
+        for i in 0..40u8 {
+            wal.append(record_kind::OP, &[i + 1; 43]).unwrap();
+        }
+        wal.sync().unwrap();
+        let first = wal.compact_before(30).unwrap();
+        assert!(first.pages_dropped > 0);
+        let image = std::fs::read(&path).unwrap();
+        // The anchor now sits on the first data page: nothing to drop.
+        let second = wal.compact_before(30).unwrap();
+        assert_eq!(second, WalCompaction::default());
+        assert_eq!(std::fs::read(&path).unwrap(), image);
+    }
+
+    #[test]
+    fn reopen_after_compaction_continues_lsn_sequence() {
+        let path = tmp_wal("compact-reopen");
+        let _c = Cleanup(path.clone());
+        let mut wal = Wal::create_with_page_size(&path, 128).unwrap();
+        for i in 0..40u8 {
+            wal.append(record_kind::OP, &[i + 1; 43]).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.compact_before(33).unwrap();
+        drop(wal);
+        let (mut wal, entries, report) = Wal::open(&path).unwrap();
+        assert!(!report.torn);
+        assert!(entries[0].lsn <= 33);
+        assert_eq!(wal.next_lsn(), 41);
+        wal.append(record_kind::OP, &[7; 43]).unwrap();
+        wal.sync().unwrap();
+        let (entries, _) = Wal::scan(&path).unwrap();
+        assert_eq!(entries.last().unwrap().lsn, 41);
+    }
+
+    #[test]
+    fn compaction_flushes_buffered_appends_first() {
+        let path = tmp_wal("compact-buffered");
+        let _c = Cleanup(path.clone());
+        let mut wal = Wal::create_with_page_size(&path, 128).unwrap();
+        for i in 0..40u8 {
+            wal.append(record_kind::OP, &[i + 1; 43]).unwrap();
+        }
+        wal.sync().unwrap();
+        // Buffered (unsynced) records must survive compaction: the
+        // rewrite syncs them as part of reading the full image.
+        wal.append(record_kind::OP, &[0xCD; 43]).unwrap();
+        let report = wal.compact_before(35).unwrap();
+        assert!(report.pages_dropped > 0);
+        let (entries, tail) = Wal::scan(&path).unwrap();
+        assert!(!tail.torn);
+        assert_eq!(entries.last().unwrap().lsn, 41);
+        assert_eq!(entries.last().unwrap().payload, vec![0xCD; 43]);
     }
 
     #[test]

@@ -14,24 +14,41 @@
 //! Miner state is a deterministic function of the operation sequence
 //! (same ingests and forgets, in order, rebuild the same graph bit for
 //! bit — including eviction tie-breaks and decay epochs, which depend
-//! only on insertion history). [`recover`] therefore replays the logged
-//! operations through a fresh miner and lands on the *exact* pre-crash
-//! state; the crash-point matrix test asserts bitwise snapshot parity
-//! against an uninterrupted oracle at every kill point.
+//! only on insertion history). Recovery is therefore exact from genesis
+//! replay alone; checkpoints exist to make it *bounded*.
 //!
-//! Checkpoints make recovery cheap to *serve from*, not cheaper to
-//! replay: [`DurableMiner::checkpoint`] persists the consistent
-//! [`StreamSnapshot`] at that cut into a sidecar file
-//! (`<wal>.ckpt<seq>`, written via tmp+rename) and appends a CHECKPOINT
-//! record referencing it (sequence, operation counts, length, CRC). On
-//! recovery the sidecar snapshot is available *immediately* — a restarted
-//! MDS serves correlation queries from it while the log replays — and
-//! when the replay cursor passes the checkpoint's operation count the
-//! rebuilt state is compared bitwise against the persisted snapshot
-//! ([`RecoveryReport::checkpoint_verified`]), an end-to-end integrity
-//! check on both the WAL and the snapshot codec. Truncating the log at
-//! a checkpoint (so replay covers only the suffix) needs state-image
-//! checkpoints of the full mining graph and is a ROADMAP follow-up.
+//! [`DurableMiner::checkpoint`] persists a **full state image** into a
+//! sidecar file (`<wal>.ckpt<seq>`, written via tmp+rename): the
+//! consistent serving [`StreamSnapshot`] at that cut *plus* every
+//! shard's bit-exact [`MinerState`] (graph accumulators as raw f64
+//! bits, look-ahead window, cached eviction-ordering degrees — see
+//! `farmer_core::state`). A CHECKPOINT record referencing the image
+//! (sequence, operation counts, length, CRC) is appended to the log;
+//! that record's own LSN is the checkpoint's **anchor**.
+//!
+//! [`recover`] walks the checkpoint ladder newest → oldest: the first
+//! image that exists, matches its recorded length and CRC, and decodes
+//! is restored directly ([`ShardedMiner::spawn_restored`]) and only the
+//! WAL suffix past its anchor LSN is replayed — O(checkpoint interval)
+//! work instead of O(log). A truncated or corrupt newest image falls
+//! back to the next-older one, then to genesis replay (possible only
+//! while the log still starts at LSN 1). The restored state is verified
+//! bitwise against the image's embedded serving snapshot
+//! ([`RecoveryReport::checkpoint_verified`]), and the crash-point
+//! matrix asserts bitwise parity against an uninterrupted genesis
+//! oracle at every kill point.
+//!
+//! ## Log compaction
+//!
+//! Once an image anchors recovery, pages wholly before it are dead
+//! weight. [`DurableMiner::compact`] (or the standalone [`compact`]
+//! entry point, and automatically per checkpoint when
+//! [`DurableConfig::compact_on_checkpoint`] is set) drops WAL pages
+//! wholly before the anchor of the *older* surviving checkpoint, so
+//! every retained sidecar keeps the suffix it needs — the retention
+//! policy never reclaims a page a surviving checkpoint still replays
+//! from. Reclaimed pages and anchors surface as `wal.compactions`,
+//! `wal.pages_dropped` and the `wal.anchor_lsn` gauge.
 //!
 //! The loss window is explicit: operations appended since the last
 //! completed sync (at most one route batch, plus any explicitly
@@ -45,12 +62,13 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use farmer_core::{CorrelatorList, Request};
+use farmer_core::{CorrelatorList, EdgeState, FarmerState, GraphState, NodeState, Request};
 use farmer_obs::Registry;
 use farmer_store::codec::{DecodeError, Reader, Writer};
-use farmer_store::wal::{crc32, record_kind, Wal, WalError, WalMetrics};
+use farmer_store::wal::{crc32, record_kind, Lsn, Wal, WalCompaction, WalError, WalMetrics};
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
+use crate::engine::MinerState;
 use crate::shard::WalSink;
 use crate::snapshot::StreamSnapshot;
 use crate::{ShardedMiner, StreamConfig};
@@ -233,6 +251,187 @@ pub fn snapshots_bitwise_equal(a: &StreamSnapshot, b: &StreamSnapshot) -> bool {
     })
 }
 
+fn encode_miner_state(w: &mut Writer, s: &MinerState) {
+    w.u32(s.shard_id)
+        .u32(s.num_shards)
+        .u64(s.events_seen)
+        .u64(s.owned_events)
+        .u64(s.evictions)
+        .u64(s.count_floor);
+    w.u32(s.counts.len() as u32);
+    for &(id, bits) in &s.counts {
+        w.u32(id).u64(bits);
+    }
+    let f = &s.farmer;
+    w.u64(f.observed);
+    w.u32(f.window.len() as u32);
+    for r in &f.window {
+        w.u32(r.file.raw())
+            .u32(r.uid.raw())
+            .u32(r.pid.raw())
+            .u32(r.host.raw())
+            .u32(r.dev.raw());
+    }
+    w.u32(f.paths.len() as u32);
+    for (id, comps) in &f.paths {
+        w.u32(*id).u32(comps.len() as u32);
+        for &c in comps {
+            w.u32(c);
+        }
+    }
+    let g = &f.graph;
+    w.u64(g.decay_ln).u64(g.epoch);
+    w.u32(g.nodes.len() as u32);
+    for n in &g.nodes {
+        w.u32(n.id).u64(n.total).u64(n.stamp).u64(n.sim_lb);
+        w.u32(n.edges.len() as u32);
+        for e in &n.edges {
+            w.u32(e.to)
+                .u64(e.mass)
+                .u64(e.sim_sum)
+                .u32(e.sim_n)
+                .u64(e.deg)
+                .u64(e.path_inter)
+                .u64(e.inv_denom)
+                .u8(e.succ_path as u8);
+        }
+    }
+}
+
+fn decode_miner_state(r: &mut Reader) -> Result<MinerState, DecodeError> {
+    let shard_id = r.u32()?;
+    let num_shards = r.u32()?;
+    let events_seen = r.u64()?;
+    let owned_events = r.u64()?;
+    let evictions = r.u64()?;
+    let count_floor = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 12 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push((r.u32()?, r.u64()?));
+    }
+    let observed = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 20 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut window = Vec::with_capacity(n);
+    for _ in 0..n {
+        window.push(Request {
+            file: FileId::new(r.u32()?),
+            uid: farmer_trace::UserId::new(r.u32()?),
+            pid: farmer_trace::ProcId::new(r.u32()?),
+            host: farmer_trace::HostId::new(r.u32()?),
+            dev: farmer_trace::DevId::new(r.u32()?),
+        });
+    }
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 8 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut paths = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32()?;
+        let m = r.u32()? as usize;
+        if m > r.remaining() / 4 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut comps = Vec::with_capacity(m);
+        for _ in 0..m {
+            comps.push(r.u32()?);
+        }
+        paths.push((id, comps));
+    }
+    let decay_ln = r.u64()?;
+    let epoch = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 32 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32()?;
+        let total = r.u64()?;
+        let stamp = r.u64()?;
+        let sim_lb = r.u64()?;
+        let m = r.u32()? as usize;
+        if m > r.remaining() / 49 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            edges.push(EdgeState {
+                to: r.u32()?,
+                mass: r.u64()?,
+                sim_sum: r.u64()?,
+                sim_n: r.u32()?,
+                deg: r.u64()?,
+                path_inter: r.u64()?,
+                inv_denom: r.u64()?,
+                succ_path: r.u8()? != 0,
+            });
+        }
+        nodes.push(NodeState {
+            id,
+            total,
+            stamp,
+            sim_lb,
+            edges,
+        });
+    }
+    Ok(MinerState {
+        shard_id,
+        num_shards,
+        events_seen,
+        owned_events,
+        evictions,
+        count_floor,
+        counts,
+        farmer: FarmerState {
+            observed,
+            window,
+            paths,
+            graph: GraphState {
+                decay_ln,
+                epoch,
+                nodes,
+            },
+        },
+    })
+}
+
+/// Serialize a full checkpoint image: the serving snapshot (length-
+/// prefixed, so a reader can lift it without touching the shard states)
+/// followed by every shard's bit-exact [`MinerState`].
+pub fn encode_image(serving: &StreamSnapshot, shards: &[MinerState]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&encode_snapshot(serving));
+    w.u32(shards.len() as u32);
+    for s in shards {
+        encode_miner_state(&mut w, s);
+    }
+    w.finish()
+}
+
+/// Decode a full checkpoint image back into its serving snapshot and
+/// per-shard state images.
+pub fn decode_image(bytes: &[u8]) -> Result<(StreamSnapshot, Vec<MinerState>), DecodeError> {
+    let mut r = Reader::new(bytes);
+    let serving = decode_snapshot(r.bytes()?)?;
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 46 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(decode_miner_state(&mut r)?);
+    }
+    Ok((serving, shards))
+}
+
 /// Configuration for the durable tier.
 #[derive(Debug, Clone)]
 pub struct DurableConfig {
@@ -243,6 +442,11 @@ pub struct DurableConfig {
     /// Events between automatic checkpoints (0 = only explicit
     /// [`DurableMiner::checkpoint`] calls).
     pub checkpoint_interval: u64,
+    /// Compact the log after every checkpoint (drop pages wholly before
+    /// the older surviving checkpoint's anchor). Off by default: an
+    /// uncompacted log keeps genesis replay available as the last rung
+    /// of the recovery ladder.
+    pub compact_on_checkpoint: bool,
 }
 
 impl DurableConfig {
@@ -251,12 +455,19 @@ impl DurableConfig {
         DurableConfig {
             stream,
             checkpoint_interval: 0,
+            compact_on_checkpoint: false,
         }
     }
 
     /// Checkpoint every `n` ingested events.
     pub fn with_checkpoint_interval(mut self, n: u64) -> Self {
         self.checkpoint_interval = n;
+        self
+    }
+
+    /// Compact the log after every checkpoint.
+    pub fn with_compaction(mut self, on: bool) -> Self {
+        self.compact_on_checkpoint = on;
         self
     }
 }
@@ -271,9 +482,9 @@ pub struct CheckpointInfo {
     pub events: u64,
     /// Operations (ingests + forgets) logged at the cut.
     pub ops: u64,
-    /// Sidecar length in bytes.
+    /// Sidecar image length in bytes.
     pub snapshot_len: u64,
-    /// CRC-32 of the sidecar bytes.
+    /// CRC-32 of the sidecar image bytes.
     pub snapshot_crc: u32,
 }
 
@@ -301,24 +512,37 @@ fn decode_checkpoint(payload: &[u8]) -> Result<CheckpointInfo, DecodeError> {
 /// What [`recover`] found and rebuilt.
 #[derive(Debug)]
 pub struct RecoveryReport {
-    /// Operations replayed from the log.
+    /// Operations replayed from the WAL suffix (past the anchor when a
+    /// checkpoint image loaded; the whole log on genesis replay).
     pub ops_replayed: u64,
     /// Ingest events among them (forgets excluded).
     pub events_replayed: u64,
+    /// Total operations the rebuilt state represents: the anchor
+    /// checkpoint's cut plus the replayed suffix.
+    pub ops_recovered: u64,
+    /// Total ingest events the rebuilt state represents.
+    pub events_recovered: u64,
     /// True when the log ended in a torn/corrupt tail that was dropped.
     pub torn_tail: bool,
     /// Bytes the tail scan discarded.
     pub dropped_bytes: u64,
-    /// The last checkpoint record found, if any.
+    /// The checkpoint whose image anchored recovery, if any.
     pub checkpoint: Option<CheckpointInfo>,
-    /// Whether the state rebuilt at the checkpoint's cut matched the
-    /// persisted sidecar snapshot bitwise (`None` when there was no
-    /// loadable checkpoint to verify against).
+    /// The anchor's LSN (the CHECKPOINT record's own LSN); replay
+    /// covered exactly the records past it. `None` on genesis replay.
+    pub anchor_lsn: Option<Lsn>,
+    /// Checkpoint images that existed in the log but failed validation
+    /// (missing, truncated, or corrupt) before one loaded — the rungs
+    /// of the ladder recovery fell through.
+    pub fallbacks: u64,
+    /// Whether the state restored from the image matched its embedded
+    /// serving snapshot bitwise (`None` when no image loaded).
     pub checkpoint_verified: Option<bool>,
-    /// The checkpoint's snapshot, available for serving the moment
-    /// recovery starts (before replay finishes).
+    /// The anchor image's serving snapshot, available the moment
+    /// recovery starts (before suffix replay finishes).
     pub serving_snapshot: Option<StreamSnapshot>,
-    /// Wall-clock nanoseconds the recovery (scan + replay) took.
+    /// Wall-clock nanoseconds the recovery (scan + restore + replay)
+    /// took.
     pub replay_ns: u64,
 }
 
@@ -385,6 +609,10 @@ pub struct DurableMiner {
     events: u64,
     ops: u64,
     ckpt_seq: u64,
+    /// `(seq, anchor LSN)` of the surviving (unpruned) checkpoints,
+    /// oldest first — at most two. Compaction keeps everything the
+    /// older one still replays from.
+    anchors: Vec<(u64, Lsn)>,
 }
 
 impl DurableMiner {
@@ -405,9 +633,19 @@ impl DurableMiner {
         let mut wal = Wal::create(path)?;
         wal.instrument(WalMetrics::new(&reg.scope("wal")));
         let inner = ShardedMiner::spawn_instrumented(cfg.stream.clone(), reg);
-        Ok(DurableMiner::assemble(inner, wal, path, cfg, 0, 0, 0))
+        Ok(DurableMiner::assemble(
+            inner,
+            wal,
+            path,
+            cfg,
+            0,
+            0,
+            0,
+            Vec::new(),
+        ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         mut inner: ShardedMiner,
         wal: Wal,
@@ -416,6 +654,7 @@ impl DurableMiner {
         events: u64,
         ops: u64,
         ckpt_seq: u64,
+        anchors: Vec<(u64, Lsn)>,
     ) -> DurableMiner {
         let wal = Arc::new(Mutex::new(wal));
         inner.set_sink(Box::new(WalLogger {
@@ -429,6 +668,7 @@ impl DurableMiner {
             events,
             ops,
             ckpt_seq,
+            anchors,
         }
     }
 
@@ -473,12 +713,16 @@ impl DurableMiner {
         self.inner.snapshot()
     }
 
-    /// Take a checkpoint now: persist the consistent snapshot at this
-    /// cut into the sidecar, append the CHECKPOINT record referencing
-    /// it, and sync. Keeps the last two sidecars, pruning older ones.
+    /// Take a checkpoint now: persist the full state image at this
+    /// consistent cut (serving snapshot + every shard's bit-exact
+    /// [`MinerState`]) into the sidecar, append the CHECKPOINT record
+    /// referencing it, and sync. The record's LSN becomes the
+    /// checkpoint's anchor: recovery from this image replays only the
+    /// log past it. Keeps the last two sidecars, pruning older ones,
+    /// and compacts the log when the config asks for it.
     pub fn checkpoint(&mut self) -> Result<(), WalError> {
-        let snap = self.inner.snapshot();
-        let bytes = encode_snapshot(&snap);
+        let (snap, states) = self.inner.export_full();
+        let bytes = encode_image(&snap, &states);
         self.ckpt_seq += 1;
         let info = CheckpointInfo {
             seq: self.ckpt_seq,
@@ -488,15 +732,39 @@ impl DurableMiner {
             snapshot_crc: crc32(&bytes),
         };
         write_durable(&sidecar_path(&self.path, info.seq), &bytes)?;
-        {
+        let anchor = {
             let mut wal = self.wal.lock().expect("wal lock poisoned");
-            wal.append(record_kind::CHECKPOINT, &encode_checkpoint(&info))?;
+            let lsn = wal.append(record_kind::CHECKPOINT, &encode_checkpoint(&info))?;
             wal.sync()?;
+            lsn
+        };
+        self.anchors.push((info.seq, anchor));
+        if self.anchors.len() > 2 {
+            self.anchors.remove(0);
         }
         if self.ckpt_seq > 2 {
             let _ = fs::remove_file(sidecar_path(&self.path, self.ckpt_seq - 2));
         }
+        if self.cfg.compact_on_checkpoint {
+            self.compact()?;
+        }
         Ok(())
+    }
+
+    /// Drop WAL pages no surviving checkpoint needs: everything wholly
+    /// before the anchor of the *older* of the two retained
+    /// checkpoints (so the fallback image stays replayable). No-op
+    /// until a checkpoint exists.
+    pub fn compact(&mut self) -> Result<WalCompaction, WalError> {
+        let keep = match self.anchors.len() {
+            0 => return Ok(WalCompaction::default()),
+            1 => self.anchors[0].1,
+            n => self.anchors[n - 2].1,
+        };
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .compact_before(keep)
     }
 
     /// Events ingested (journaled) so far.
@@ -537,12 +805,47 @@ impl DurableMiner {
     }
 }
 
+/// Read and validate a checkpoint's sidecar image: present, length and
+/// CRC matching the log record, and decodable.
+fn load_image(wal: &Path, c: &CheckpointInfo) -> Option<(StreamSnapshot, Vec<MinerState>)> {
+    let bytes = fs::read(sidecar_path(wal, c.seq)).ok()?;
+    if bytes.len() as u64 != c.snapshot_len || crc32(&bytes) != c.snapshot_crc {
+        return None;
+    }
+    decode_image(&bytes).ok()
+}
+
+/// Standalone log compaction: open the log at `path`, find the newest
+/// two checkpoints whose sidecar images validate, and drop every page
+/// wholly before the older one's anchor. A log with no valid image is
+/// left untouched (genesis replay may still need LSN 1).
+pub fn compact(path: &Path) -> Result<WalCompaction, WalError> {
+    let (mut wal, entries, _) = Wal::open(path)?;
+    let mut valid: Vec<Lsn> = Vec::new();
+    for e in &entries {
+        if e.kind == record_kind::CHECKPOINT {
+            if let Ok(c) = decode_checkpoint(&e.payload) {
+                if load_image(path, &c).is_some() {
+                    valid.push(e.lsn);
+                }
+            }
+        }
+    }
+    let keep = match valid.len() {
+        0 => return Ok(WalCompaction::default()),
+        1 => valid[0],
+        n => valid[n - 2],
+    };
+    wal.compact_before(keep)
+}
+
 /// Recover a durable miner from its log: scan (dropping any torn tail),
-/// load the last checkpoint's sidecar for immediate serving, replay the
-/// logged operations through a fresh miner to the exact pre-crash state
-/// (verifying the rebuilt state against the sidecar at the checkpoint's
-/// cut), and return the miner positioned to keep logging where the
-/// survivor left off.
+/// restore the newest valid checkpoint image, replay only the WAL
+/// suffix past its anchor LSN, and return the miner positioned to keep
+/// logging where the survivor left off. A truncated or corrupt image
+/// falls back to the next-older one, then to genesis replay while the
+/// log still starts at LSN 1; a compacted log with no loadable image is
+/// an error (state would be silently wrong otherwise).
 pub fn recover(
     path: &Path,
     cfg: DurableConfig,
@@ -563,12 +866,12 @@ pub fn recover_instrumented(
     let (mut wal, entries, tail) = Wal::open(path)?;
     wal.instrument(WalMetrics::new(&wal_scope));
 
-    let mut ops: Vec<WalOp> = Vec::with_capacity(entries.len());
-    let mut last_ckpt: Option<CheckpointInfo> = None;
+    let mut ops: Vec<(Lsn, WalOp)> = Vec::with_capacity(entries.len());
+    let mut ckpts: Vec<(Lsn, CheckpointInfo)> = Vec::new();
     for e in &entries {
         match e.kind {
             record_kind::OP => match decode_op(&e.payload) {
-                Ok(op) => ops.push(op),
+                Ok(op) => ops.push((e.lsn, op)),
                 // A checksum-verified record that fails to decode is a
                 // codec-version mismatch; stop replaying rather than
                 // rebuild a wrong state.
@@ -576,32 +879,65 @@ pub fn recover_instrumented(
             },
             record_kind::CHECKPOINT => {
                 if let Ok(c) = decode_checkpoint(&e.payload) {
-                    last_ckpt = Some(c);
+                    ckpts.push((e.lsn, c));
                 }
             }
             _ => {}
         }
     }
 
-    // The sidecar gives a restarted server its serving state instantly;
-    // a missing or corrupt sidecar only costs that head start (replay
-    // alone is exact).
-    let mut serving: Option<StreamSnapshot> = None;
-    if let Some(c) = &last_ckpt {
-        if let Ok(bytes) = fs::read(sidecar_path(path, c.seq)) {
-            if bytes.len() as u64 == c.snapshot_len && crc32(&bytes) == c.snapshot_crc {
-                if let Ok(snap) = decode_snapshot(&bytes) {
-                    serving = Some(snap);
-                }
+    // Walk the checkpoint ladder newest → oldest: the first image that
+    // exists, matches its recorded length and CRC, and decodes anchors
+    // recovery.
+    let mut fallbacks = 0u64;
+    let mut anchor: Option<(Lsn, CheckpointInfo, StreamSnapshot, Vec<MinerState>)> = None;
+    for (lsn, c) in ckpts.iter().rev() {
+        match load_image(path, c) {
+            Some((serving, states)) => {
+                anchor = Some((*lsn, *c, serving, states));
+                break;
             }
+            None => fallbacks += 1,
         }
     }
 
-    let mut miner = ShardedMiner::spawn_instrumented(cfg.stream.clone(), reg);
+    let (mut miner, anchor_lsn, anchor_info, serving) = match anchor {
+        Some((lsn, info, serving, states)) => {
+            let miner = ShardedMiner::spawn_restored_instrumented(cfg.stream.clone(), &states, reg);
+            (miner, Some(lsn), Some(info), Some(serving))
+        }
+        None => {
+            // Genesis replay is only exact while the log still starts
+            // at LSN 1; a compacted prefix with no loadable image means
+            // the state is unrecoverable, and saying so beats silently
+            // rebuilding a wrong graph.
+            if let Some(first) = entries.first() {
+                if first.lsn != 1 {
+                    return Err(WalError::Io(io::Error::other(format!(
+                        "wal is compacted (first LSN {}) and no checkpoint image is loadable",
+                        first.lsn
+                    ))));
+                }
+            }
+            let miner = ShardedMiner::spawn_instrumented(cfg.stream.clone(), reg);
+            (miner, None, None, None)
+        }
+    };
+
+    // Restore integrity self-check: the state rebuilt from the image
+    // must equal the serving snapshot captured at the same cut.
+    let verified = serving
+        .as_ref()
+        .map(|expect| snapshots_bitwise_equal(&miner.snapshot(), expect));
+
+    let cut = anchor_lsn.unwrap_or(0);
+    let mut ops_replayed = 0u64;
     let mut events_replayed = 0u64;
-    let mut verified: Option<bool> = None;
-    let ckpt_ops = last_ckpt.as_ref().map(|c| c.ops);
-    for (i, op) in ops.iter().enumerate() {
+    for (lsn, op) in &ops {
+        if *lsn <= cut {
+            continue;
+        }
+        ops_replayed += 1;
         match op {
             WalOp::Ingest { req, path } => {
                 miner.route(*req, path.as_ref());
@@ -609,31 +945,41 @@ pub fn recover_instrumented(
             }
             WalOp::Forget(f) => miner.route_forget(*f),
         }
-        if Some(i as u64 + 1) == ckpt_ops {
-            if let Some(expect) = serving.as_ref() {
-                // Integrity self-check: the state rebuilt at the
-                // checkpoint's cut must equal the persisted snapshot.
-                verified = Some(snapshots_bitwise_equal(&miner.snapshot(), expect));
-            }
-        }
     }
     miner.flush();
     let replay_ns = t0.elapsed().as_nanos() as u64;
+
+    let ops_recovered = anchor_info.map_or(0, |c| c.ops) + ops_replayed;
+    let events_recovered = anchor_info.map_or(0, |c| c.events) + events_replayed;
 
     wal_scope.counter("recoveries").inc();
     wal_scope
         .counter("recovery_replay_events")
         .add(events_replayed);
+    wal_scope.counter("recovery_fallbacks").add(fallbacks);
     wal_scope.histogram("recovery_ns").record(replay_ns);
+    if let Some(lsn) = anchor_lsn {
+        wal_scope.gauge("anchor_lsn").set(lsn as i64);
+    }
 
-    let ops_replayed = ops.len() as u64;
-    let ckpt_seq = last_ckpt.as_ref().map_or(0, |c| c.seq);
+    let ckpt_seq = ckpts.last().map_or(0, |(_, c)| c.seq);
+    let anchors: Vec<(u64, Lsn)> = ckpts
+        .iter()
+        .rev()
+        .take(2)
+        .rev()
+        .map(|(lsn, c)| (c.seq, *lsn))
+        .collect();
     let report = RecoveryReport {
         ops_replayed,
         events_replayed,
+        ops_recovered,
+        events_recovered,
         torn_tail: tail.torn,
         dropped_bytes: tail.dropped_bytes,
-        checkpoint: last_ckpt,
+        checkpoint: anchor_info,
+        anchor_lsn,
+        fallbacks,
         checkpoint_verified: verified,
         serving_snapshot: serving,
         replay_ns,
@@ -643,9 +989,10 @@ pub fn recover_instrumented(
         wal,
         path,
         cfg,
-        events_replayed,
-        ops_replayed,
+        events_recovered,
+        ops_recovered,
         ckpt_seq,
+        anchors,
     );
     Ok((miner, report))
 }
@@ -764,6 +1111,8 @@ mod tests {
 
         let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
         assert_eq!(report.events_replayed, synced as u64);
+        assert_eq!(report.events_recovered, synced as u64);
+        assert_eq!(report.anchor_lsn, None, "no checkpoints: genesis replay");
         assert!(!report.torn_tail);
 
         // Oracle: an uninterrupted miner over exactly the synced prefix.
@@ -805,18 +1154,32 @@ mod tests {
         m.crash();
 
         let reg = Registry::enabled();
-        let (_, report) = recover_instrumented(&path, cfg, &reg).unwrap();
-        let ckpt = report.checkpoint.expect("checkpoint record found");
+        let (_, report) = recover_instrumented(&path, cfg.clone(), &reg).unwrap();
+        let ckpt = report.checkpoint.expect("checkpoint image loaded");
         assert!(ckpt.seq >= 2, "interval checkpoints fired");
         assert_eq!(report.checkpoint_verified, Some(true));
-        let serving = report.serving_snapshot.expect("sidecar loaded");
+        assert_eq!(report.fallbacks, 0);
+        let anchor = report.anchor_lsn.expect("anchored recovery");
+        let serving = report.serving_snapshot.expect("image loaded");
         assert_eq!(serving.events, ckpt.events);
+        // Suffix-only replay: bounded by the checkpoint interval plus
+        // one route batch of slack, not the whole log.
+        assert_eq!(
+            report.events_recovered,
+            ckpt.events + report.events_replayed
+        );
+        assert!(
+            report.events_replayed <= interval + cfg.stream.route_batch as u64,
+            "replayed {} events for interval {interval}",
+            report.events_replayed
+        );
         let obs = reg.snapshot();
         assert_eq!(obs.counter("wal.recoveries"), Some(1));
         assert_eq!(
             obs.counter("wal.recovery_replay_events"),
             Some(report.events_replayed)
         );
+        assert_eq!(obs.gauge("wal.anchor_lsn"), Some(anchor as i64));
         assert!(obs.histogram("wal.recovery_ns").unwrap().count == 1);
     }
 
@@ -839,9 +1202,160 @@ mod tests {
             let _ = fs::remove_file(sidecar_path(&path, seq));
         }
         let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
-        // No serving head start, but replay is still exact.
+        // Every rung of the image ladder fell through; genesis replay
+        // (the log still starts at LSN 1) is still exact.
         assert!(report.serving_snapshot.is_none());
         assert_eq!(report.checkpoint_verified, None);
+        assert_eq!(report.anchor_lsn, None);
+        assert!(report.fallbacks >= 1);
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        for e in &trace.events {
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+    }
+
+    #[test]
+    fn image_codec_roundtrips_bit_exact() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("imagecodec");
+        let _c = Cleanup(path.clone());
+        let mut m = DurableMiner::create(&path, small_cfg(2)).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        let (serving, states) = m.miner().export_full();
+        let bytes = encode_image(&serving, &states);
+        let (dec_serving, dec_states) = decode_image(&bytes).unwrap();
+        assert!(snapshots_bitwise_equal(&serving, &dec_serving));
+        assert_eq!(states, dec_states);
+        assert!(decode_image(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn recovery_from_compacted_log_is_exact() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("compacted");
+        let _c = Cleanup(path.clone());
+        let cfg = small_cfg(2)
+            .with_checkpoint_interval((trace.len() / 4) as u64)
+            .with_compaction(true);
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.flush();
+        drop(m);
+
+        // Compaction really dropped the prefix…
+        let (entries, tail) = farmer_store::Wal::scan(&path).unwrap();
+        assert!(!tail.torn);
+        assert!(entries[0].lsn > 1, "log prefix was compacted away");
+
+        // …and recovery from the suffix is still bitwise exact.
+        let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
+        assert!(report.anchor_lsn.is_some());
+        assert_eq!(report.checkpoint_verified, Some(true));
+        assert_eq!(report.events_recovered, trace.len() as u64);
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        for e in &trace.events {
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+    }
+
+    #[test]
+    fn corrupt_newest_image_falls_back_to_older() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("ladder");
+        let _c = Cleanup(path.clone());
+        let cfg = small_cfg(1).with_checkpoint_interval((trace.len() / 3) as u64);
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.flush();
+        drop(m);
+
+        // Flip a bit in the newest sidecar image (seq 3).
+        let newest = sidecar_path(&path, 3);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
+        assert_eq!(report.fallbacks, 1, "newest image rejected");
+        assert_eq!(report.checkpoint.unwrap().seq, 2, "older image anchored");
+        assert_eq!(report.checkpoint_verified, Some(true));
+        assert_eq!(report.events_recovered, trace.len() as u64);
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        for e in &trace.events {
+            oracle.route_event(&trace, e);
+        }
+        assert!(snapshots_bitwise_equal(
+            &recovered.snapshot(),
+            &oracle.snapshot()
+        ));
+    }
+
+    #[test]
+    fn compacted_log_without_images_refuses_genesis() {
+        let trace = WorkloadSpec::hp().scaled(0.005).generate();
+        let path = tmp_wal("refuse");
+        let _c = Cleanup(path.clone());
+        let cfg = small_cfg(1)
+            .with_checkpoint_interval((trace.len() / 3) as u64)
+            .with_compaction(true);
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.flush();
+        drop(m);
+        for seq in 0..16 {
+            let _ = fs::remove_file(sidecar_path(&path, seq));
+        }
+        // Prefix gone, images gone: genesis replay would silently build
+        // the wrong state, so recovery must refuse.
+        assert!(recover(&path, cfg).is_err());
+    }
+
+    #[test]
+    fn standalone_compact_respects_surviving_checkpoints() {
+        let trace = WorkloadSpec::hp().scaled(0.01).generate();
+        let path = tmp_wal("standalone");
+        let _c = Cleanup(path.clone());
+        let interval = (trace.len() / 4) as u64;
+        let cfg = small_cfg(1).with_checkpoint_interval(interval);
+        let mut m = DurableMiner::create(&path, cfg.clone()).unwrap();
+        for e in &trace.events {
+            m.ingest_event(&trace, e);
+        }
+        m.flush();
+        drop(m);
+
+        let report = compact(&path).unwrap();
+        assert!(report.pages_dropped > 0);
+        // Idempotent: a second pass has nothing left to reclaim beyond
+        // at most the page boundary it already cut at.
+        assert_eq!(compact(&path).unwrap().pages_dropped, 0);
+
+        // Both surviving images remain anchored: corrupt the newest and
+        // recovery still lands on the older one, bitwise exact.
+        let newest = sidecar_path(&path, 4);
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+        let (mut recovered, report) = recover(&path, cfg.clone()).unwrap();
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.checkpoint.unwrap().seq, 3);
         let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
         for e in &trace.events {
             oracle.route_event(&trace, e);

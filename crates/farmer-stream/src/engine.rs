@@ -35,7 +35,7 @@
 //! epoch in O(1) and nodes absorb it lazily on touch, so the shard's
 //! periodic maintenance touches only live state.
 
-use farmer_core::{CorrelatorList, Farmer, Request};
+use farmer_core::{CorrelatorList, Farmer, FarmerState, Request};
 use farmer_trace::hash::{fx_hash_u64, FxHashMap};
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
@@ -48,6 +48,31 @@ use crate::StreamConfig;
 #[inline]
 pub fn owns_file(file: FileId, shard_id: usize, num_shards: usize) -> bool {
     num_shards <= 1 || (fx_hash_u64(u64::from(file.raw())) as usize) % num_shards == shard_id
+}
+
+/// Full state image of one [`StreamMiner`]: the wrapped model's exact
+/// state (see [`farmer_core::state`]) plus the shard's retention
+/// counters and stream-position accounting. Floating-point values are
+/// raw `f64` bits so a restored miner continues the stream bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinerState {
+    /// Shard identity the image was taken under (ownership partitioning
+    /// is part of the state).
+    pub shard_id: u32,
+    /// Fleet width the image was taken under.
+    pub num_shards: u32,
+    /// Events ingested (owned or not).
+    pub events_seen: u64,
+    /// Events whose file this shard owns.
+    pub owned_events: u64,
+    /// Files evicted so far.
+    pub evictions: u64,
+    /// Space-Saving over-estimation floor (raw bits).
+    pub count_floor: u64,
+    /// Retention counters as `(file id, count bits)`, sorted by id.
+    pub counts: Vec<(u32, u64)>,
+    /// The wrapped model's state.
+    pub farmer: FarmerState,
 }
 
 /// One shard's bounded-memory online miner.
@@ -173,7 +198,11 @@ impl StreamMiner {
             return;
         }
         let mut entries: Vec<(u32, f64)> = self.counts.iter().map(|(&f, &c)| (f, c)).collect();
-        entries.select_nth_unstable_by(batch - 1, |a, b| a.1.total_cmp(&b.1));
+        // Break count ties by file id: the victim *set* must be a pure
+        // function of the counter contents, never of hash-map iteration
+        // order — a checkpoint-restored miner rebuilds the map with a
+        // different insertion history and must still evict identically.
+        entries.select_nth_unstable_by(batch - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let victims: Vec<FileId> = entries[..batch]
             .iter()
             .map(|&(f, _)| FileId::new(f))
@@ -212,6 +241,54 @@ impl StreamMiner {
             tracked_files: self.counts.len(),
             evictions: self.evictions,
             state_bytes: self.state_bytes(),
+        }
+    }
+
+    /// Export this shard's full state as a plain-data image for
+    /// checkpointing. [`StreamMiner::from_state`] is the inverse; the
+    /// round trip preserves every future mining decision bit for bit.
+    pub fn export_state(&self) -> MinerState {
+        let mut counts: Vec<(u32, u64)> = self
+            .counts
+            .iter()
+            .map(|(&f, &c)| (f, c.to_bits()))
+            .collect();
+        counts.sort_unstable_by_key(|(f, _)| *f);
+        MinerState {
+            shard_id: self.shard_id as u32,
+            num_shards: self.num_shards as u32,
+            events_seen: self.events_seen,
+            owned_events: self.owned_events,
+            evictions: self.evictions,
+            count_floor: self.count_floor.to_bits(),
+            counts,
+            farmer: self.farmer.export_state(),
+        }
+    }
+
+    /// Rebuild a shard miner from an exported image under `cfg`, which
+    /// must match the configuration the image was taken under (the WAL
+    /// replay contract). The shard identity comes from the image itself.
+    pub fn from_state(cfg: StreamConfig, state: &MinerState) -> StreamMiner {
+        let shard_id = state.shard_id as usize;
+        let num_shards = state.num_shards as usize;
+        assert!(shard_id < num_shards.max(1), "shard_id out of range");
+        let farmer = Farmer::from_state(cfg.farmer.clone(), &state.farmer);
+        StreamMiner {
+            cfg,
+            farmer,
+            shard_id,
+            num_shards,
+            counts: state
+                .counts
+                .iter()
+                .map(|&(f, c)| (f, f64::from_bits(c)))
+                .collect(),
+            count_floor: f64::from_bits(state.count_floor),
+            events_seen: state.events_seen,
+            owned_events: state.owned_events,
+            evictions: state.evictions,
+            obs: StreamMetrics::default(),
         }
     }
 
@@ -391,6 +468,58 @@ mod tests {
             assert!(!l.is_empty());
             assert!(m.counts.contains_key(&l.owner.raw()));
         }
+    }
+
+    fn shard_snapshots_bitwise_equal(a: &ShardSnapshot, b: &ShardSnapshot) -> bool {
+        a.shard_id == b.shard_id
+            && a.events_seen == b.events_seen
+            && a.owned_events == b.owned_events
+            && a.tracked_files == b.tracked_files
+            && a.evictions == b.evictions
+            && a.lists.len() == b.lists.len()
+            && a.lists.iter().zip(&b.lists).all(|(la, lb)| {
+                la.owner == lb.owner
+                    && la.len() == lb.len()
+                    && la.iter().zip(lb.iter()).all(|(ca, cb)| {
+                        ca.file == cb.file && ca.degree.to_bits() == cb.degree.to_bits()
+                    })
+            })
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bitwise() {
+        // Export mid-stream (with eviction, decay and forgets all active),
+        // restore, and feed the identical suffix to both miners: every
+        // future decision must match bit for bit.
+        let trace = WorkloadSpec::hp().scaled(0.02).generate();
+        let mut cfg = small_cfg(256);
+        cfg.count_decay = 0.9;
+        cfg.decay_interval = 97;
+        let mut original = StreamMiner::new(cfg.clone());
+        let cut = trace.len() / 2;
+        for (i, e) in trace.events.iter().take(cut).enumerate() {
+            if i % 113 == 0 {
+                original.forget(e.file);
+            }
+            original.ingest_event(&trace, e);
+        }
+        let state = original.export_state();
+        assert_eq!(state.events_seen, cut as u64);
+        let mut restored = StreamMiner::from_state(cfg, &state);
+        assert_eq!(restored.export_state(), state, "round trip not identity");
+        for (i, e) in trace.events.iter().enumerate().skip(cut) {
+            if i % 113 == 0 {
+                original.forget(e.file);
+                restored.forget(e.file);
+            }
+            original.ingest_event(&trace, e);
+            restored.ingest_event(&trace, e);
+        }
+        assert!(
+            shard_snapshots_bitwise_equal(&original.snapshot(), &restored.snapshot()),
+            "restored miner diverged from the original"
+        );
+        assert_eq!(original.export_state(), restored.export_state());
     }
 
     #[test]

@@ -54,10 +54,10 @@ pub mod snapshot;
 use farmer_core::FarmerConfig;
 
 pub use durable::{
-    recover, recover_instrumented, snapshots_bitwise_equal, CheckpointInfo, DurableConfig,
-    DurableMiner, RecoveryReport, WalOp,
+    compact, decode_image, encode_image, recover, recover_instrumented, snapshots_bitwise_equal,
+    CheckpointInfo, DurableConfig, DurableMiner, RecoveryReport, WalOp,
 };
-pub use engine::StreamMiner;
+pub use engine::{MinerState, StreamMiner};
 pub use metrics::StreamMetrics;
 pub use publish::{CellReader, SnapshotCell};
 pub use shard::{ShardedMiner, WalSink};

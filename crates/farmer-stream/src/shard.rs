@@ -30,7 +30,7 @@ use farmer_obs::Registry;
 use farmer_trace::hash::FxHashMap;
 use farmer_trace::{FileId, FilePath, Trace, TraceEvent};
 
-use crate::engine::StreamMiner;
+use crate::engine::{MinerState, StreamMiner};
 use crate::metrics::StreamMetrics;
 use crate::snapshot::{ShardSnapshot, StreamSnapshot};
 use crate::StreamConfig;
@@ -63,6 +63,11 @@ enum Item {
 enum Msg {
     Batch(Vec<Item>),
     Snapshot(mpsc::Sender<ShardSnapshot>),
+    /// Full-state export marker (checkpoint images): answered with both
+    /// the serving snapshot and the shard's complete miner state at the
+    /// same consistent cut, so a checkpoint's serving view and its
+    /// resumable image can never disagree.
+    Export(mpsc::Sender<(ShardSnapshot, MinerState)>),
     Flush(mpsc::Sender<()>),
     #[cfg(test)]
     Poison,
@@ -290,6 +295,93 @@ impl ShardedMiner {
         snap
     }
 
+    /// Take a consistent snapshot *and* the full per-shard state images
+    /// at the same cut — the checkpoint-image export. One barrier
+    /// message per shard returns both halves together, so the serving
+    /// snapshot embedded in a checkpoint always describes exactly the
+    /// state the image resumes from.
+    pub fn export_full(&mut self) -> (StreamSnapshot, Vec<MinerState>) {
+        self.dispatch();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut ok = true;
+        for tx in &self.senders {
+            if tx.send(Msg::Export(reply_tx.clone())).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        drop(reply_tx);
+        let mut parts: Vec<(ShardSnapshot, MinerState)> = reply_rx.iter().collect();
+        if !ok || parts.len() != self.senders.len() {
+            self.propagate_worker_panic("export");
+        }
+        // Same determinism rule as `snapshot`: merge in shard order.
+        parts.sort_by_key(|(p, _)| p.shard_id);
+        let (snaps, states): (Vec<ShardSnapshot>, Vec<MinerState>) = parts.into_iter().unzip();
+        let span = self.obs.snapshot_merge_ns.span();
+        let snap = StreamSnapshot::merge(snaps);
+        span.finish();
+        self.obs.tracked_files.set(snap.tracked_files as i64);
+        self.obs.state_bytes.set(snap.state_bytes as i64);
+        (snap, states)
+    }
+
+    /// Spawn a fleet whose shards resume from exported state images
+    /// (one per shard, any order) instead of starting empty. `cfg` must
+    /// match the configuration the images were taken under, including
+    /// the shard count — the images carry their shard identity, and the
+    /// restored fleet continues the stream bit for bit.
+    pub fn spawn_restored(cfg: StreamConfig, states: &[MinerState]) -> Self {
+        Self::spawn_restored_instrumented(cfg, states, &Registry::disabled())
+    }
+
+    /// [`ShardedMiner::spawn_restored`] with observability (see
+    /// [`ShardedMiner::spawn_instrumented`]).
+    pub fn spawn_restored_instrumented(
+        cfg: StreamConfig,
+        states: &[MinerState],
+        reg: &Registry,
+    ) -> Self {
+        let n = cfg.num_shards.max(1);
+        assert_eq!(states.len(), n, "one state image per shard required");
+        let obs = StreamMetrics::new(&reg.scope("stream"));
+        let mut by_shard: Vec<&MinerState> = states.iter().collect();
+        by_shard.sort_by_key(|s| s.shard_id);
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut routed = 0u64;
+        for (shard_id, state) in by_shard.into_iter().enumerate() {
+            assert_eq!(
+                (state.shard_id as usize, state.num_shards as usize),
+                (shard_id, n),
+                "state image shard identity does not match the fleet"
+            );
+            let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
+            let mut miner = StreamMiner::from_state(cfg.clone(), state);
+            miner.instrument(obs.clone());
+            // Forgets are not events, so the router's routed counter at
+            // the cut equals any shard's events_seen.
+            routed = routed.max(state.events_seen);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("farmer-stream-shard-{shard_id}"))
+                    .spawn(move || shard_worker(miner, rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        ShardedMiner {
+            cfg,
+            senders,
+            handles,
+            pending: Vec::new(),
+            path_cache: FxHashMap::default(),
+            routed,
+            sink: None,
+            obs,
+        }
+    }
+
     /// Publication hook for the serving tier: take a consistent
     /// [`ShardedMiner::snapshot`] and install it into `cell`, returning
     /// the new epoch. Readers registered on the cell pick the snapshot up
@@ -382,6 +474,9 @@ fn shard_worker(mut miner: StreamMiner, rx: Receiver<Msg>) {
             }
             Msg::Snapshot(reply) => {
                 let _ = reply.send(miner.snapshot());
+            }
+            Msg::Export(reply) => {
+                let _ = reply.send((miner.snapshot(), miner.export_state()));
             }
             Msg::Flush(ack) => {
                 let _ = ack.send(());

@@ -1,13 +1,18 @@
 //! The crash-point matrix: kill the durable miner at every Kth event
 //! across checkpoint boundaries, recover, and assert the recovered state
 //! is bitwise-identical to an uninterrupted oracle — at 1, 2, and 4
-//! shards, with and without memory caps, and under torn-write tails.
+//! shards, with and without memory caps, with and without log
+//! compaction, and under torn-write tails, torn checkpoint images, and
+//! interrupted compactions.
 //!
 //! The oracle construction mirrors the durability contract exactly: the
 //! WAL's loss window is "operations since the last completed sync", so
 //! the oracle is a plain (non-durable) miner fed the *first
-//! `ops_replayed`* operations of the same stream — recovery must land on
-//! that prefix's state bit for bit, never on some almost-right hybrid.
+//! `ops_recovered`* operations of the same stream — recovery must land
+//! on that prefix's state bit for bit, never on some almost-right
+//! hybrid. When a checkpoint image anchors recovery, the replay must
+//! additionally be *suffix-only*: bounded by the checkpoint interval,
+//! not the log length.
 
 use std::path::PathBuf;
 
@@ -78,7 +83,10 @@ fn config(shards: usize, node_cap: usize, trace_len: usize) -> DurableConfig {
 }
 
 /// Kill at `kill` ops, recover, and assert parity with an oracle fed the
-/// recovered prefix. Returns how many ops the recovery replayed.
+/// recovered prefix. When a checkpoint image anchored the recovery, also
+/// assert the replay was suffix-only (bounded by the checkpoint
+/// interval, not the log length). Returns how many ops the recovery
+/// replayed.
 fn crash_recover_assert(
     tag: &str,
     trace: &Trace,
@@ -94,32 +102,51 @@ fn crash_recover_assert(
     m.crash();
 
     let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
-    let replayed = report.ops_replayed as usize;
-    assert!(replayed <= kill, "{tag}: replayed past the kill point");
+    let recovered_ops = report.ops_recovered as usize;
+    assert!(
+        recovered_ops <= kill,
+        "{tag}: recovered past the kill point"
+    );
     // The loss window is bounded by one route batch plus the tombstones
     // interleaved within it.
     let max_loss = cfg.stream.route_batch * 2;
     assert!(
-        kill - replayed <= max_loss,
+        kill - recovered_ops <= max_loss,
         "{tag}: lost {} ops at kill {kill}, more than a batch window",
-        kill - replayed
+        kill - recovered_ops
     );
     if let Some(v) = report.checkpoint_verified {
         assert!(v, "{tag}: checkpoint verification failed at kill {kill}");
     }
+    if report.anchor_lsn.is_some() {
+        // Suffix-only replay: at most one checkpoint interval of events
+        // plus its interleaved tombstones (and batch slack).
+        let interval = cfg.checkpoint_interval as usize;
+        let max_suffix = interval + interval / 97 + 1 + cfg.stream.route_batch;
+        assert!(
+            report.ops_replayed as usize <= max_suffix,
+            "{tag}: replayed {} ops from an anchored recovery (interval {interval})",
+            report.ops_replayed
+        );
+        assert_eq!(
+            report.ops_recovered,
+            report.checkpoint.expect("anchored").ops + report.ops_replayed,
+            "{tag}: anchor cut + suffix must add up"
+        );
+    }
 
     let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
-    feed_plain(&mut oracle, trace, &ops[..replayed]);
+    feed_plain(&mut oracle, trace, &ops[..recovered_ops]);
     assert!(
         snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
-        "{tag}: recovered state diverged from oracle at kill {kill} (replayed {replayed})"
+        "{tag}: recovered state diverged from oracle at kill {kill} (recovered {recovered_ops})"
     );
 
     if continue_after {
         // The recovered miner is a going concern: finishing the stream
         // must keep it bit-identical to the oracle doing the same.
-        feed_durable(&mut recovered, trace, &ops[replayed..]);
-        feed_plain(&mut oracle, trace, &ops[replayed..]);
+        feed_durable(&mut recovered, trace, &ops[recovered_ops..]);
+        feed_plain(&mut oracle, trace, &ops[recovered_ops..]);
         assert!(
             snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
             "{tag}: post-recovery stream diverged at kill {kill}"
@@ -242,13 +269,207 @@ fn torn_tails_recover_the_valid_prefix_bitwise() {
         let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
         assert!(report.torn_tail, "torn-{tag}: tail not reported torn");
         assert!(report.dropped_bytes > 0);
-        let replayed = report.ops_replayed as usize;
+        let recovered_ops = report.ops_recovered as usize;
         let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
-        feed_plain(&mut oracle, &trace, &ops[..replayed]);
+        feed_plain(&mut oracle, &trace, &ops[..recovered_ops]);
         assert!(
             snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
             "torn-{tag}: recovered state diverged from oracle"
         );
         cleanup(&path);
     }
+}
+
+#[test]
+fn kill_grid_with_compaction_recovers_bitwise() {
+    // Same grid, but the log is compacted behind every checkpoint: the
+    // genesis prefix is gone, so recovery *must* come from an image plus
+    // suffix replay — and still land bit-for-bit on the oracle.
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let step = (ops.len() / 5).max(1);
+    for shards in [1usize, 2] {
+        let cfg = config(shards, 1 << 20, trace.len()).with_compaction(true);
+        let mut kill = step;
+        let mut k = 0;
+        while kill < ops.len() {
+            crash_recover_assert(
+                &format!("compact-s{shards}-k{k}"),
+                &trace,
+                &ops,
+                &cfg,
+                kill,
+                k == 1,
+            );
+            kill += step;
+            k += 1;
+        }
+    }
+}
+
+#[test]
+fn mid_checkpoint_write_kills_fall_back_down_the_ladder() {
+    // A crash mid-checkpoint leaves a torn image (truncated sidecar, or
+    // a stray tmp file, or a sidecar with no log record). Each flavor
+    // must fall back cleanly and still recover bitwise.
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let cfg = config(2, 1 << 20, trace.len());
+    let kill = ops.len() * 9 / 10; // past the third checkpoint
+    let sidecar = |path: &PathBuf, seq: u64| PathBuf::from(format!("{}.ckpt{seq}", path.display()));
+
+    for tag in ["truncated", "deleted", "stray", "all-gone"] {
+        let path = wal_path(&format!("midckpt-{tag}"));
+        cleanup(&path);
+        let mut m = DurableMiner::create(&path, cfg.clone()).expect("create durable miner");
+        feed_durable(&mut m, &trace, &ops[..kill]);
+        m.crash();
+
+        // The newest surviving checkpoint is seq 3 (interval = len/4,
+        // kill at 90%); seq 2 is the retained fallback.
+        let newest = sidecar(&path, 3);
+        assert!(newest.exists(), "midckpt-{tag}: expected sidecar seq 3");
+        match tag {
+            "truncated" => {
+                // Torn mid-write: half the image made it to disk.
+                let bytes = std::fs::read(&newest).unwrap();
+                std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+            }
+            "deleted" => {
+                std::fs::remove_file(&newest).unwrap();
+            }
+            "stray" => {
+                // Killed before the atomic rename: a partial tmp image
+                // sits next to an intact sidecar. Recovery must ignore
+                // the tmp and use the real image with zero fallbacks.
+                std::fs::write(
+                    PathBuf::from(format!("{}.tmp", newest.display())),
+                    [0xEEu8; 100],
+                )
+                .unwrap();
+            }
+            _ => {
+                // Every image gone: the uncompacted log still replays
+                // from genesis.
+                std::fs::remove_file(&newest).unwrap();
+                std::fs::remove_file(sidecar(&path, 2)).unwrap();
+            }
+        }
+
+        let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
+        match tag {
+            "truncated" | "deleted" => {
+                assert_eq!(report.fallbacks, 1, "midckpt-{tag}");
+                assert_eq!(report.checkpoint.expect("older image").seq, 2);
+                assert_eq!(report.checkpoint_verified, Some(true));
+            }
+            "stray" => {
+                assert_eq!(report.fallbacks, 0, "midckpt-{tag}");
+                assert_eq!(report.checkpoint.expect("newest image").seq, 3);
+            }
+            _ => {
+                // Ladder tried seq 3, seq 2, and the already-pruned
+                // seq 1 before giving up and replaying from genesis.
+                assert_eq!(report.fallbacks, 3, "midckpt-{tag}");
+                assert!(report.checkpoint.is_none());
+                assert_eq!(report.anchor_lsn, None);
+            }
+        }
+        let recovered_ops = report.ops_recovered as usize;
+        let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+        feed_plain(&mut oracle, &trace, &ops[..recovered_ops]);
+        assert!(
+            snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+            "midckpt-{tag}: recovered state diverged from oracle"
+        );
+        cleanup(&path);
+        let _ = std::fs::remove_file(PathBuf::from(format!("{}.tmp", newest.display())));
+    }
+}
+
+#[test]
+fn mid_compaction_kills_leave_a_recoverable_log() {
+    // Compaction rewrites the log via tmp+rename: a kill before the
+    // rename leaves the original log plus a partial tmp; a kill after
+    // leaves the compacted log. Both must recover bitwise.
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let ops = build_ops(&trace);
+    let cfg = config(1, 1 << 20, trace.len());
+    let kill = ops.len() * 4 / 5;
+
+    let path = wal_path("midcompact");
+    cleanup(&path);
+    let mut m = DurableMiner::create(&path, cfg.clone()).expect("create durable miner");
+    feed_durable(&mut m, &trace, &ops[..kill]);
+    m.crash();
+
+    // Kill "before the rename": a half-written compacted image next to
+    // the untouched log must change nothing.
+    let tmp = path.with_extension("wal.compact-tmp");
+    std::fs::write(&tmp, [0x77u8; 333]).unwrap();
+    let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover with stray tmp");
+    let recovered_ops = report.ops_recovered as usize;
+    let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+    feed_plain(&mut oracle, &trace, &ops[..recovered_ops]);
+    assert!(
+        snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+        "stray compact tmp perturbed recovery"
+    );
+    drop(recovered);
+    let _ = std::fs::remove_file(&tmp);
+
+    // Kill "after the rename": compact for real, then recover from the
+    // suffix-only log.
+    let compaction = farmer_stream::compact(&path).expect("standalone compact");
+    assert!(compaction.pages_dropped > 0, "compaction reclaimed nothing");
+    let (mut recovered, report2) = recover(&path, cfg.clone()).expect("recover compacted");
+    assert!(report2.anchor_lsn.is_some(), "compacted log must anchor");
+    assert_eq!(report2.ops_recovered as usize, recovered_ops);
+    assert!(
+        snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+        "post-compaction recovery diverged from oracle"
+    );
+    cleanup(&path);
+}
+
+#[test]
+fn early_checkpoint_compaction_is_a_noop_until_pages_accumulate() {
+    // A checkpoint anchored on the first data page has nothing to drop;
+    // compaction must no-op (never corrupt the log) and start reclaiming
+    // once later checkpoints move the anchor past whole pages.
+    let trace = WorkloadSpec::hp().scaled(0.01).generate();
+    let path = wal_path("earlyckpt");
+    cleanup(&path);
+    let mut stream = StreamConfig::default()
+        .with_shards(1)
+        .with_node_cap(1 << 20);
+    stream.route_batch = 32;
+    let cfg = DurableConfig::new(stream).with_checkpoint_interval(8);
+    let mut m = DurableMiner::create(&path, cfg.clone()).expect("create durable miner");
+    for e in trace.events.iter().take(8) {
+        m.ingest_event(&trace, e);
+    }
+    // Anchor sits on the first data page: zero droppable pages.
+    let first = m.compact().expect("compact");
+    assert_eq!(first.pages_dropped, 0);
+
+    for e in trace.events.iter().skip(8).take(1000) {
+        m.ingest_event(&trace, e);
+    }
+    let later = m.compact().expect("compact");
+    assert!(later.pages_dropped > 0, "anchor moved, pages reclaimable");
+    m.flush();
+    drop(m);
+
+    let (mut recovered, report) = recover(&path, cfg.clone()).expect("recover");
+    assert_eq!(report.events_recovered, 1008);
+    let mut oracle = ShardedMiner::spawn(cfg.stream.clone());
+    for e in trace.events.iter().take(1008) {
+        oracle.route_event(&trace, e);
+    }
+    assert!(
+        snapshots_bitwise_equal(&recovered.snapshot(), &oracle.snapshot()),
+        "recovery after no-op + real compaction diverged"
+    );
+    cleanup(&path);
 }
