@@ -19,6 +19,9 @@
 //!   Ordinary-least-squares regression of successor strength on
 //!   attribute-match indicators, with a small dense linear solver.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod regression;
 pub mod replication;
 pub mod security;

@@ -51,6 +51,8 @@ impl RegressionReport {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
+            // lint: allow(panic) coefficients has FEATURE_LABELS' fixed
+            // length, so the [1..] slice is never empty
             .expect("non-empty");
         FEATURE_LABELS[idx + 1]
     }
@@ -198,6 +200,8 @@ pub fn solve(
         // Pivot.
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            // lint: allow(panic) col < n, so the col..n range always has
+            // at least one element
             .expect("non-empty range");
         a.swap(col, pivot);
         b.swap(col, pivot);

@@ -29,6 +29,10 @@
 //! cargo run --release -p farmer-bench --bin serve_throughput -- --quick --check
 //! ```
 
+// The counting allocator is the bin's only unsafe; each op carries a
+// SAFETY: proof and must mark its internal unsafe operations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,21 +57,31 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the System allocator plus a Relaxed
+// counter bump; every GlobalAlloc contract obligation is System's own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded unchanged.
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(l)
+        // SAFETY: same layout the caller vouched for.
+        unsafe { System.alloc(l) }
     }
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded unchanged.
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
-        System.dealloc(p, l)
+        // SAFETY: (p, l) came from this allocator, i.e. from System.
+        unsafe { System.dealloc(p, l) }
     }
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded unchanged.
     unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(p, l, n)
+        // SAFETY: (p, l) came from this allocator; n validated by caller.
+        unsafe { System.realloc(p, l, n) }
     }
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded unchanged.
     unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(l)
+        // SAFETY: same layout the caller vouched for.
+        unsafe { System.alloc_zeroed(l) }
     }
 }
 

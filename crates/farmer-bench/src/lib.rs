@@ -15,6 +15,9 @@
 //! Criterion micro-benchmarks for the kernels (similarity, miner update,
 //! cache ops, B+-tree ops, trace generation) live in `benches/`.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod evalmatrix;
 pub mod experiments;
 pub mod faults;

@@ -88,6 +88,8 @@ fn lower_bound(tos: &[u32], to: u32) -> usize {
 #[inline(always)]
 fn prefetch_read<T>(t: &T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: _mm_prefetch is a hint with no memory effects — it cannot
+    // fault even on an invalid address, and `t` is a live reference anyway.
     unsafe {
         std::arch::x86_64::_mm_prefetch(t as *const T as *const i8, std::arch::x86_64::_MM_HINT_T0);
     }
@@ -471,6 +473,9 @@ impl CorrelationGraph {
             s_inter,
             s_items,
             succ_has_path,
+            // lint: allow(panic) apply_at invokes the path closure at most
+            // once (only when the edge is first created), so take() on the
+            // second call is unreachable by construction
             &mut || path.take().expect("path term computed once")(),
             cfg,
         );

@@ -1,0 +1,13 @@
+// Clean R1 counterpart: every ordering justified, imports exempt.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering::Relaxed;
+
+pub fn load_seq(slot: &AtomicU64) -> u64 {
+    // ord: Acquire pairs with the Release store in `publish`; reads of the
+    // payload after this load see the fully written record.
+    slot.load(Ordering::Acquire)
+}
+
+pub fn bump(slot: &AtomicU64) {
+    slot.fetch_add(1, Relaxed); // ord: monotonic counter, no payload to order
+}

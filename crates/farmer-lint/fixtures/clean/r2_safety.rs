@@ -1,0 +1,12 @@
+// Clean R2 counterpart: every unsafe site carries its proof obligation.
+pub struct Slot(*mut u8);
+
+// SAFETY: Slot owns the allocation behind the pointer exclusively; moving
+// it between threads transfers that ownership.
+unsafe impl Send for Slot {}
+
+pub fn read(s: &Slot) -> u8 {
+    // SAFETY: the pointer is non-null and valid for reads for the lifetime
+    // of &self by the constructor's contract.
+    unsafe { *s.0 }
+}

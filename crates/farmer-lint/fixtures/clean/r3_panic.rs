@@ -1,0 +1,24 @@
+// Clean R3 counterpart: errors propagated, invariants annotated with a
+// reason, and tests free to unwrap.
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn tail(v: &[u32]) -> Result<u32, &'static str> {
+    v.last().copied().ok_or("empty input")
+}
+
+pub fn checked(v: &[u32]) -> u32 {
+    // lint: allow(panic) caller guarantees non-empty: the mining loop only
+    // reaches here after the batch-size check in ingest()
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+// Clean R4 counterpart: lower_snake segments, unit-suffixed histograms,
+// single-segment scopes.
+pub fn register(reg: &Registry) {
+    let c = reg.counter("serve.hits");
+    let g = reg.gauge("serve.queue_depth");
+    let h = reg.histogram("serve.publish_ns");
+    let b = reg.histogram("stream.batch_events");
+    let s = reg.scope("serve");
+    let _ = (c, g, h, b, s);
+}

@@ -1,0 +1,15 @@
+// Clean R6 counterpart: library backoff may sleep; the one test that
+// must sleep carries a reasoned allow.
+pub fn backoff(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn waits_for_detached_worker() {
+        // lint: allow(sleep) the panicking worker cannot be joined; there is
+        // no completion signal to poll for
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded R1 violations: atomic orderings with no `// ord:` justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering::Relaxed;
+
+pub fn load_seq(slot: &AtomicU64) -> u64 {
+    slot.load(Ordering::Acquire)
+}
+
+pub fn bump(slot: &AtomicU64) {
+    slot.fetch_add(1, Relaxed);
+}

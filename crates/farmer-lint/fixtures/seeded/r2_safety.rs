@@ -1,0 +1,8 @@
+// Seeded R2 violations: unsafe without a SAFETY: comment.
+pub struct Slot(*mut u8);
+
+unsafe impl Send for Slot {}
+
+pub fn read(s: &Slot) -> u8 {
+    unsafe { *s.0 }
+}

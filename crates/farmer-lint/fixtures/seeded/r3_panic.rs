@@ -1,0 +1,21 @@
+// Seeded R3 violations: panic-capable calls in library code, plus a
+// reason-less allow (which is itself a finding).
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty")
+}
+
+pub fn grow(v: &mut Vec<u32>) {
+    if v.len() > 1 << 20 {
+        panic!("too big");
+    }
+    // lint: allow(panic)
+    v.first().unwrap();
+}
+
+pub fn later() -> u32 {
+    todo!()
+}

@@ -1,0 +1,9 @@
+// Seeded R4 violations: bad metric-name grammar and a histogram with no
+// unit suffix.
+pub fn register(reg: &Registry) {
+    let c = reg.counter("Serve.Hits");
+    let g = reg.gauge("serve..depth");
+    let h = reg.histogram("serve.publish");
+    let s = reg.scope("serve.ring");
+    let _ = (c, g, h, s);
+}

@@ -1,0 +1,71 @@
+//! `farmer_lint` — run the workspace rules and emit the JSON report.
+//!
+//! ```text
+//! farmer_lint [--check] [ROOT]
+//! ```
+//!
+//! Scans `ROOT` (default: the workspace root containing this crate,
+//! falling back to the current directory), prints the ordered-JSON
+//! report to stdout and a one-line summary to stderr. With `--check`,
+//! exits nonzero when any finding survives — that is the CI gate.
+
+use farmer_lint::rules::LintConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: farmer_lint [--check] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if root.is_some() {
+                    eprintln!("farmer_lint: unexpected argument {other:?}");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let cfg = LintConfig::workspace();
+    let (files, findings) = farmer_lint::lint_workspace(&root, &cfg);
+    print!("{}", farmer_lint::emit::report(&findings, files));
+
+    if findings.is_empty() {
+        eprintln!("farmer_lint: {files} files scanned, clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "farmer_lint: {files} files scanned, {} finding(s)",
+            findings.len()
+        );
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest dir
+/// (`crates/farmer-lint` → repo root) when that looks like a workspace,
+/// else the current directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(ws) = manifest.parent().and_then(|p| p.parent()) {
+        if ws.join("Cargo.toml").is_file() {
+            return ws.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}

@@ -1,0 +1,105 @@
+//! Minimal ordered-JSON emitter for the lint report.
+//!
+//! Mirrors the farmer-bench emitter convention (insertion-ordered
+//! objects, stable escaping, schema version pinned at the top) without
+//! depending on it — farmer-lint stays zero-dependency so it can lint
+//! the crate that would otherwise be its dependency.
+
+use crate::rules::{Finding, RULES};
+use std::fmt::Write as _;
+
+/// Bumped whenever the report shape changes; CI pins on it.
+pub const LINT_SCHEMA_VERSION: u32 = 1;
+
+/// Render the full report: schema version, rule table, per-file finding
+/// counts, and the findings themselves in (file, line, rule) order.
+pub fn report(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {LINT_SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"finding_count\": {},", findings.len());
+
+    out.push_str("  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"key\": {}, \"summary\": {}}}",
+            escape(r.id),
+            escape(r.key),
+            escape(r.summary)
+        );
+        out.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_valid_shape() {
+        let r = report(&[], 42);
+        assert!(r.contains("\"schema_version\": 1"));
+        assert!(r.contains("\"files_scanned\": 42"));
+        assert!(r.contains("\"finding_count\": 0"));
+        assert!(r.ends_with("}\n"));
+    }
+
+    #[test]
+    fn findings_render_with_escapes() {
+        let f = Finding {
+            rule: "R3",
+            key: "panic",
+            file: "a/b.rs".into(),
+            line: 7,
+            message: "quote \" and\nnewline".into(),
+        };
+        let r = report(&[f], 1);
+        assert!(r.contains(r#""rule": "R3""#));
+        assert!(r.contains(r#""line": 7"#));
+        assert!(r.contains(r#"quote \" and\nnewline"#));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(escape("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

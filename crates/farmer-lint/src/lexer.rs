@@ -1,0 +1,491 @@
+//! A token-level Rust lexer, hand-rolled because the offline build has no
+//! crates.io (no `syn`, no `proc-macro2`): just enough lexical structure
+//! for the rule engine to tell code from comments and strings.
+//!
+//! What it gets right — the cases a regex-grep gets wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), including doc block comments;
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"…"`),
+//!   C strings (`c"…"`), and raw (byte) strings with any hash depth
+//!   (`r##"…"##`, `br#"…"#`);
+//! * char vs. lifetime disambiguation (`'a'` vs. `'a`, `'\u{1F600}'`,
+//!   `b'x'`, `'_'` vs. `'_`), raw identifiers (`r#fn`);
+//! * identifiers, numbers, and single-char punctuation — everything else.
+//!
+//! The lexer **never fails**: malformed input (unterminated strings,
+//! stray quotes, arbitrary Unicode) produces tokens that still tile the
+//! input — every byte of the source is covered by exactly one token or
+//! by inter-token whitespace, a property the proptest suite pins. That
+//! totality is what lets the lint run over fixture files that are not
+//! valid Rust.
+
+/// What a [`Token`] is. Just enough classification for the rules; all
+/// punctuation is single-byte [`TokenKind::Punct`] (so `::` is two
+/// tokens), and numeric literals are not sub-classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `// …` to end of line (doc variants included).
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escapes; unterminated runs to end
+    /// of input.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` at any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// A numeric literal (integer or float prefix; see module docs).
+    Num,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token: kind plus the byte span `[start, end)` into the
+/// source. Spans never overlap, never cover whitespace between tokens,
+/// and always lie on `char` boundaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The source text this token covers.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        // lint: allow(panic) spans are constructed on char boundaries by
+        // the lexer below; out-of-range would be a lexer bug caught by the
+        // tiling proptest.
+        &src[self.start..self.end]
+    }
+}
+
+/// Byte length of the UTF-8 character starting at `b` (1 for ASCII and —
+/// unreachable on valid `&str` input — continuation bytes).
+fn char_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Lex `src` into tokens. Total: accepts any string, panics never, and
+/// the returned spans tile the input modulo whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            let start = self.pos;
+            let kind = self.next_kind(b);
+            debug_assert!(self.pos > start, "lexer must always advance");
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Dispatch on the first byte; advances `self.pos` past the token.
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' => self.maybe_prefixed_literal(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.pos += char_len(b);
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += char_len(b);
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.pos += char_len(b);
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"…"` string starting at the current `"`; handles `\"` and
+    /// `\\` escapes, runs to end of input when unterminated.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    // An escape consumes the next char too (if any).
+                    self.pos += 1;
+                    if let Some(e) = self.peek(0) {
+                        self.pos += char_len(e);
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Str;
+                }
+                _ => self.pos += char_len(b),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string: the cursor sits on `r` (the `b` of `br` already
+    /// consumed by the caller). Counts hashes, requires `"`, scans to
+    /// `"` followed by the same number of hashes.
+    fn raw_string(&mut self) -> TokenKind {
+        self.pos += 1; // consume 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier (hashes == 1) or stray `r#`; the
+            // caller guarantees we only get here when a quote or hash
+            // followed, so treat as identifier-ish and keep going.
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            return TokenKind::Ident;
+        }
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.pos += 1 + hashes;
+                    return TokenKind::RawStr;
+                }
+            }
+            self.pos += char_len(b);
+        }
+        TokenKind::RawStr
+    }
+
+    /// `r`, `b`, or `c` can prefix a literal (`r"…"`, `r#"…"#`, `r#ident`,
+    /// `b"…"`, `b'…'`, `br"…"`, `c"…"`) or just start an identifier.
+    fn maybe_prefixed_literal(&mut self) -> TokenKind {
+        let b0 = self.bytes[self.pos];
+        match (b0, self.peek(1)) {
+            (b'r', Some(b'"' | b'#')) => self.raw_string(),
+            (b'b', Some(b'"')) | (b'c', Some(b'"')) => {
+                self.pos += 1;
+                self.string()
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_literal()
+            }
+            (b'b', Some(b'r')) if matches!(self.peek(2), Some(b'"' | b'#')) => {
+                self.pos += 1;
+                self.raw_string()
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// The cursor sits on `'`: a lifetime when followed by an identifier
+    /// that is not closed by another `'`, a char literal otherwise.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let first = self.peek(1);
+        let is_lifetime = match first {
+            Some(f) if is_ident_start(f) => {
+                // `'a'` is a char, `'a` (no closing quote after one
+                // ident) is a lifetime. Scan the identifier run and look
+                // for an immediately following quote.
+                let mut j = 1 + char_len(f);
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += char_len(self.bytes[self.pos + j]);
+                }
+                self.peek(j) != Some(b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += char_len(self.bytes[self.pos]);
+            }
+            TokenKind::Lifetime
+        } else {
+            self.char_literal()
+        }
+    }
+
+    /// The cursor sits on the opening `'` of a char literal. Terminated
+    /// by the matching `'`; bails at a newline or end of input so a stray
+    /// quote cannot swallow the rest of the file.
+    fn char_literal(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.pos += 1;
+                    if let Some(e) = self.peek(0) {
+                        self.pos += char_len(e);
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    return TokenKind::Char;
+                }
+                b'\n' => return TokenKind::Char,
+                _ => self.pos += char_len(b),
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += char_len(self.bytes[self.pos]);
+        }
+        TokenKind::Ident
+    }
+
+    /// A numeric literal: digits, underscores, alphanumeric suffixes, and
+    /// a fractional part when a digit follows the dot (`1.5` is one token,
+    /// `0..10`'s `0` is not).
+    fn number(&mut self) -> TokenKind {
+        let mut seen_dot = false;
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        TokenKind::Num
+    }
+}
+
+/// Precomputed byte offsets of line starts, for O(log n) offset→line
+/// lookups. Lines are 1-based (as editors and compilers report them).
+#[derive(Debug)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Index `src`'s line starts.
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// The 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Number of lines (at least 1 even for an empty file).
+    pub fn num_lines(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The byte offsets where each line starts.
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn comments_line_block_nested() {
+        let src = "a // line\nb /* x /* y */ z */ c";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::Ident, "a"));
+        assert_eq!(k[1], (TokenKind::LineComment, "// line"));
+        assert_eq!(k[2], (TokenKind::Ident, "b"));
+        assert_eq!(k[3], (TokenKind::BlockComment, "/* x /* y */ z */"));
+        assert_eq!(k[4], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw() {
+        let src = r####"let s = "a\"b"; let r = r#"un"escaped"#; let br = br##"x"##;"####;
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Str, r#""a\"b""#)));
+        assert!(k.contains(&(TokenKind::RawStr, r###"r#"un"escaped"#"###)));
+        assert!(k.contains(&(TokenKind::RawStr, r###"br##"x"##"###)));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let k = kinds(r#"b"bytes" c"cstr" b'x'"#);
+        assert_eq!(k[0].0, TokenKind::Str);
+        assert_eq!(k[1].0, TokenKind::Str);
+        assert_eq!(k[2], (TokenKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let u = '_'; let l: &'_ str; }";
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(k.contains(&(TokenKind::Char, "'a'")));
+        assert!(k.contains(&(TokenKind::Char, "'\\n'")));
+        assert!(k.contains(&(TokenKind::Char, "'_'")));
+        assert!(k.contains(&(TokenKind::Lifetime, "'_")));
+    }
+
+    #[test]
+    fn unicode_escape_char() {
+        let k = kinds(r"let c = '\u{1F600}';");
+        assert!(k.contains(&(TokenKind::Char, r"'\u{1F600}'")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#fn = 1; r#struct");
+        assert!(k.contains(&(TokenKind::Ident, "r#fn")));
+        assert!(k.contains(&(TokenKind::Ident, "r#struct")));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("0..10 1.5 1_000u64 0xff");
+        assert_eq!(k[0], (TokenKind::Num, "0"));
+        assert_eq!(k[1], (TokenKind::Punct, "."));
+        assert_eq!(k[2], (TokenKind::Punct, "."));
+        assert_eq!(k[3], (TokenKind::Num, "10"));
+        assert_eq!(k[4], (TokenKind::Num, "1.5"));
+        assert_eq!(k[5], (TokenKind::Num, "1_000u64"));
+        assert_eq!(k[6], (TokenKind::Num, "0xff"));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof() {
+        for src in ["\"never closed", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?}");
+            assert_eq!(toks[0].end, src.len(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_in_string_is_not_an_ident() {
+        let src = r#"let s = "Ordering::Relaxed"; // Ordering::Acquire"#;
+        for t in lex(src) {
+            if t.kind == TokenKind::Ident {
+                assert!(!t.text(src).contains("Relaxed"));
+                assert!(!t.text(src).contains("Acquire"));
+            }
+        }
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let idx = LineIndex::new("ab\ncd\n\nx");
+        assert_eq!(idx.num_lines(), 4);
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(2), 1); // the newline belongs to line 1
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.line_of(6), 3);
+        assert_eq!(idx.line_of(7), 4);
+    }
+
+    #[test]
+    fn spans_tile_the_input() {
+        let src = "fn main() { let x = \"s\"; /* c */ }";
+        let toks = lex(src);
+        let mut cursor = 0usize;
+        for t in &toks {
+            assert!(t.start >= cursor);
+            assert!(src[cursor..t.start].chars().all(char::is_whitespace));
+            cursor = t.end;
+        }
+        assert!(src[cursor..].chars().all(char::is_whitespace));
+    }
+}

@@ -1,0 +1,74 @@
+//! # farmer-lint — workspace static analysis
+//!
+//! The FARMER workspace carries conventions that `rustc` and clippy
+//! cannot check: atomic-ordering choices in the lock-free modules must
+//! be justified in prose, metric names must follow the observability
+//! grammar, instrumented entry points must keep uninstrumented
+//! siblings. This crate enforces them with a hand-rolled, token-level
+//! Rust lexer (the build environment is offline, so no `syn`) and a
+//! small rule engine — six rules, `R1`–`R6`, documented in
+//! [`rules::RULES`] and the repository README.
+//!
+//! ## Pipeline
+//!
+//! 1. [`lexer`] — total, byte-level tokenizer: comments (nested block,
+//!    doc), string/raw-string/byte/char literals, lifetimes, idents.
+//!    Never panics; spans tile the input.
+//! 2. [`scan`] — per-file context: line table, `#[cfg(test)]` regions,
+//!    `use` spans, fn items, comment-coverage adjacency, and the
+//!    `// lint: allow(<key>) <reason>` escape hatch.
+//! 3. [`rules`] — the six rules over a [`scan::FileCtx`].
+//! 4. [`walk`] / [`emit`] — workspace traversal and the ordered-JSON
+//!    report consumed by CI (`farmer_lint --check`).
+//!
+//! The `farmer_lint` binary wires these together; [`lint_source`] is
+//! the in-process entry point the fixture tests use.
+
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
+pub mod emit;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use rules::{Finding, LintConfig};
+use scan::{FileClass, FileCtx};
+
+/// Lint one file's source under the given class and config.
+pub fn lint_source(path: &str, class: FileClass, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let ctx = FileCtx::new(path, class, src);
+    rules::lint_file(&ctx, cfg)
+}
+
+/// Lint a whole workspace tree rooted at `root`: collect, classify, and
+/// run every file, returning `(files_scanned, findings)` with findings
+/// in (file, line, rule) order.
+pub fn lint_workspace(root: &std::path::Path, cfg: &LintConfig) -> (usize, Vec<Finding>) {
+    let files = walk::collect(root);
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        // Fixture detection looks at the absolute path, not the
+        // root-relative one, so linting a fixture tree directly (the CI
+        // negative control points ROOT at fixtures/seeded) still
+        // classifies its files as fixtures.
+        let class = if path.components().any(|c| c.as_os_str() == "fixtures") {
+            FileClass::Fixture
+        } else {
+            walk::classify(&rel)
+        };
+        findings.extend(lint_source(&rel, class, &src, cfg));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    (files.len(), findings)
+}

@@ -1,0 +1,562 @@
+//! The six workspace rules and the engine that runs them.
+//!
+//! | id | key       | enforces |
+//! |----|-----------|----------|
+//! | R1 | `ord`     | every atomic-`Ordering` use in a designated lock-free module carries an `// ord:` justification |
+//! | R2 | `safety`  | every `unsafe` block / fn / impl carries a `// SAFETY:` comment |
+//! | R3 | `panic`   | no `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` in non-test, non-bench library code |
+//! | R4 | `metric`  | obs metric name literals match the `scope.metric` grammar; histograms carry a unit suffix |
+//! | R5 | `sibling` | every public `*_instrumented` entry point has a plain sibling delegating via `Registry::disabled()` |
+//! | R6 | `sleep`   | no `std::thread::sleep` in test code |
+//!
+//! Escape hatch: `// lint: allow(<key>) <reason>` on the offending line
+//! or the comment block directly above it. The reason is mandatory — an
+//! allow without one is itself a finding, so the hatch cannot silently
+//! rot into a blanket waiver.
+
+use crate::lexer::TokenKind;
+use crate::scan::{Allow, FileClass, FileCtx};
+
+/// One rule's identity, as reported in findings and the JSON record.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id (`R1` … `R6`).
+    pub id: &'static str,
+    /// The `lint: allow(<key>)` key.
+    pub key: &'static str,
+    /// One-line summary for reports.
+    pub summary: &'static str,
+}
+
+/// The active rule set, in id order.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        id: "R1",
+        key: "ord",
+        summary: "atomic Ordering uses in lock-free modules need an `// ord:` justification",
+    },
+    RuleInfo {
+        id: "R2",
+        key: "safety",
+        summary: "unsafe blocks/fns/impls need a `// SAFETY:` comment",
+    },
+    RuleInfo {
+        id: "R3",
+        key: "panic",
+        summary: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+    },
+    RuleInfo {
+        id: "R4",
+        key: "metric",
+        summary: "obs metric names follow the scope.metric grammar; histograms carry a unit suffix",
+    },
+    RuleInfo {
+        id: "R5",
+        key: "sibling",
+        summary: "public *_instrumented entry points need a plain sibling delegating via Registry::disabled()",
+    },
+    RuleInfo {
+        id: "R6",
+        key: "sleep",
+        summary: "no std::thread::sleep in test code",
+    },
+];
+
+/// One finding: a rule violation (or a reason-less allow) at a line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`R1` …).
+    pub rule: &'static str,
+    /// Rule key (`ord`, `safety`, …).
+    pub key: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Workspace policy: which files the path-gated rules designate.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Modules whose atomic-`Ordering` choices carry correctness claims
+    /// (R1 applies to these files only — plus fixtures).
+    pub lockfree_modules: Vec<String>,
+    /// Crates whose library code R3 exempts (the bench harness may
+    /// assert its own invariants with panics).
+    pub panic_exempt_crates: Vec<String>,
+    /// Histogram name suffixes accepted by R4: duration units plus the
+    /// non-duration magnitudes the workspace records.
+    pub hist_suffixes: Vec<&'static str>,
+}
+
+impl LintConfig {
+    /// The workspace policy: the lock-free modules named in the README's
+    /// concurrency section, bench harness exempt from R3.
+    pub fn workspace() -> LintConfig {
+        LintConfig {
+            lockfree_modules: vec![
+                "crates/farmer-serve/src/ring.rs".into(),
+                "crates/farmer-serve/src/serve.rs".into(),
+                "crates/farmer-stream/src/publish.rs".into(),
+                "crates/farmer-obs/src/metric.rs".into(),
+                "crates/farmer-obs/src/hist.rs".into(),
+            ],
+            panic_exempt_crates: vec!["farmer-bench".into()],
+            hist_suffixes: vec!["_ns", "_us", "_ms", "_events", "_bytes"],
+        }
+    }
+}
+
+/// Run every applicable rule over one file. `path` gates which rules
+/// apply (see [`FileClass`]); fixtures activate all of them.
+pub fn lint_file(ctx: &FileCtx<'_>, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_ord(ctx, cfg, &mut out);
+    rule_safety(ctx, &mut out);
+    rule_panic(ctx, cfg, &mut out);
+    rule_metric(ctx, cfg, &mut out);
+    rule_sibling(ctx, &mut out);
+    rule_sleep(ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    rule: &RuleInfo,
+    ctx: &FileCtx<'_>,
+    offset: usize,
+    message: String,
+) {
+    out.push(Finding {
+        rule: rule.id,
+        key: rule.key,
+        file: ctx.path.clone(),
+        line: ctx.line_of(offset),
+        message,
+    });
+}
+
+/// Emit either the violation or (with a reason-less allow) the
+/// weaker-but-still-failing annotation finding; a reasoned allow emits
+/// nothing.
+fn check_allow(
+    out: &mut Vec<Finding>,
+    rule: &RuleInfo,
+    ctx: &FileCtx<'_>,
+    offset: usize,
+    message: String,
+) {
+    match ctx.allow(offset, rule.key) {
+        Allow::Yes => {}
+        Allow::MissingReason => push(
+            out,
+            rule,
+            ctx,
+            offset,
+            format!("`lint: allow({})` without a reason — {message}", rule.key),
+        ),
+        Allow::No => push(out, rule, ctx, offset, message),
+    }
+}
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// R1: every atomic-`Ordering` use (path form `Ordering::X` or imported
+/// bare `X`) in a designated lock-free module must be covered by an
+/// `// ord:` comment explaining why that ordering is sufficient.
+fn rule_ord(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let designated = ctx.class == FileClass::Fixture || cfg.lockfree_modules.contains(&ctx.path);
+    if !designated {
+        return;
+    }
+    let rule = &RULES[0];
+    for t in &ctx.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text(ctx.src);
+        if !ORDERINGS.contains(&text) {
+            continue;
+        }
+        if ctx.in_use(t.start) || ctx.in_test_region(t.start) {
+            continue;
+        }
+        if ctx.has_marker(t.start, "ord:") {
+            continue;
+        }
+        check_allow(
+            out,
+            rule,
+            ctx,
+            t.start,
+            format!("atomic ordering `{text}` without an `// ord:` justification"),
+        );
+    }
+}
+
+/// R2: every `unsafe` keyword (block, fn, impl) must be covered by a
+/// `// SAFETY:` comment. Applies everywhere, tests included.
+fn rule_safety(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let rule = &RULES[1];
+    for t in &ctx.tokens {
+        if t.kind != TokenKind::Ident || t.text(ctx.src) != "unsafe" {
+            continue;
+        }
+        if ctx.has_marker(t.start, "SAFETY:") {
+            continue;
+        }
+        check_allow(
+            out,
+            rule,
+            ctx,
+            t.start,
+            "`unsafe` without a `// SAFETY:` comment".to_string(),
+        );
+    }
+}
+
+/// R3: no panic-capable call in non-test library code. Matches method
+/// calls `.unwrap()` / `.expect(` and macro invocations `panic!` /
+/// `todo!` / `unimplemented!`; `unreachable!` is deliberately exempt (an
+/// explicit unreachability invariant), as are `assert!` family macros.
+fn rule_panic(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let governed = match &ctx.class {
+        FileClass::Library { krate } => !cfg.panic_exempt_crates.contains(krate),
+        FileClass::Fixture => true,
+        _ => false,
+    };
+    if !governed {
+        return;
+    }
+    let rule = &RULES[2];
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text(ctx.src);
+        let hit = match text {
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].text(ctx.src) == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text(ctx.src) == "(")
+            }
+            "panic" | "todo" | "unimplemented" => {
+                toks.get(i + 1).is_some_and(|n| n.text(ctx.src) == "!")
+            }
+            _ => false,
+        };
+        if !hit || ctx.in_test_region(t.start) {
+            continue;
+        }
+        let what = match text {
+            "unwrap" => ".unwrap()".to_string(),
+            "expect" => ".expect(..)".to_string(),
+            m => format!("{m}!"),
+        };
+        check_allow(
+            out,
+            rule,
+            ctx,
+            t.start,
+            format!("{what} in library code — return an error or annotate the invariant"),
+        );
+    }
+}
+
+/// R4: metric name literals passed to `.counter("…")` / `.gauge("…")` /
+/// `.histogram("…")` / `.scope("…")` must match the naming grammar:
+/// dot-separated `[a-z][a-z0-9_]*` segments (scopes: exactly one
+/// segment), histograms ending in a recognized unit suffix. Skips test
+/// code (scratch names in tests are fine) and dynamically built names
+/// (only string literals are checkable statically).
+fn rule_metric(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if ctx.class == FileClass::TestFile {
+        return;
+    }
+    let rule = &RULES[3];
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let method = t.text(ctx.src);
+        if !matches!(method, "counter" | "gauge" | "histogram" | "scope") {
+            continue;
+        }
+        // Must look like a method/function call with a literal first arg.
+        if i == 0 || toks[i - 1].text(ctx.src) != "." {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1) else {
+            continue;
+        };
+        if open.text(ctx.src) != "(" {
+            continue;
+        }
+        let Some(lit) = toks.get(i + 2) else { continue };
+        if lit.kind != TokenKind::Str {
+            continue;
+        }
+        if ctx.in_test_region(t.start) {
+            continue;
+        }
+        let raw = lit.text(ctx.src);
+        let name = raw.trim_matches('"');
+        let mut problem = None;
+        let segments: Vec<&str> = name.split('.').collect();
+        if method == "scope" && segments.len() != 1 {
+            problem = Some("scope names are single segments".to_string());
+        }
+        for seg in &segments {
+            if !segment_ok(seg) {
+                problem = Some(format!(
+                    "segment {seg:?} violates the `[a-z][a-z0-9_]*` grammar"
+                ));
+                break;
+            }
+        }
+        if problem.is_none() && method == "histogram" {
+            let last = segments.last().copied().unwrap_or("");
+            if !cfg.hist_suffixes.iter().any(|s| last.ends_with(s)) {
+                problem = Some(format!(
+                    "histogram lacks a unit suffix ({})",
+                    cfg.hist_suffixes.join("/")
+                ));
+            }
+        }
+        if let Some(p) = problem {
+            check_allow(
+                out,
+                rule,
+                ctx,
+                lit.start,
+                format!("metric name {name:?}: {p}"),
+            );
+        }
+    }
+}
+
+fn segment_ok(seg: &str) -> bool {
+    let mut chars = seg.bytes();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+}
+
+/// R5: for every public `foo_instrumented` fn there must be a plain
+/// `foo` in the same file whose body delegates — i.e. mentions the
+/// instrumented fn or `disabled` (the `Registry::disabled()` no-op
+/// registry). Keeps the convention that observability is opt-in and the
+/// uninstrumented path exists everywhere.
+fn rule_sibling(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library { .. } | FileClass::Fixture) {
+        return;
+    }
+    let rule = &RULES[4];
+    for f in &ctx.fns {
+        let Some(base) = f.name.strip_suffix("_instrumented") else {
+            continue;
+        };
+        if !f.is_pub || ctx.in_test_region(f.offset) {
+            continue;
+        }
+        let Some(sib) = ctx.fns.iter().find(|s| s.name == base) else {
+            check_allow(
+                out,
+                rule,
+                ctx,
+                f.offset,
+                format!("`{}` has no plain `{base}` sibling in this file", f.name),
+            );
+            continue;
+        };
+        let delegates = sib.body.is_some_and(|(s, e)| {
+            ctx.tokens.iter().any(|t| {
+                t.kind == TokenKind::Ident
+                    && t.start >= s
+                    && t.end <= e
+                    && matches!(t.text(ctx.src), s2 if s2 == "disabled" || s2 == f.name)
+            })
+        });
+        if !delegates {
+            check_allow(
+                out,
+                rule,
+                ctx,
+                sib.offset,
+                format!(
+                    "`{base}` does not delegate to `{}` (expected a `Registry::disabled()` call)",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+/// R6: no `thread::sleep` in test code — sleeping tests are either flaky
+/// (too short under load) or slow (padded for safety); both rot CI.
+fn rule_sleep(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let whole_file_is_test = matches!(ctx.class, FileClass::TestFile | FileClass::Bench);
+    let rule = &RULES[5];
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Ident || t.text(ctx.src) != "sleep" {
+            continue;
+        }
+        // Require the `thread::sleep` path shape.
+        let is_thread_path = i >= 3
+            && toks[i - 1].text(ctx.src) == ":"
+            && toks[i - 2].text(ctx.src) == ":"
+            && toks[i - 3].text(ctx.src) == "thread";
+        if !is_thread_path {
+            continue;
+        }
+        if !(whole_file_is_test || ctx.in_test_region(t.start)) {
+            continue;
+        }
+        check_allow(
+            out,
+            rule,
+            ctx,
+            t.start,
+            "`thread::sleep` in test code — poll a condition or use a channel timeout".to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileCtx;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("fixture.rs", FileClass::Fixture, src);
+        lint_file(&ctx, &LintConfig::workspace())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn ord_fires_and_is_satisfied_by_marker() {
+        let bad = "fn f(a: &AtomicU64) { a.load(Ordering::Acquire); }";
+        assert_eq!(rules_of(&run(bad)), vec!["R1"]);
+        let good = "fn f(a: &AtomicU64) {\n    // ord: pairs with the Release store in g\n    a.load(Ordering::Acquire);\n}";
+        assert!(run(good).is_empty());
+        let trailing = "fn f(a: &AtomicU64) { a.load(Ordering::Acquire) } // ord: why";
+        assert!(run(trailing).is_empty());
+    }
+
+    #[test]
+    fn ord_matches_bare_imported_orderings_but_not_imports() {
+        let src =
+            "use std::sync::atomic::Ordering::Relaxed;\nfn f(a: &AtomicU64) { a.load(Relaxed); }";
+        let f = run(src);
+        assert_eq!(rules_of(&f), vec!["R1"], "{f:?}");
+        assert_eq!(f[0].line, 2, "the import line is exempt");
+    }
+
+    #[test]
+    fn safety_fires_on_all_unsafe_forms() {
+        let src = "unsafe impl Send for X {}\npub unsafe fn f() {}\nfn g() { unsafe { h() } }";
+        assert_eq!(rules_of(&run(src)), vec!["R2", "R2", "R2"]);
+        let good = "// SAFETY: X owns its data\nunsafe impl Send for X {}";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_catches_the_five_forms_and_skips_tests() {
+        let src = "\
+fn f(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.first().expect(\"x\");
+    if v.is_empty() { panic!(\"no\"); }
+    todo!()
+}
+#[cfg(test)]
+mod tests {
+    fn t(v: &[u32]) { v.first().unwrap(); }
+}
+";
+        assert_eq!(rules_of(&run(src)), vec!["R3", "R3", "R3", "R3"]);
+    }
+
+    #[test]
+    fn panic_allow_needs_a_reason() {
+        let with = "fn f(v: &[u32]) {\n    // lint: allow(panic) v is non-empty by construction\n    v.first().unwrap();\n}";
+        assert!(run(with).is_empty());
+        let without = "fn f(v: &[u32]) {\n    // lint: allow(panic)\n    v.first().unwrap();\n}";
+        let f = run(without);
+        assert_eq!(rules_of(&f), vec!["R3"]);
+        assert!(f[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(0).max(v.unwrap_or_default()) }";
+        assert!(run(src).is_empty());
+        // A closure *named* unwrap is a call of a binding, not Option::unwrap.
+        let named = "fn f(unwrap: impl Fn() -> u32) -> u32 { unwrap() }";
+        assert!(run(named).is_empty());
+    }
+
+    #[test]
+    fn metric_grammar_and_unit_suffixes() {
+        let bad = r#"fn f(reg: &Registry) { reg.histogram("serve.publish"); reg.counter("Bad.name"); reg.scope("a.b"); }"#;
+        assert_eq!(rules_of(&run(bad)), vec!["R4", "R4", "R4"]);
+        let good = r#"fn f(reg: &Registry) { reg.histogram("serve.publish_ns"); reg.counter("stream.events_mined"); reg.scope("wal"); reg.histogram("batch_events"); }"#;
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn metric_rule_ignores_dynamic_names_and_test_code() {
+        let dynamic = r#"fn f(reg: &Registry) { reg.histogram(&format!("reader{i}.query_ns")); }"#;
+        assert!(run(dynamic).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t(reg: &Registry) { reg.counter(\"X\"); }\n}";
+        assert!(run(test).is_empty());
+    }
+
+    #[test]
+    fn sibling_rule_requires_plain_delegating_twin() {
+        let missing = "pub fn mine_instrumented(reg: &Registry) {}";
+        let f = run(missing);
+        assert_eq!(rules_of(&f), vec!["R5"]);
+        assert!(f[0].message.contains("no plain `mine` sibling"));
+        let good = "pub fn mine() { mine_instrumented(&Registry::disabled()) }\npub fn mine_instrumented(reg: &Registry) {}";
+        assert!(run(good).is_empty());
+        let non_delegating =
+            "pub fn mine() { other() }\npub fn mine_instrumented(reg: &Registry) {}";
+        assert_eq!(rules_of(&run(non_delegating)), vec!["R5"]);
+    }
+
+    #[test]
+    fn sleep_rule_fires_only_in_test_code() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::sleep(d); }\n}";
+        assert_eq!(rules_of(&run(in_test)), vec!["R6"]);
+        let in_lib = "fn backoff() { std::thread::sleep(d); }";
+        assert!(run(in_lib).is_empty(), "library sleep is R6-exempt");
+        let allowed = "#[cfg(test)]\nmod tests {\n    fn t() {\n        // lint: allow(sleep) waiting for an unjoinable worker to die\n        std::thread::sleep(d);\n    }\n}";
+        assert!(run(allowed).is_empty());
+    }
+
+    #[test]
+    fn findings_are_line_ordered() {
+        let src = "fn f(v: &[u32]) {\n    v.first().unwrap();\n    unsafe { g() }\n    v.last().unwrap();\n}";
+        let f = run(src);
+        let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,575 @@
+//! The item scanner: everything the rules need beyond raw tokens.
+//!
+//! Built once per file into a [`FileCtx`]:
+//!
+//! * **per-line facts** — whether a line holds code, and the concatenated
+//!   comment text touching it (the substrate of the justification-comment
+//!   checks);
+//! * **`#[cfg(test)]` / `#[test]` regions** — byte spans of items marked
+//!   as test-only, so panic/metric rules skip test code without any
+//!   path-based guessing;
+//! * **`use` statement spans** — so `use std::sync::atomic::Ordering`
+//!   does not count as an `Ordering` *use site*;
+//! * **fn items** — name, visibility, and body span, for the
+//!   `*_instrumented` sibling rule.
+//!
+//! Coverage model for justification comments (`// ord:`, `// SAFETY:`,
+//! `// lint: allow(...)`): a marker covers a token if it appears in a
+//! comment **on the token's own line**, or in the contiguous run of
+//! comment-only lines (attribute lines are skipped) **directly above**
+//! it. A blank line or an unrelated code line breaks the association —
+//! the same adjacency rule `clippy::undocumented_unsafe_blocks` uses.
+
+use crate::lexer::{lex, LineIndex, Token, TokenKind};
+
+/// How a file participates in the rule set, derived from its
+/// workspace-relative path (see [`crate::walk::classify`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/<name>/src/**` (non-bin) and the umbrella `src/` — the
+    /// code the panic-freedom and sibling rules govern.
+    Library {
+        /// The owning crate's package name (`farmer-core`, …).
+        krate: String,
+    },
+    /// `src/bin/**` or `**/main.rs`: binary entry points (CLI glue may
+    /// panic on bad usage).
+    Bin,
+    /// `tests/**`: integration test code.
+    TestFile,
+    /// `benches/**`: criterion benches.
+    Bench,
+    /// `examples/**`.
+    Example,
+    /// A lint fixture: every path-gated rule is active, so seeded
+    /// violations fire regardless of where the fixture lives.
+    Fixture,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Whether a `pub` (of any restriction) precedes it.
+    pub is_pub: bool,
+    /// Byte offset of the `fn` keyword (for line reporting).
+    pub offset: usize,
+    /// Byte span of the `{ … }` body, when the item has one.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Per-line facts.
+#[derive(Debug, Default, Clone)]
+struct LineInfo {
+    /// Any non-comment token touches this line.
+    has_code: bool,
+    /// Concatenated text of every comment touching this line.
+    comment: String,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Rule-applicability class.
+    pub class: FileClass,
+    /// The source text.
+    pub src: &'a str,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Line starts.
+    pub lines: LineIndex,
+    /// Byte spans of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte spans of `use … ;` statements.
+    pub use_spans: Vec<(usize, usize)>,
+    /// Every `fn` item in the file.
+    pub fns: Vec<FnItem>,
+    line_info: Vec<LineInfo>,
+}
+
+/// Result of an escape-hatch lookup ([`FileCtx::allow`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allow {
+    /// No `lint: allow(key)` covers the line.
+    No,
+    /// Covered, with a non-empty reason.
+    Yes,
+    /// Covered, but the annotation gives no reason — itself a finding.
+    MissingReason,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Lex and scan `src`.
+    pub fn new(path: impl Into<String>, class: FileClass, src: &'a str) -> FileCtx<'a> {
+        let tokens = lex(src);
+        let lines = LineIndex::new(src);
+        let mut line_info = vec![LineInfo::default(); lines.num_lines() + 1];
+        for t in &tokens {
+            let first = lines.line_of(t.start);
+            let last = lines.line_of(t.end.saturating_sub(1).max(t.start));
+            let is_comment = matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment);
+            for info in line_info.iter_mut().take(last + 1).skip(first) {
+                if is_comment {
+                    info.comment.push_str(t.text(src));
+                    info.comment.push('\n');
+                } else {
+                    info.has_code = true;
+                }
+            }
+        }
+        let test_regions = find_test_regions(&tokens, src);
+        let use_spans = find_use_spans(&tokens, src);
+        let fns = find_fns(&tokens, src);
+        FileCtx {
+            path: path.into(),
+            class,
+            src,
+            tokens,
+            lines,
+            test_regions,
+            use_spans,
+            fns,
+            line_info,
+        }
+    }
+
+    /// The 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.lines.line_of(offset)
+    }
+
+    /// Whether `offset` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| s <= offset && offset < e)
+    }
+
+    /// Whether `offset` falls inside a `use …;` statement.
+    pub fn in_use(&self, offset: usize) -> bool {
+        self.use_spans
+            .iter()
+            .any(|&(s, e)| s <= offset && offset < e)
+    }
+
+    fn comment_on(&self, line: usize) -> Option<&str> {
+        let info = self.line_info.get(line)?;
+        if info.comment.is_empty() {
+            None
+        } else {
+            Some(&info.comment)
+        }
+    }
+
+    fn line_text(&self, line: usize) -> &str {
+        let lo = *self.lines_starts().get(line - 1).unwrap_or(&0);
+        let hi = self
+            .lines_starts()
+            .get(line)
+            .copied()
+            .unwrap_or(self.src.len());
+        self.src.get(lo..hi).unwrap_or("")
+    }
+
+    fn lines_starts(&self) -> &[usize] {
+        // Exposed through LineIndex for line_text's slicing.
+        self.lines.starts()
+    }
+
+    /// Walk the coverage window of `line` (its own comments, then the
+    /// contiguous comment/attribute block directly above), yielding each
+    /// comment blob to `check` until one matches.
+    fn covered_by(&self, line: usize, check: &mut dyn FnMut(&str) -> bool) -> bool {
+        if let Some(c) = self.comment_on(line) {
+            if check(c) {
+                return true;
+            }
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let has_code = self.line_has_code(l);
+            let comment = self.comment_on(l);
+            if has_code {
+                // Attribute lines between a justification comment and the
+                // item it documents are skipped, like rustc does for doc
+                // comments.
+                let trimmed = self.line_text(l).trim_start();
+                if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+                    continue;
+                }
+                return false;
+            }
+            match comment {
+                Some(c) => {
+                    if check(c) {
+                        return true;
+                    }
+                }
+                None => return false, // blank line breaks the block
+            }
+        }
+        false
+    }
+
+    fn line_has_code(&self, line: usize) -> bool {
+        self.line_info.get(line).is_some_and(|i| i.has_code)
+    }
+
+    /// Whether a justification `marker` (e.g. `"ord:"`, `"SAFETY:"`)
+    /// covers the token at `offset` under the adjacency rule.
+    pub fn has_marker(&self, offset: usize, marker: &str) -> bool {
+        let line = self.line_of(offset);
+        self.covered_by(line, &mut |c| c.contains(marker))
+    }
+
+    /// Look up a `// lint: allow(key) reason` escape hatch covering
+    /// `offset`.
+    pub fn allow(&self, offset: usize, key: &str) -> Allow {
+        let line = self.line_of(offset);
+        let needle = format!("lint: allow({key})");
+        let mut missing_reason = false;
+        let covered = self.covered_by(line, &mut |c| {
+            c.lines().any(|cl| match cl.find(&needle) {
+                None => false,
+                Some(i) => {
+                    let rest = cl[i + needle.len()..].trim();
+                    if rest.is_empty() {
+                        missing_reason = true;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            })
+        });
+        if covered {
+            Allow::Yes
+        } else if missing_reason {
+            Allow::MissingReason
+        } else {
+            Allow::No
+        }
+    }
+}
+
+/// Find `#[cfg(test)]` / `#[test]` item spans. Attributes accumulate
+/// until the next item; the item extends to its matching close brace (or
+/// terminating semicolon).
+fn find_test_regions(tokens: &[Token], src: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    let mut pending_test = false;
+    let mut pending_start: Option<usize> = None;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t.kind == TokenKind::Punct && t.text(src) == "#" {
+            // An attribute: `#[…]` or `#![…]` with nested brackets.
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.text(src) == "!") {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.text(src) == "[") {
+                let mut depth = 0usize;
+                let mut is_test = false;
+                let attr_start = t.start;
+                while j < tokens.len() {
+                    let a = tokens[j];
+                    match a.text(src) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "test" if a.kind == TokenKind::Ident => is_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_test {
+                    pending_test = true;
+                    pending_start.get_or_insert(attr_start);
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            i += 1;
+            continue;
+        }
+        if pending_test {
+            // Consume one item: up to a top-level `;` before any brace,
+            // or the matching `}` of the first top-level `{`.
+            let start = pending_start.unwrap_or(t.start);
+            let mut j = i;
+            let mut paren = 0isize;
+            let mut bracket = 0isize;
+            let mut brace = 0isize;
+            let mut entered_brace = false;
+            let mut end = tokens[i].end;
+            while j < tokens.len() {
+                let a = tokens[j];
+                match a.text(src) {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => {
+                        brace += 1;
+                        entered_brace = true;
+                    }
+                    "}" => {
+                        brace -= 1;
+                        if entered_brace && brace == 0 {
+                            end = a.end;
+                            break;
+                        }
+                    }
+                    ";" if !entered_brace && paren == 0 && bracket == 0 => {
+                        end = a.end;
+                        break;
+                    }
+                    _ => {}
+                }
+                end = a.end;
+                j += 1;
+            }
+            regions.push((start, end));
+            pending_test = false;
+            pending_start = None;
+            i = j + 1;
+            continue;
+        }
+        pending_start = None;
+        i += 1;
+    }
+    regions
+}
+
+/// Spans of `use …;` statements (so imports of `Ordering` variants do not
+/// count as use sites).
+fn find_use_spans(tokens: &[Token], src: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t.kind == TokenKind::Ident && t.text(src) == "use" {
+            let start = t.start;
+            let mut end = t.end;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                end = tokens[j].end;
+                if tokens[j].text(src) == ";" {
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((start, end));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Scan `fn` items: name, visibility, and body span.
+fn find_fns(tokens: &[Token], src: &str) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        if t.kind != TokenKind::Ident || t.text(src) != "fn" {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(` in a function-pointer type
+        }
+        let name = name_tok.text(src).to_string();
+        // Visibility: walk back over qualifiers (`pub(crate) const unsafe
+        // extern "C"`), stopping at anything that ends a previous item.
+        let mut is_pub = false;
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            let b = tokens[k];
+            match (b.kind, b.text(src)) {
+                (TokenKind::Ident, "pub") => {
+                    is_pub = true;
+                    break;
+                }
+                (TokenKind::Ident, "const" | "unsafe" | "async" | "extern" | "crate" | "super")
+                | (TokenKind::Str, _)
+                | (TokenKind::Punct, "(" | ")") => continue,
+                _ => break,
+            }
+        }
+        // Body: first top-level `{` after the name (where-clauses and
+        // return types contain no braces), or `;` for a bodyless decl.
+        let mut j = i + 2;
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut body = None;
+        while j < tokens.len() {
+            let a = tokens[j];
+            match a.text(src) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => break,
+                "{" if paren == 0 && bracket == 0 => {
+                    let open = a.start;
+                    let mut depth = 0isize;
+                    while j < tokens.len() {
+                        match tokens[j].text(src) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    body = Some((open, tokens[j].end));
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fns.push(FnItem {
+            name,
+            is_pub,
+            offset: t.start,
+            body,
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx<'_> {
+        FileCtx::new("test.rs", FileClass::Fixture, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let c = ctx(src);
+        assert_eq!(c.test_regions.len(), 1);
+        let helper = src.find("helper").unwrap();
+        assert!(c.in_test_region(helper));
+        assert!(!c.in_test_region(src.find("lib").unwrap()));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() { x(); }\nfn live() {}\n";
+        let c = ctx(src);
+        assert!(c.in_test_region(src.find("x()").unwrap()));
+        assert!(!c.in_test_region(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_extend_the_region() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn y() {} }\nfn z() {}\n";
+        let c = ctx(src);
+        assert!(c.in_test_region(src.find("y()").unwrap()));
+        assert!(!c.in_test_region(src.find("z()").unwrap()));
+    }
+
+    #[test]
+    fn use_spans_cover_imports() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f() { Ordering::SeqCst; }\n";
+        let c = ctx(src);
+        let import = src.find("Ordering").unwrap();
+        let use_site = src.rfind("Ordering").unwrap();
+        assert!(c.in_use(import));
+        assert!(!c.in_use(use_site));
+    }
+
+    #[test]
+    fn fn_items_with_bodies_and_visibility() {
+        let src = "pub fn a() { inner(); }\nfn b();\npub(crate) fn c() {}\n";
+        let c = ctx(src);
+        let names: Vec<_> = c.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(names, vec![("a", true), ("b", false), ("c", true)]);
+        assert!(c.fns[0].body.is_some());
+        assert!(c.fns[1].body.is_none());
+        let (s, e) = c.fns[0].body.unwrap();
+        assert!(src[s..e].contains("inner"));
+    }
+
+    #[test]
+    fn marker_same_line_and_block_above() {
+        let src = "\
+// SAFETY: same block
+// second line
+let x = unsafe { y };
+let z = unsafe { w }; // SAFETY: trailing
+let q = unsafe { v };
+";
+        let c = ctx(src);
+        let first = src.find("unsafe").unwrap();
+        let second = src[first + 1..].find("unsafe").unwrap() + first + 1;
+        let third = src.rfind("unsafe").unwrap();
+        assert!(c.has_marker(first, "SAFETY:"));
+        assert!(c.has_marker(second, "SAFETY:"));
+        assert!(!c.has_marker(third, "SAFETY:"), "no adjacency");
+    }
+
+    #[test]
+    fn blank_line_breaks_marker_adjacency() {
+        let src = "// SAFETY: too far\n\nlet x = unsafe { y };\n";
+        let c = ctx(src);
+        assert!(!c.has_marker(src.find("unsafe").unwrap(), "SAFETY:"));
+    }
+
+    #[test]
+    fn attribute_lines_are_transparent() {
+        let src = "// ord: justified\n#[inline]\nfn f() { a.load(Acquire); }\n";
+        let c = ctx(src);
+        assert!(c.has_marker(src.find("Acquire").unwrap(), "ord:"));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let src = "\
+// lint: allow(panic) the constructor guarantees non-empty
+let a = v.last().unwrap();
+// lint: allow(panic)
+let b = v.last().unwrap();
+let c = v.last().unwrap();
+";
+        let c = ctx(src);
+        let offs: Vec<usize> = ["a", "b", "c"]
+            .iter()
+            .map(|v| src.find(&format!("let {v}")).unwrap())
+            .collect();
+        assert_eq!(c.allow(offs[0], "panic"), Allow::Yes);
+        assert_eq!(c.allow(offs[1], "panic"), Allow::MissingReason);
+        assert_eq!(c.allow(offs[2], "panic"), Allow::No);
+    }
+
+    #[test]
+    fn marker_inside_string_is_ignored() {
+        let src = "let s = \"// SAFETY: fake\";\nlet x = unsafe { y };\n";
+        let c = ctx(src);
+        assert!(!c.has_marker(src.find("unsafe").unwrap(), "SAFETY:"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the hand-rolled lexer: totality (never panics on
+//! arbitrary byte soup) and the span-tiling round-trip invariant that
+//! everything the engine's adjacency model relies on is built from.
+
+use farmer_lint::lexer::{lex, LineIndex, TokenKind};
+use proptest::prelude::*;
+
+/// Spans must be in-bounds, ordered, non-overlapping, and the bytes they
+/// skip must be pure whitespace — i.e. tokens tile the input.
+fn assert_tiling(src: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        assert!(t.start >= pos, "overlapping span at {} in {src:?}", t.start);
+        assert!(t.start < t.end && t.end <= src.len(), "bad span in {src:?}");
+        assert!(
+            src[pos..t.start].chars().all(char::is_whitespace),
+            "skipped non-whitespace {:?} in {src:?}",
+            &src[pos..t.start]
+        );
+        pos = t.end;
+    }
+    assert!(
+        src[pos..].chars().all(char::is_whitespace),
+        "trailing non-whitespace {:?}",
+        &src[pos..]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totality on arbitrary (mostly invalid) UTF-8: the lexer must never
+    /// panic and must still tile whatever `from_utf8_lossy` yields.
+    #[test]
+    fn lexer_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiling(&src);
+    }
+
+    /// Byte soup drawn from the characters that drive the lexer's state
+    /// machine (quotes, hashes, slashes, escapes) — far more likely to
+    /// land in half-open strings and nested comments than uniform bytes.
+    #[test]
+    fn lexer_never_panics_on_delimiter_soup(
+        picks in proptest::collection::vec(0usize..16, 0..120),
+    ) {
+        const ALPHABET: [&str; 16] = [
+            "\"", "'", "r", "b", "#", "/", "*", "\\", "\n", "//", "/*", "*/",
+            "r#\"", "b'", "x", " ",
+        ];
+        let src: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+        assert_tiling(&src);
+    }
+}
+
+/// Hand-picked tricky fragments: every construct the scanner's comment
+/// and string handling must not misparse, each checked for tiling plus a
+/// spot-check of the decisive token kind.
+#[test]
+fn tricky_fragments() {
+    let cases: &[(&str, TokenKind)] = &[
+        (
+            "/* outer /* nested */ still comment */ fn",
+            TokenKind::BlockComment,
+        ),
+        ("r##\"raw with \"# inside\"## + x", TokenKind::RawStr),
+        ("br#\"byte raw\"# ;", TokenKind::RawStr),
+        ("\"esc \\\" quote\" ;", TokenKind::Str),
+        ("'\\'' ;", TokenKind::Char),
+        ("'a' ;", TokenKind::Char),
+        ("'lifetime bound", TokenKind::Lifetime),
+        ("r#fn ;", TokenKind::Ident),
+        ("/// doc comment\nfn f() {}", TokenKind::LineComment),
+        ("b'\\xff' ;", TokenKind::Char),
+        ("1.5e3 ;", TokenKind::Num),
+        ("c\"c string\" ;", TokenKind::Str),
+    ];
+    for (src, kind) in cases {
+        assert_tiling(src);
+        let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+        assert!(
+            kinds.contains(kind),
+            "{src:?}: expected a {kind:?} token, got {kinds:?}"
+        );
+    }
+}
+
+/// Unterminated constructs must consume to EOF without panicking.
+#[test]
+fn unterminated_constructs_are_total() {
+    for src in [
+        "\"never closed",
+        "r#\"never closed",
+        "/* never closed",
+        "/* /* doubly open */",
+        "'",
+        "b\"",
+        "r###",
+    ] {
+        assert_tiling(src);
+    }
+}
+
+/// The line index agrees with a straightforward scan.
+#[test]
+fn line_index_matches_naive_count() {
+    let src = "a\nbb\n\nccc\n";
+    let idx = LineIndex::new(src);
+    for (off, _) in src.char_indices() {
+        let naive = 1 + src[..off].matches('\n').count();
+        assert_eq!(idx.line_of(off), naive, "offset {off}");
+    }
+}

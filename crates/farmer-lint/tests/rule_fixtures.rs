@@ -1,0 +1,92 @@
+//! Per-rule fixture corpus: every rule must fire on its seeded-violation
+//! fixture and stay silent on its clean counterpart. This is the proof
+//! that a green `farmer_lint --check` means the rules actually ran, not
+//! that they matched nothing.
+
+use farmer_lint::rules::{LintConfig, RULES};
+use farmer_lint::scan::FileClass;
+use std::path::PathBuf;
+
+fn fixture(kind: &str, name: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(name);
+    let rel = format!("fixtures/{kind}/{name}");
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    (rel, src)
+}
+
+fn run(kind: &str, name: &str) -> Vec<&'static str> {
+    let (rel, src) = fixture(kind, name);
+    farmer_lint::lint_source(&rel, FileClass::Fixture, &src, &LintConfig::workspace())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+/// Each rule: the seeded fixture fires (with at least one finding from
+/// *that* rule and none from any other — fixtures are violation-pure),
+/// and the clean twin is silent.
+#[test]
+fn every_rule_has_a_firing_seeded_fixture_and_a_silent_clean_one() {
+    for rule in &RULES {
+        let name = format!("{}_{}.rs", rule.id.to_lowercase(), rule.key);
+        let seeded = run("seeded", &name);
+        assert!(
+            !seeded.is_empty() && seeded.iter().all(|r| *r == rule.id),
+            "{name}: seeded fixture should fire only {}: {seeded:?}",
+            rule.id
+        );
+        let clean = run("clean", &name);
+        assert!(clean.is_empty(), "{name}: clean fixture fired {clean:?}");
+    }
+}
+
+/// Exact finding counts for the seeded corpus, so a rule silently
+/// matching less than it used to is caught, not just "matched nothing".
+#[test]
+fn seeded_fixture_finding_counts_are_pinned() {
+    let expected = [
+        ("r1_ord.rs", 2),     // Acquire load + Relaxed fetch_add
+        ("r2_safety.rs", 2),  // unsafe impl + unsafe block
+        ("r3_panic.rs", 5),   // unwrap, expect, panic!, reason-less allow, todo!
+        ("r4_metric.rs", 4),  // bad case, empty segment, no suffix, multi-segment scope
+        ("r5_sibling.rs", 2), // missing sibling + non-delegating sibling
+        ("r6_sleep.rs", 1),   // sleeping test
+    ];
+    for (name, count) in expected {
+        let findings = run("seeded", name);
+        assert_eq!(findings.len(), count, "{name}: {findings:?}");
+    }
+}
+
+/// The reason-less allow in the R3 fixture must be reported as such.
+#[test]
+fn reasonless_allow_is_reported() {
+    let (rel, src) = fixture("seeded", "r3_panic.rs");
+    let findings =
+        farmer_lint::lint_source(&rel, FileClass::Fixture, &src, &LintConfig::workspace());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("without a reason")),
+        "expected a reason-less allow finding: {findings:?}"
+    );
+}
+
+/// End-to-end over the fixture trees via the library entry point the
+/// binary uses, pinning classification: seeded dirty, clean clean.
+#[test]
+fn fixture_trees_classify_as_fixtures() {
+    use farmer_lint::walk::classify;
+    assert_eq!(
+        classify("crates/farmer-lint/fixtures/seeded/r1_ord.rs"),
+        FileClass::Fixture
+    );
+    assert_eq!(
+        classify("crates/farmer-lint/fixtures/clean/r1_ord.rs"),
+        FileClass::Fixture
+    );
+}

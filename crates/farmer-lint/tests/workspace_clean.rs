@@ -1,0 +1,36 @@
+//! The self-check that makes the lint gate part of tier-1: running the
+//! full rule set over the real workspace must come back clean. A PR that
+//! introduces an unjustified ordering, an uncommented unsafe block, or a
+//! stray unwrap fails `cargo test` before CI even reaches the dedicated
+//! `farmer_lint --check` job.
+
+use farmer_lint::rules::LintConfig;
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/farmer-lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let (files, findings) = farmer_lint::lint_workspace(&root, &LintConfig::workspace());
+    assert!(
+        files > 100,
+        "suspiciously few files scanned ({files}) — walk misrooted?"
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -78,7 +78,7 @@ impl ClusterReport {
             return 1.0;
         }
         let ideal = total as f64 / self.per_server_demands.len() as f64;
-        let max = *self.per_server_demands.iter().max().expect("non-empty") as f64;
+        let max = self.per_server_demands.iter().max().copied().unwrap_or(0) as f64;
         max / ideal
     }
 }

@@ -24,6 +24,9 @@
 //! * [`cluster`] — multi-MDS load balancing (§4.1's first direction):
 //!   hash- or volume-partitioned namespaces across independent servers.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cluster;
 pub mod latency;

@@ -202,6 +202,8 @@ pub fn replay_online_instrumented(
     let (replay, stats) = run_replay(trace, predictor, cfg, Some(online), reg);
     OnlineReplayReport {
         replay,
+        // lint: allow(panic) run_replay returns Some stats whenever an
+        // OnlineConfig is passed, which this wrapper always does
         online: stats.expect("online stats present when an OnlineConfig is supplied"),
     }
 }

@@ -255,6 +255,8 @@ impl MdsServer {
             if start + service > now {
                 break; // would delay the incoming demand: leave it queued
             }
+            // lint: allow(panic) the loop condition peeked a head element
+            // and nothing pops between the peek and here
             let req = self.prefetch_q.pop().expect("non-empty");
             if !self.cache.contains(req.file) {
                 let (_rec, _pages) = self.store.get_metadata(req.file);

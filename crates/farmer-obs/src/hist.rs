@@ -211,11 +211,14 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         if let Some(c) = &self.0 {
+            // ord: each field is an independent commutative accumulator;
+            // cross-field coherence is explicitly not promised (see
+            // `snapshot`), so nothing needs ordering.
             c.count.fetch_add(1, Relaxed);
-            c.sum.fetch_add(v, Relaxed);
-            c.min.fetch_min(v, Relaxed);
-            c.max.fetch_max(v, Relaxed);
-            c.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+            c.sum.fetch_add(v, Relaxed); // ord: commutative accumulator
+            c.min.fetch_min(v, Relaxed); // ord: order-insensitive extremum
+            c.max.fetch_max(v, Relaxed); // ord: order-insensitive extremum
+            c.buckets[bucket_index(v)].fetch_add(1, Relaxed); // ord: commutative accumulator
         }
     }
 
@@ -233,16 +236,18 @@ impl Histogram {
         match &self.0 {
             None => HistSnapshot::default(),
             Some(c) => {
+                // ord: the doc contract above allows tearing across
+                // fields; per-field Relaxed loads are all that is needed.
                 let count = c.count.load(Relaxed);
                 let mut s = HistSnapshot {
                     count,
-                    sum: c.sum.load(Relaxed),
-                    min: if count == 0 { 0 } else { c.min.load(Relaxed) },
-                    max: c.max.load(Relaxed),
+                    sum: c.sum.load(Relaxed), // ord: advisory snapshot
+                    min: if count == 0 { 0 } else { c.min.load(Relaxed) }, // ord: advisory snapshot
+                    max: c.max.load(Relaxed), // ord: advisory snapshot
                     buckets: [0; BUCKETS],
                 };
                 for (b, a) in s.buckets.iter_mut().zip(c.buckets.iter()) {
-                    *b = a.load(Relaxed);
+                    *b = a.load(Relaxed); // ord: advisory snapshot
                 }
                 s
             }

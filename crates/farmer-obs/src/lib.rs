@@ -52,6 +52,9 @@
 //! println!("{}", report.render());
 //! ```
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 mod hist;
 mod metric;
 mod registry;

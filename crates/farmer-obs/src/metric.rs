@@ -38,12 +38,14 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(n, Relaxed);
+            c.fetch_add(n, Relaxed); // ord: independent counter, no payload to order
         }
     }
 
     /// Current value (0 for a no-op handle).
     pub fn get(&self) -> u64 {
+        // ord: metrics are advisory snapshots; exactness across
+        // threads is not part of the contract
         self.0.as_ref().map_or(0, |c| c.load(Relaxed))
     }
 }
@@ -73,7 +75,7 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: i64) {
         if let Some(c) = &self.0 {
-            c.store(v, Relaxed);
+            c.store(v, Relaxed); // ord: last-value-wins gauge, no ordering contract
         }
     }
 
@@ -81,7 +83,7 @@ impl Gauge {
     #[inline]
     pub fn adjust(&self, d: i64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(d, Relaxed);
+            c.fetch_add(d, Relaxed); // ord: independent delta, no payload to order
         }
     }
 
@@ -89,12 +91,13 @@ impl Gauge {
     #[inline]
     pub fn record_max(&self, v: i64) {
         if let Some(c) = &self.0 {
-            c.fetch_max(v, Relaxed);
+            c.fetch_max(v, Relaxed); // ord: running max is order-insensitive
         }
     }
 
     /// Current value (0 for a no-op handle).
     pub fn get(&self) -> i64 {
+        // ord: advisory snapshot read, same policy as Counter::get
         self.0.as_ref().map_or(0, |c| c.load(Relaxed))
     }
 }

@@ -103,9 +103,13 @@ impl Registry {
             return noop();
         };
         let full = self.qualify(name);
+        // lint: allow(panic) a poisoned metrics map means a registrant
+        // panicked mid-insert; metrics cannot be trusted after that
         let mut map = inner.metrics.lock().expect("obs registry poisoned");
         let metric = map.entry(full.clone()).or_insert_with(live);
         unwrap(metric).unwrap_or_else(|| {
+            // lint: allow(panic) registering one name as two different
+            // metric kinds is a programming error caught at startup
             panic!(
                 "obs metric {full:?} already registered as a {}",
                 metric.kind()
@@ -158,6 +162,7 @@ impl Registry {
     pub fn snapshot(&self) -> ObsReport {
         let mut entries = Vec::new();
         if let Some(inner) = &self.inner {
+            // lint: allow(panic) same poisoning policy as register()
             let map = inner.metrics.lock().expect("obs registry poisoned");
             for (name, metric) in map.iter() {
                 let value = match metric {

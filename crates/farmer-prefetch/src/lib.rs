@@ -18,6 +18,9 @@
 //!   prefetch-accuracy numbers behind the paper's Figures 3/7 and Tables
 //!   3/5.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod cache;
 pub mod fpa;

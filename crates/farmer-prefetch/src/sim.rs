@@ -213,6 +213,8 @@ pub fn simulate_online_instrumented(
     reg: &Registry,
 ) -> OnlineSimReport {
     let (sim, stats) = run_sim(trace, predictor, cfg, Some(online), reg);
+    // lint: allow(panic) run_sim returns Some stats whenever an
+    // OnlineConfig is passed, which this wrapper always does
     let stats = stats.expect("online stats present when an OnlineConfig is supplied");
     OnlineSimReport {
         sim,

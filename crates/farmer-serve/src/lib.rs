@@ -33,6 +33,10 @@
 //! to end; `serve_throughput` (farmer-bench) pins the read-scaling and
 //! ingest-under-load numbers.
 
+// The few unsafe blocks here each carry a SAFETY: proof (lint rule R2);
+// unsafe fns must still mark their internal unsafe operations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod metrics;
 pub mod ring;
 pub mod serve;

@@ -56,9 +56,11 @@ struct Ring<T> {
     dequeue: CachePadded<AtomicUsize>,
 }
 
-// Values cross threads through the slots; the per-slot sequence protocol
-// makes every `value` access exclusive.
+// SAFETY: values cross threads through the slots; the per-slot sequence
+// protocol makes every `value` access exclusive.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: shared access is mediated entirely by the atomic cursors and
+// per-slot sequence numbers; the UnsafeCell payloads are never aliased.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Drop for Ring<T> {
@@ -71,6 +73,9 @@ impl<T> Drop for Ring<T> {
             let mask = self.mask;
             let slot = &mut self.slots[pos & mask];
             if *slot.seq.get_mut() == pos.wrapping_add(1) {
+                // SAFETY: seq == pos + 1 means a producer completed its
+                // write to this slot and no pop consumed it; the value is
+                // initialized and we have exclusive access via &mut self.
                 unsafe { slot.value.get_mut().assume_init_drop() };
             }
             pos = pos.wrapping_add(1);
@@ -122,21 +127,34 @@ impl<T: Send> Producer<T> {
     /// CAS to claim a slot, one release store to publish it.
     pub fn try_push(&self, value: T) -> Result<(), T> {
         let ring = &*self.ring;
+        // ord: the cursor read is only a position hint; staleness is
+        // corrected by the CAS below, so Relaxed suffices.
         let mut pos = ring.enqueue.0.load(Ordering::Relaxed);
         loop {
             let slot = &ring.slots[pos & ring.mask];
+            // ord: Acquire pairs with the consumer's Release in try_pop —
+            // seeing the freed sequence number also sees the slot vacated.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos as isize;
             if dif == 0 {
                 // Slot free for this lap: claim it.
+                // ord: the CAS only arbitrates cursor ownership; the
+                // value handoff is ordered by the slot's seq Release
+                // below, so both success and failure can stay Relaxed.
                 match ring.enqueue.0.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // ord: see above
+                    Ordering::Relaxed, // ord: see above
                 ) {
                     Ok(_) => {
+                        // SAFETY: the CAS claimed position `pos`
+                        // exclusively, and seq == pos showed the slot free
+                        // for this lap; no other thread touches the cell
+                        // until the Release store publishes it.
                         unsafe { (*slot.value.get()).write(value) };
+                        // ord: Release publishes the value write above to
+                        // the consumer's Acquire load of seq.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         return Ok(());
                     }
@@ -149,6 +167,8 @@ impl<T: Send> Producer<T> {
             } else {
                 // Another producer claimed this position; chase the
                 // cursor.
+                // ord: position hint again — any staleness is caught by
+                // the next CAS attempt, so Relaxed suffices.
                 pos = ring.enqueue.0.load(Ordering::Relaxed);
             }
         }
@@ -181,8 +201,12 @@ impl<T: Send> Consumer<T> {
     /// Pop the oldest item, or `None` if the ring is empty. Wait-free.
     pub fn try_pop(&mut self) -> Option<T> {
         let ring = &*self.ring;
+        // ord: only this thread writes dequeue (&mut self), so reading
+        // our own cursor needs no ordering.
         let pos = ring.dequeue.0.load(Ordering::Relaxed);
         let slot = &ring.slots[pos & ring.mask];
+        // ord: Acquire pairs with the producer's Release store of seq —
+        // seeing pos + 1 also sees the fully written value.
         let seq = slot.seq.load(Ordering::Acquire);
         if seq != pos.wrapping_add(1) {
             // Either empty, or a producer has claimed the slot but not
@@ -191,11 +215,18 @@ impl<T: Send> Consumer<T> {
             return None;
         }
         // Sole consumer: plain store, no CAS.
+        // ord: producers never read dequeue for synchronization (len() is
+        // advisory), so the cursor bump can stay Relaxed.
         ring.dequeue.0.store(pos.wrapping_add(1), Ordering::Relaxed);
+        // SAFETY: the Acquire load above observed seq == pos + 1, so the
+        // producer's write to this cell happens-before us and no other
+        // consumer exists (&mut self); reading the value out is exclusive.
         let value = unsafe { (*slot.value.get()).assume_init_read() };
         // Free the slot for the producers' next lap.
+        // ord: Release pairs with the producer's Acquire load of seq —
+        // the slot must be observed vacated before it is overwritten.
         slot.seq
-            .store(pos.wrapping_add(ring.mask + 1), Ordering::Release);
+            .store(pos.wrapping_add(ring.mask + 1), Ordering::Release); // ord: see above
         Some(value)
     }
 
@@ -216,8 +247,10 @@ impl<T: Send> Consumer<T> {
 }
 
 fn len<T>(ring: &Ring<T>) -> usize {
+    // ord: advisory snapshot — the two cursors are not read atomically
+    // together, so stronger orderings would not make it exact anyway.
     let enq = ring.enqueue.0.load(Ordering::Relaxed);
-    let deq = ring.dequeue.0.load(Ordering::Relaxed);
+    let deq = ring.dequeue.0.load(Ordering::Relaxed); // ord: see above
     enq.wrapping_sub(deq).min(ring.mask + 1)
 }
 

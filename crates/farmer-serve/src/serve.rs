@@ -74,6 +74,9 @@ struct Shared {
 
 impl Shared {
     fn wake_worker(&self) {
+        // ord: SeqCst joins the worker's flag-raise/recheck protocol in a
+        // single total order — a producer either sees sleeping=true here or
+        // its push is seen by the worker's recheck; no lost wakeup.
         if self.sleeping.load(Ordering::SeqCst) {
             if let Some(t) = self.worker.get() {
                 t.unpark();
@@ -135,11 +138,15 @@ impl FarmerServe {
             thread::Builder::new()
                 .name("farmer-serve-ingest".into())
                 .spawn(move || ingest_worker(miner, consumer, cell, shared, publish_every))
+                // lint: allow(panic) thread-spawn failure at tier startup is
+                // unrecoverable resource exhaustion
                 .expect("spawn serve ingest worker")
         };
         shared
             .worker
             .set(worker.thread().clone())
+            // lint: allow(panic) the OnceLock is written exactly here,
+            // right after the single spawn
             .expect("worker thread set once");
         FarmerServe {
             producer,
@@ -165,6 +172,8 @@ impl FarmerServe {
     /// one reader thread and serves wait-free from the tier's current
     /// snapshot; its query latency lands in `serve.reader<N>.query_ns`.
     pub fn reader(&self) -> ServeReader {
+        // ord: reader ids only need uniqueness, which any atomic RMW
+        // gives; nothing is published through this counter.
         let i = self.next_reader.fetch_add(1, Ordering::Relaxed);
         let m = &self.shared.metrics;
         m.readers.adjust(1);
@@ -206,6 +215,8 @@ impl FarmerServe {
         self.push(IngestOp::Flush(ack_tx));
         ack_rx
             .recv()
+            // lint: allow(panic) a dead worker means a miner panic already
+            // happened; surfacing it at the barrier is the contract
             .expect("serve ingest worker died during flush");
     }
 
@@ -217,6 +228,8 @@ impl FarmerServe {
     /// returns `false`). Readers outlive the tier: they keep serving the
     /// final epoch from their cached `Arc`s.
     pub fn shutdown(mut self) -> ServeStats {
+        // lint: allow(panic) shutdown re-raises a worker panic on the
+        // caller's thread rather than swallowing lost events
         self.shutdown_inner().expect("serve ingest worker panicked")
     }
 
@@ -225,6 +238,8 @@ impl FarmerServe {
             Some(w) => w,
             None => unreachable!("shutdown runs once"),
         };
+        // ord: SeqCst so the stop flag and the sleeping-flag protocol
+        // share one total order with the worker's park recheck.
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.wake_worker();
         worker.join()
@@ -266,6 +281,8 @@ fn push_with_backpressure(producer: &Producer<IngestOp>, shared: &Shared, op: In
     shared.metrics.backpressure_waits.inc();
     let mut spins = 0u32;
     loop {
+        // ord: Acquire pairs with shutdown's stop store; a refused push
+        // must not be reordered ahead of observing the stop.
         if shared.stop.load(Ordering::Acquire) {
             return false;
         }
@@ -479,6 +496,8 @@ fn ingest_worker(
                 }
             }
             None => {
+                // ord: SeqCst keeps the stop check in the same total order
+                // as the producers' pushes and the sleeping protocol.
                 if shared.stop.load(Ordering::SeqCst) {
                     // Stop is only honoured on an *empty* ring: everything
                     // that entered before shutdown gets mined.
@@ -490,14 +509,20 @@ fn ingest_worker(
                 } else if spins < 128 {
                     thread::yield_now();
                 } else {
+                    // ord: SeqCst — the flag store must precede the
+                    // emptiness recheck in the single total order the
+                    // producers' wake_worker load participates in.
                     shared.sleeping.store(true, Ordering::SeqCst);
                     // Lost-wakeup guard: re-check both conditions after
                     // raising the flag; a producer that pushed in between
                     // sees the flag and unparks us immediately.
+                    // ord: SeqCst recheck — see the flag store above.
                     if rx.is_empty() && !shared.stop.load(Ordering::SeqCst) {
                         m.ring_depth.set(0);
                         thread::park_timeout(Duration::from_millis(1));
                     }
+                    // ord: SeqCst to stay in the protocol's total order; a
+                    // stale true only costs a spurious unpark.
                     shared.sleeping.store(false, Ordering::SeqCst);
                 }
             }

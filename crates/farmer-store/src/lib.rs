@@ -27,6 +27,9 @@
 //! reloads it as one, so lists survive restarts without consumers ever
 //! leaving the unified read API.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod snapshot;
 pub mod store;

@@ -158,6 +158,8 @@ impl MetaStore {
         let rec = self
             .metadata
             .get(file.raw() as u64)
+            // lint: allow(panic) records are written by encode(); a decode
+            // failure means on-disk corruption, which has no sane recovery
             .map(|b| MetadataRecord::decode(b).expect("store corruption"));
         let pages = self.metadata.io().page_reads - before;
         self.stats.lookups += 1;
@@ -181,6 +183,7 @@ impl MetaStore {
             .metadata
             .range(lo.raw() as u64, hi.raw() as u64)
             .into_iter()
+            // lint: allow(panic) same corruption policy as get()
             .map(|(_, v)| MetadataRecord::decode(&v).expect("store corruption"))
             .collect();
         self.sync_io();
@@ -208,10 +211,15 @@ impl MetaStore {
         self.obs.lookups.inc();
         self.sync_io();
         let mut r = Reader::new(&buf);
+        // lint: allow(panic) correlator pages are written by this module;
+        // decode failure means on-disk corruption, which has no sane
+        // recovery (policy shared by the three reads below)
         let n = r.u32().expect("store corruption");
         let mut out = Vec::with_capacity(n as usize);
         for _ in 0..n {
+            // lint: allow(panic) see the corruption policy above
             let file = FileId::new(r.u32().expect("store corruption"));
+            // lint: allow(panic) see the corruption policy above
             let degree = r.f64().expect("store corruption");
             out.push(CorrelatorRecord { file, degree });
         }

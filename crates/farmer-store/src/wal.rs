@@ -475,6 +475,7 @@ fn scan_bytes(data: &[u8]) -> Result<(usize, Vec<WalEntry>, TailReport), WalErro
     if data[..8] != WAL_MAGIC {
         return Err(WalError::BadHeader("bad magic"));
     }
+    // lint: allow(panic) fixed-width slice of a buffer already length-checked
     let page_size = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
     if page_size < 64 {
         return Err(WalError::BadHeader("page size too small"));
@@ -513,8 +514,12 @@ fn scan_bytes(data: &[u8]) -> Result<(usize, Vec<WalEntry>, TailReport), WalErro
             pos += run;
             continue;
         }
+        // lint: allow(panic) hdr is a HEADER_LEN-sized slice, so the three
+        // fixed-width windows below always convert
         let crc = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+        // lint: allow(panic) see the slice-width note above
         let len = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+        // lint: allow(panic) see the slice-width note above
         let lsn = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
         let kind = hdr[16];
         if len == 0 || RECORD_HEADER + len > room || pos + RECORD_HEADER + len > data.len() {

@@ -578,6 +578,8 @@ impl WalSink for WalLogger {
         let payload = encode_ingest(req, path);
         self.wal
             .lock()
+            // lint: allow(panic) a poisoned WAL lock means an appender
+            // panicked mid-write; continuing would risk a torn log
             .expect("wal lock poisoned")
             .append(record_kind::OP, &payload)
             .map_err(wal_io)?;
@@ -587,6 +589,8 @@ impl WalSink for WalLogger {
     fn log_forget(&mut self, file: FileId) -> io::Result<()> {
         self.wal
             .lock()
+            // lint: allow(panic) a poisoned WAL lock means an appender
+            // panicked mid-write; continuing would risk a torn log
             .expect("wal lock poisoned")
             .append(record_kind::OP, &encode_forget(file))
             .map_err(wal_io)?;
@@ -594,6 +598,7 @@ impl WalSink for WalLogger {
     }
 
     fn on_batch(&mut self) -> io::Result<()> {
+        // lint: allow(panic) poisoned-WAL policy: see log_event above
         self.wal.lock().expect("wal lock poisoned").sync()
     }
 }
@@ -681,6 +686,9 @@ impl DurableMiner {
         if self.cfg.checkpoint_interval > 0
             && self.events.is_multiple_of(self.cfg.checkpoint_interval)
         {
+            // lint: allow(panic) a failed checkpoint leaves recovery
+            // replaying the full log — correct but unbounded; failing
+            // loudly here is the durability contract
             self.checkpoint().expect("wal checkpoint failed");
         }
     }
@@ -702,8 +710,12 @@ impl DurableMiner {
         self.inner.flush();
         self.wal
             .lock()
+            // lint: allow(panic) a poisoned WAL lock means an appender
+            // panicked mid-write; continuing would risk a torn log
             .expect("wal lock poisoned")
             .sync()
+            // lint: allow(panic) flush() promises the prefix is on disk;
+            // returning with the promise broken is not an option
             .expect("wal sync failed");
     }
 
@@ -733,6 +745,7 @@ impl DurableMiner {
         };
         write_durable(&sidecar_path(&self.path, info.seq), &bytes)?;
         let anchor = {
+            // lint: allow(panic) poisoned-WAL policy: see log_event above
             let mut wal = self.wal.lock().expect("wal lock poisoned");
             let lsn = wal.append(record_kind::CHECKPOINT, &encode_checkpoint(&info))?;
             wal.sync()?;
@@ -763,6 +776,8 @@ impl DurableMiner {
         };
         self.wal
             .lock()
+            // lint: allow(panic) a poisoned WAL lock means an appender
+            // panicked mid-write; continuing would risk a torn log
             .expect("wal lock poisoned")
             .compact_before(keep)
     }
@@ -779,6 +794,7 @@ impl DurableMiner {
 
     /// Logical size of the log in bytes (including unsynced appends).
     pub fn wal_len_bytes(&self) -> u64 {
+        // lint: allow(panic) poisoned-WAL policy: see log_event above
         self.wal.lock().expect("wal lock poisoned").len_bytes()
     }
 
@@ -801,6 +817,7 @@ impl DurableMiner {
     /// the floor (as a power cut would) and the miner is torn down. The
     /// on-disk state is exactly what the last completed sync left.
     pub fn crash(self) {
+        // lint: allow(panic) poisoned-WAL policy: see log_event above
         self.wal.lock().expect("wal lock poisoned").abandon();
     }
 }

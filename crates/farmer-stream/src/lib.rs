@@ -44,6 +44,9 @@
 //! assert!(snap.events > 0);
 //! ```
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod durable;
 pub mod engine;
 pub mod metrics;

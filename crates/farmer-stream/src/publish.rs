@@ -78,6 +78,8 @@ impl SnapshotCell {
     /// Panics if `snap` reflects a shorter stream prefix than the
     /// currently installed snapshot — publications must move forward.
     pub fn install(&self, snap: Arc<StreamSnapshot>) -> u64 {
+        // lint: allow(panic) a poisoned lock means a publisher panicked
+        // mid-install; serving stale data silently would be worse
         let mut cur = self.current.lock().expect("snapshot cell poisoned");
         assert!(
             snap.events >= cur.events,
@@ -88,11 +90,16 @@ impl SnapshotCell {
         *cur = snap;
         // Bumped inside the critical section so (epoch, snapshot) pairs
         // read under the same lock are always coherent.
+        // ord: Release pairs with the reader's Acquire epoch load — a
+        // reader that sees the new epoch sees the snapshot swap above
+        // (the lock it then takes orders the rest).
         self.epoch.fetch_add(1, Ordering::Release) + 1
     }
 
     /// The current epoch (0 before the first install).
     pub fn epoch(&self) -> u64 {
+        // ord: Acquire pairs with install's Release bump, so an observed
+        // epoch implies the matching snapshot is visible.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -100,7 +107,11 @@ impl SnapshotCell {
     /// this is the reader *cold* path and the one-shot consumer API;
     /// per-query serving goes through [`CellReader`].
     pub fn load(&self) -> (u64, Arc<StreamSnapshot>) {
+        // lint: allow(panic) poisoned cell — same policy as install()
         let cur = self.current.lock().expect("snapshot cell poisoned");
+        // ord: under the publication lock the epoch cannot move, so this
+        // Acquire load (pairing with install's Release) reads the value
+        // coherent with `cur`.
         (self.epoch.load(Ordering::Acquire), cur.clone())
     }
 
@@ -135,6 +146,9 @@ impl CellReader {
     /// unchanged): one atomic load, nothing else.
     #[inline]
     pub fn refresh(&mut self) -> bool {
+        // ord: Acquire pairs with install's Release bump; observing a new
+        // epoch guarantees the lock-protected reload below sees at least
+        // that publication.
         let published = self.cell.epoch.load(Ordering::Acquire);
         if published == self.seen {
             return false;

@@ -132,6 +132,8 @@ impl ShardedMiner {
                 thread::Builder::new()
                     .name(format!("farmer-stream-shard-{shard_id}"))
                     .spawn(move || shard_worker(miner, rx))
+                    // lint: allow(panic) thread-spawn failure at miner
+                    // startup is unrecoverable resource exhaustion
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -167,6 +169,8 @@ impl ShardedMiner {
         // can reach any shard's graph.
         if let Some(sink) = self.sink.as_mut() {
             sink.log_event(&req, path)
+                // lint: allow(panic) losing the log-before-mutate ordering
+                // would silently void the durability contract
                 .expect("wal append failed; durable miner cannot continue");
         }
         // One shared allocation per distinct file, not per event: paths are
@@ -201,6 +205,7 @@ impl ShardedMiner {
     pub fn route_forget(&mut self, file: FileId) {
         if let Some(sink) = self.sink.as_mut() {
             sink.log_forget(file)
+                // lint: allow(panic) same durability policy as route()
                 .expect("wal append failed; durable miner cannot continue");
         }
         self.pending.push(Item::Forget(file));
@@ -217,12 +222,16 @@ impl ShardedMiner {
         // Group-commit the logged prefix before any shard can mine it.
         if let Some(sink) = self.sink.as_mut() {
             sink.on_batch()
+                // lint: allow(panic) mining an unsynced prefix would break
+                // the group-commit guarantee
                 .expect("wal sync failed; durable miner cannot continue");
         }
         let batch = std::mem::take(&mut self.pending);
         self.obs.batch_events.record(batch.len() as u64);
         let mut ok = true;
         {
+            // lint: allow(panic) StreamConfig validates shards >= 1, so
+            // the sender list is never empty
             let (last, rest) = self.senders.split_last().expect("at least one shard");
             for tx in rest {
                 if tx.send(Msg::Batch(batch.clone())).is_err() {
@@ -366,6 +375,8 @@ impl ShardedMiner {
                 thread::Builder::new()
                     .name(format!("farmer-stream-shard-{shard_id}"))
                     .spawn(move || shard_worker(miner, rx))
+                    // lint: allow(panic) thread-spawn failure at miner
+                    // startup is unrecoverable resource exhaustion
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -421,6 +432,8 @@ impl ShardedMiner {
         }
         match payload {
             Some(p) => std::panic::resume_unwind(p),
+            // lint: allow(panic) a worker that is gone without a payload
+            // still died; propagating beats mining into a lost shard
             None => panic!("shard worker exited unexpectedly during {context}"),
         }
     }
@@ -701,6 +714,8 @@ mod tests {
         m.poison_shard(1);
         // Give the worker time to consume the poison message and die;
         // Drop must then re-raise its panic rather than swallow it.
+        // lint: allow(sleep) there is no completion signal to poll: the
+        // worker dies by panicking, observable only through Drop's join
         std::thread::sleep(std::time::Duration::from_millis(50));
         drop(m);
     }

@@ -20,6 +20,9 @@
 //! Everything downstream (the FARMER miner, the prefetchers, the metadata
 //! server simulator) consumes traces exclusively through this crate.
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod hash;
 pub mod ids;

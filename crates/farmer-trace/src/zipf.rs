@@ -41,7 +41,9 @@ impl Zipf {
             *c /= total;
         }
         // Guard against rounding leaving the last entry below 1.0.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(c) = cdf.last_mut() {
+            *c = 1.0;
+        }
         Zipf { cdf }
     }
 

@@ -48,6 +48,9 @@
 //! }
 //! ```
 
+// This crate is unsafe-free by policy (lint rule R2 guards the rest).
+#![forbid(unsafe_code)]
+
 pub use farmer_apps as apps;
 pub use farmer_core as core;
 pub use farmer_mds as mds;
